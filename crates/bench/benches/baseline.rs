@@ -1,0 +1,44 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_mapf::{InnerSolver, IteratedPlanner, MapfProblem, PrioritizedPlanner};
+use wsp_model::{FloorplanGraph, GridMap, VertexId};
+
+/// §V baseline comparison: search-based MAPF runtime grows steeply with
+/// team size, while contract-based synthesis is insensitive to it. This
+/// bench sweeps the baseline's team size on an open warehouse-like grid.
+fn open_grid() -> FloorplanGraph {
+    let art = vec![".".repeat(24); 12].join("\n");
+    FloorplanGraph::from_grid(&GridMap::from_ascii(&art).expect("grid"))
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_mapf");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let graph = open_grid();
+    let vs: Vec<VertexId> = graph.vertices().collect();
+    for agents in [2usize, 4, 8] {
+        let starts: Vec<VertexId> = vs.iter().take(agents).copied().collect();
+        let goals: Vec<Vec<VertexId>> = vs.iter().rev().take(agents).map(|&g| vec![g]).collect();
+        group.bench_function(format!("iterated_ecbs-{agents}"), |b| {
+            b.iter(|| {
+                let p = MapfProblem::new(&graph, starts.clone(), goals.clone());
+                let planner = IteratedPlanner::default();
+                criterion::black_box(planner.solve(&p).expect("solvable"))
+            })
+        });
+        group.bench_function(format!("prioritized-{agents}"), |b| {
+            b.iter(|| {
+                let p = MapfProblem::new(&graph, starts.clone(), goals.clone());
+                let planner = IteratedPlanner {
+                    inner: InnerSolver::Prioritized(PrioritizedPlanner::default()),
+                    ..IteratedPlanner::default()
+                };
+                criterion::black_box(planner.solve(&p).expect("solvable"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

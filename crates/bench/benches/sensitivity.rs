@@ -1,0 +1,25 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_bench::run_paper_mode;
+
+/// §V sensitivity claim: "doubling the units of product in the workload
+/// increased runtime by less than 10%". One benchmark per (map, scale).
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let sorting = wsp_maps::sorting_center().expect("sorting builds");
+    let f1 = wsp_maps::fulfillment_center_1().expect("f1 builds");
+    for (map, base) in [(&sorting, 160u64), (&f1, 550u64)] {
+        for scale in [1u64, 2, 4] {
+            let units = base * scale;
+            group.bench_function(
+                format!("{}-x{scale}", map.name.replace(' ', "_")),
+                |b| b.iter(|| criterion::black_box(run_paper_mode(map, units))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

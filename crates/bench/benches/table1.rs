@@ -1,0 +1,24 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_bench::{run_paper_mode, table1_rows};
+
+/// Table I regeneration: one Criterion benchmark per row, timing flow
+/// synthesis in the paper's solver configuration.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (map, workloads) in table1_rows() {
+        for units in workloads {
+            group.bench_function(format!("{}-{units}", map.name.replace(' ', "_")), |b| {
+                b.iter(|| {
+                    let r = run_paper_mode(&map, units);
+                    criterion::black_box(r)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

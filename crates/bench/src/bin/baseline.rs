@@ -1,0 +1,44 @@
+//! The §V baseline experiment as a standalone harness: sweeps the
+//! search-based planners' team size and prints the runtime growth table
+//! next to the pipeline's flat runtimes. See also
+//! `examples/baseline_comparison.rs` for the itinerary-faithful variant.
+
+use std::time::Instant;
+
+use wsp_mapf::{CbsPlanner, MapfProblem, PrioritizedPlanner};
+use wsp_model::{FloorplanGraph, GridMap, VertexId};
+
+fn main() {
+    let art = vec![".".repeat(24); 12].join("\n");
+    let graph = FloorplanGraph::from_grid(&GridMap::from_ascii(&art).expect("grid"));
+    let vs: Vec<VertexId> = graph.vertices().collect();
+
+    println!("{:<8} {:>14} {:>14}", "agents", "prioritized", "ECBS(2)");
+    for agents in [2usize, 4, 8, 16, 24] {
+        let starts: Vec<VertexId> = vs.iter().take(agents).copied().collect();
+        let goals: Vec<Vec<VertexId>> =
+            vs.iter().rev().take(agents).map(|&g| vec![g]).collect();
+        let p = MapfProblem::new(&graph, starts, goals);
+
+        let t0 = Instant::now();
+        let prio = PrioritizedPlanner::default().solve(&p);
+        let prio_t = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let ecbs = CbsPlanner {
+            weight: 2.0,
+            max_expansions: 5_000,
+            ..CbsPlanner::default()
+        }
+        .solve(&p);
+        let ecbs_t = t1.elapsed().as_secs_f64();
+
+        println!(
+            "{agents:<8} {:>11.3}s {} {:>11.3}s {}",
+            prio_t,
+            if prio.is_ok() { "ok " } else { "err" },
+            ecbs_t,
+            if ecbs.is_ok() { "ok " } else { "err" },
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Renders the paper's map figures (Figs. 1, 4, 5) as ASCII art with the
+//! paper's drawing conventions: `!` marks a component's exit cell, arrows
+//! point to the next vertex of the component, `#` are shelves/chutes.
+
+use wsp_traffic::{describe_traffic_system, render_traffic_system};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig. 4: Fulfillment Center Map ==");
+    let f1 = wsp_maps::fulfillment_center_1()?;
+    println!("{}", describe_traffic_system(&f1.warehouse, &f1.traffic));
+    println!("{}\n", render_traffic_system(&f1.warehouse, &f1.traffic));
+
+    println!("== Fulfillment Center 2 (synthetic) ==");
+    let f2 = wsp_maps::fulfillment_center_2()?;
+    println!("{}", describe_traffic_system(&f2.warehouse, &f2.traffic));
+    println!("{}\n", render_traffic_system(&f2.warehouse, &f2.traffic));
+
+    println!("== Fig. 5: Sorting Center Map ==");
+    let s = wsp_maps::sorting_center()?;
+    println!("{}", describe_traffic_system(&s.warehouse, &s.traffic));
+    println!("{}", render_traffic_system(&s.warehouse, &s.traffic));
+    Ok(())
+}

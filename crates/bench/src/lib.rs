@@ -1,0 +1,120 @@
+//! Shared harness support for regenerating the paper's tables and figures.
+
+use wsp_core::{PipelineOptions, WspInstance};
+use wsp_flow::{synthesize_flow_relaxed, FlowError, FlowSynthesisOptions, RelaxedFlowSummary};
+use wsp_maps::MapInstance;
+
+/// The paper's plan-length limit for every Table I instance.
+pub const T_LIMIT: usize = 3_600;
+
+/// The nine Table I rows: (map builder, units-moved workloads).
+pub fn table1_rows() -> Vec<(MapInstance, [u64; 3])> {
+    vec![
+        (
+            wsp_maps::sorting_center().expect("sorting center builds"),
+            [160, 320, 480],
+        ),
+        (
+            wsp_maps::fulfillment_center_1().expect("fulfillment 1 builds"),
+            [550, 825, 1100],
+        ),
+        (
+            wsp_maps::fulfillment_center_2().expect("fulfillment 2 builds"),
+            [1200, 1320, 1440],
+        ),
+    ]
+}
+
+/// Result of one Table I cell in a given mode.
+#[derive(Debug)]
+pub enum RowResult {
+    /// Solved: seconds taken plus a short detail string.
+    Solved {
+        /// Wall-clock seconds for flow synthesis.
+        seconds: f64,
+        /// Mode-specific detail (objective, agents, ...).
+        detail: String,
+    },
+    /// Proven infeasible (strict mode documents the capacity boundary).
+    Infeasible,
+    /// Some other failure.
+    Failed(String),
+}
+
+impl std::fmt::Display for RowResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RowResult::Solved { seconds, detail } => write!(f, "{seconds:8.3}s  {detail}"),
+            RowResult::Infeasible => write!(f, "infeasible (capacity bound; see EXPERIMENTS.md)"),
+            RowResult::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// Runs one instance in the paper's solver configuration: real-valued
+/// flows (§IV-D solves "arithmetic constraints over the reals") without the
+/// entry-capacity assumption the largest instances exceed.
+pub fn run_paper_mode(map: &MapInstance, units: u64) -> RowResult {
+    let workload = map.uniform_workload(units);
+    let options = FlowSynthesisOptions {
+        skip_capacity: true,
+        ..FlowSynthesisOptions::default()
+    };
+    time_relaxed(map, &workload, &options)
+}
+
+/// Runs one instance with real-valued flows *and* the strict Property 4.1
+/// capacity assumption.
+pub fn run_strict_relaxed(map: &MapInstance, units: u64) -> RowResult {
+    let workload = map.uniform_workload(units);
+    time_relaxed(map, &workload, &FlowSynthesisOptions::default())
+}
+
+fn time_relaxed(
+    map: &MapInstance,
+    workload: &wsp_model::Workload,
+    options: &FlowSynthesisOptions,
+) -> RowResult {
+    let t0 = std::time::Instant::now();
+    let out: Result<RelaxedFlowSummary, FlowError> =
+        synthesize_flow_relaxed(&map.warehouse, &map.traffic, workload, T_LIMIT, options);
+    let seconds = t0.elapsed().as_secs_f64();
+    match out {
+        Ok(summary) => RowResult::Solved {
+            seconds,
+            detail: format!(
+                "min total flow {:.2} ({} vars, {} constraints, q_c={})",
+                summary.objective, summary.variables, summary.constraints, summary.periods
+            ),
+        },
+        Err(FlowError::Infeasible { .. }) => RowResult::Infeasible,
+        Err(e) => RowResult::Failed(e.to_string()),
+    }
+}
+
+/// Runs the full strict integer pipeline (synthesis -> cycles -> plan ->
+/// verification); used where the strict capacity bound admits the workload.
+pub fn run_strict_integer(map: &MapInstance, units: u64) -> RowResult {
+    let workload = map.uniform_workload(units);
+    let instance = WspInstance::new(
+        map.warehouse.clone(),
+        map.traffic.clone(),
+        workload,
+        T_LIMIT,
+    );
+    let t0 = std::time::Instant::now();
+    match wsp_core::solve(&instance, &PipelineOptions::default()) {
+        Ok(report) => RowResult::Solved {
+            seconds: report.timings.flow_synthesis.as_secs_f64(),
+            detail: format!(
+                "{} agents, {} delivered, plan {} steps (total {:.3}s incl. verify)",
+                report.outcome.agents,
+                report.stats.total_delivered(),
+                report.outcome.timesteps,
+                t0.elapsed().as_secs_f64(),
+            ),
+        },
+        Err(wsp_core::PipelineError::Flow(FlowError::Infeasible { .. })) => RowResult::Infeasible,
+        Err(e) => RowResult::Failed(e.to_string()),
+    }
+}

@@ -1,0 +1,45 @@
+//! Assume–guarantee (A/G) contracts over linear-arithmetic predicates.
+//!
+//! This crate replaces the CHASE requirement-engineering front end used by
+//! the paper (§II-B, §IV-D): it provides the contract algebra — composition
+//! `⊗`, conjunction `∧`, refinement, compatibility, and consistency — for
+//! contracts whose assumptions and guarantees are conjunctions of linear
+//! constraints over non-negative variables (exactly the fragment the
+//! paper's component and workload contracts live in). All semantic checks
+//! (implication, feasibility) are discharged with the exact LP machinery of
+//! [`wsp_lp`].
+//!
+//! # The conjunctive fragment
+//!
+//! True A/G composition produces assumption sets of the form
+//! `(A₁ ∧ A₂) ∨ ¬(G₁ ∧ G₂)`, which leaves the conjunctive fragment. This
+//! crate keeps `A = A₁ ∧ A₂`, a *stronger* assumption — the resulting
+//! contract refines the true composition, which is sound for synthesis:
+//! any flow accepted under the approximated contract is accepted under the
+//! true one. The same approximation is applied to conjunction. The
+//! *consistency region* `A ∧ G` — the constraint system actually handed to
+//! the solver — is computed exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_contracts::{AgContract, Predicate, VarRegistry};
+//! use wsp_lp::{LinExpr, Rational, Relation};
+//!
+//! let mut reg = VarRegistry::new();
+//! let flow = reg.fresh_int("flow_in");
+//!
+//! // Component: assumes at most 3 agents enter; guarantees >= 0 leave.
+//! let mut assume = Predicate::top();
+//! assume.require(LinExpr::var(flow), Relation::Le, Rational::from(3), "cap");
+//! let contract = AgContract::new("row", assume, Predicate::top());
+//! assert!(contract.is_consistent(&reg).unwrap());
+//! ```
+
+mod contract;
+mod predicate;
+mod registry;
+
+pub use contract::{AgContract, ContractError};
+pub use predicate::Predicate;
+pub use registry::VarRegistry;

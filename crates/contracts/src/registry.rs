@@ -1,0 +1,159 @@
+//! A shared namespace of contract variables.
+
+use std::collections::HashMap;
+
+use wsp_lp::{LinExpr, Problem, VarId};
+
+/// Allocates and names the variables that contracts range over, and turns a
+/// constraint system over those variables into a [`Problem`].
+///
+/// All contract variables are non-negative (agent flows and transfer rates
+/// are counts); integer-ness is recorded per variable and honoured when
+/// building ILP problems.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_contracts::VarRegistry;
+///
+/// let mut reg = VarRegistry::new();
+/// let f = reg.fresh_int("f_0_1_p2");
+/// assert_eq!(reg.name(f), "f_0_1_p2");
+/// assert_eq!(reg.lookup("f_0_1_p2"), Some(f));
+/// assert_eq!(reg.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VarRegistry {
+    names: Vec<String>,
+    integer: Vec<bool>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        VarRegistry::default()
+    }
+
+    /// Allocates a fresh continuous variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered: contract variables are
+    /// points of composition, so accidental shadowing is a bug.
+    pub fn fresh(&mut self, name: impl Into<String>) -> VarId {
+        self.fresh_inner(name.into(), false)
+    }
+
+    /// Allocates a fresh integer variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered.
+    pub fn fresh_int(&mut self, name: impl Into<String>) -> VarId {
+        self.fresh_inner(name.into(), true)
+    }
+
+    fn fresh_inner(&mut self, name: String, integer: bool) -> VarId {
+        assert!(
+            !self.by_name.contains_key(&name),
+            "contract variable {name:?} registered twice"
+        );
+        let id = VarId(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.integer.push(integer);
+        id
+    }
+
+    /// Looks up a variable by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not allocated by this registry.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Whether a variable is integer-constrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not allocated by this registry.
+    pub fn is_integer(&self, var: VarId) -> bool {
+        self.integer[var.index()]
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Builds an empty [`Problem`] whose variables mirror this registry
+    /// (same ids, names, and integrality). The caller adds constraints and
+    /// an objective.
+    pub fn to_problem(&self) -> Problem {
+        let mut p = Problem::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let v = if self.integer[i] {
+                p.add_int_var(name.clone())
+            } else {
+                p.add_var(name.clone())
+            };
+            debug_assert_eq!(v.index(), i);
+        }
+        p
+    }
+
+    /// Convenience: a `1·var` expression.
+    pub fn expr(&self, var: VarId) -> LinExpr {
+        LinExpr::var(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocates_dense_ids() {
+        let mut reg = VarRegistry::new();
+        let a = reg.fresh("a");
+        let b = reg.fresh_int("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert!(!reg.is_integer(a));
+        assert!(reg.is_integer(b));
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut reg = VarRegistry::new();
+        reg.fresh("x");
+        reg.fresh("x");
+    }
+
+    #[test]
+    fn to_problem_mirrors_registry() {
+        let mut reg = VarRegistry::new();
+        reg.fresh("a");
+        reg.fresh_int("b");
+        let p = reg.to_problem();
+        assert_eq!(p.var_count(), 2);
+        let ints: Vec<_> = p.integer_vars().collect();
+        assert_eq!(ints.len(), 1);
+        assert_eq!(p.var(ints[0]).name, "b");
+    }
+}

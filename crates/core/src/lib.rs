@@ -1,0 +1,308 @@
+//! The end-to-end WSP co-design methodology (Fig. 2 of the paper): traffic
+//! system → contracts → agent flows → agent cycles → discrete plan, with
+//! per-phase timing and independent verification.
+//!
+//! [`solve`] runs the whole pipeline on a [`WspInstance`] and returns a
+//! [`PipelineReport`] whose plan has already been checked — feasibility
+//! conditions (1)–(3) of §III and workload servicing — by the
+//! [`wsp_model::PlanChecker`], which shares no code with the planner.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_core::{solve, PipelineOptions, WspInstance};
+//! use wsp_maps::sorting_center;
+//!
+//! let map = sorting_center()?;
+//! let workload = map.uniform_workload(40);
+//! let instance = WspInstance::new(map.warehouse, map.traffic, workload, 3600);
+//! let report = solve(&instance, &PipelineOptions::default())?;
+//! assert!(report.stats.total_delivered() >= 40);
+//! println!("{}", report.summary());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use wsp_flow::{synthesize_flow, AgentCycleSet, AgentFlowSet, FlowError, FlowSynthesisOptions};
+use wsp_model::{PlanStats, Warehouse, Workload};
+use wsp_realize::{realize, RealizeError, RealizeOutcome};
+use wsp_traffic::TrafficSystem;
+
+pub use wsp_flow::{synthesize_flow_relaxed, FlowEngine, RelaxedFlowSummary};
+
+/// A warehouse servicing problem instance (Problem 3.1) together with its
+/// co-designed traffic system.
+#[derive(Debug, Clone)]
+pub struct WspInstance {
+    /// The warehouse `W`.
+    pub warehouse: Warehouse,
+    /// The traffic system designed over `W`.
+    pub traffic: TrafficSystem,
+    /// The workload `w`.
+    pub workload: Workload,
+    /// The timestep limit `T`.
+    pub t_limit: usize,
+}
+
+impl WspInstance {
+    /// Bundles an instance.
+    pub fn new(
+        warehouse: Warehouse,
+        traffic: TrafficSystem,
+        workload: Workload,
+        t_limit: usize,
+    ) -> Self {
+        WspInstance {
+            warehouse,
+            traffic,
+            workload,
+            t_limit,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Flow-synthesis options (engine, ILP limits, period cap).
+    pub flow: FlowSynthesisOptions,
+    /// Run the realization for the full horizon even after the workload is
+    /// serviced (default: stop at the last needed delivery).
+    pub realize_full_horizon: bool,
+}
+
+/// Wall-clock duration of each pipeline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Contract compilation + flow synthesis (the paper's reported time).
+    pub flow_synthesis: Duration,
+    /// Flow → agent-cycle decomposition.
+    pub decomposition: Duration,
+    /// Algorithm 1 realization.
+    pub realization: Duration,
+    /// Independent plan checking.
+    pub verification: Duration,
+}
+
+impl PhaseTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.flow_synthesis + self.decomposition + self.realization + self.verification
+    }
+}
+
+/// Everything the pipeline produced, all independently verified.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The synthesized agent flow set (validated against §IV-D exactly).
+    pub flow: AgentFlowSet,
+    /// The agent cycle set (every cycle carry-consistent).
+    pub cycles: AgentCycleSet,
+    /// The realization outcome (plan + delivery counts).
+    pub outcome: RealizeOutcome,
+    /// Plan statistics from the independent checker.
+    pub stats: PlanStats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+impl PipelineReport {
+    /// A one-line summary in the style of the paper's result reporting.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} agents, {} cycles, {} units delivered in {} timesteps \
+             (flow {:.3}s, decomp {:.3}s, realize {:.3}s, verify {:.3}s)",
+            self.outcome.agents,
+            self.cycles.cycles().len(),
+            self.stats.total_delivered(),
+            self.outcome.timesteps,
+            self.timings.flow_synthesis.as_secs_f64(),
+            self.timings.decomposition.as_secs_f64(),
+            self.timings.realization.as_secs_f64(),
+            self.timings.verification.as_secs_f64(),
+        )
+    }
+}
+
+/// Pipeline failure, tagged by phase.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Flow synthesis failed (infeasible workload, solver limit, …).
+    Flow(FlowError),
+    /// Realization failed (capacity precondition, inconsistent cycles, …).
+    Realize(RealizeError),
+    /// The realized plan failed independent checking, or serviced less
+    /// than the workload within `T` (reports the checker's explanation).
+    Verification(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Flow(e) => write!(f, "flow synthesis: {e}"),
+            PipelineError::Realize(e) => write!(f, "realization: {e}"),
+            PipelineError::Verification(e) => write!(f, "verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Flow(e) => Some(e),
+            PipelineError::Realize(e) => Some(e),
+            PipelineError::Verification(_) => None,
+        }
+    }
+}
+
+impl From<FlowError> for PipelineError {
+    fn from(e: FlowError) -> Self {
+        PipelineError::Flow(e)
+    }
+}
+
+impl From<RealizeError> for PipelineError {
+    fn from(e: RealizeError) -> Self {
+        PipelineError::Realize(e)
+    }
+}
+
+/// Runs the full methodology on an instance: synthesize flows, decompose
+/// into cycles, realize into a discrete plan, and verify the plan
+/// independently.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] tagged with the failing phase.
+pub fn solve(
+    instance: &WspInstance,
+    options: &PipelineOptions,
+) -> Result<PipelineReport, PipelineError> {
+    let mut timings = PhaseTimings::default();
+
+    let t0 = Instant::now();
+    let flow = synthesize_flow(
+        &instance.warehouse,
+        &instance.traffic,
+        &instance.workload,
+        instance.t_limit,
+        &options.flow,
+    )?;
+    timings.flow_synthesis = t0.elapsed();
+
+    let t1 = Instant::now();
+    let cycles = flow.decompose()?;
+    timings.decomposition = t1.elapsed();
+
+    let t2 = Instant::now();
+    let workload_stop = if options.realize_full_horizon {
+        None
+    } else {
+        Some(&instance.workload)
+    };
+    let outcome = realize(
+        &instance.warehouse,
+        &instance.traffic,
+        &cycles,
+        workload_stop,
+        instance.t_limit,
+    )?;
+    timings.realization = t2.elapsed();
+
+    let t3 = Instant::now();
+    let checker = wsp_model::PlanChecker::new(&instance.warehouse);
+    let stats = checker
+        .check_services(&outcome.plan, &instance.workload)
+        .map_err(|e| PipelineError::Verification(e.to_string()))?;
+    timings.verification = t3.elapsed();
+
+    Ok(PipelineReport {
+        flow,
+        cycles,
+        outcome,
+        stats,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{Direction, GridMap, ProductCatalog, ProductId};
+    use wsp_traffic::design_perimeter_loop;
+
+    fn tiny_instance(demand: u64) -> WspInstance {
+        let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
+        let mut w = Warehouse::from_grid_with_access(
+            &grid,
+            &[Direction::East, Direction::West],
+        )
+        .unwrap();
+        w.set_catalog(ProductCatalog::with_len(1));
+        let s = w.shelf_access()[0];
+        w.stock(s, ProductId(0), 10_000).unwrap();
+        let ts = design_perimeter_loop(&w, 3).unwrap();
+        WspInstance::new(w, ts, Workload::from_demands(vec![demand]), 600)
+    }
+
+    #[test]
+    fn end_to_end_tiny() {
+        let instance = tiny_instance(12);
+        let report = solve(&instance, &PipelineOptions::default()).unwrap();
+        assert!(report.stats.total_delivered() >= 12);
+        assert_eq!(report.outcome.missed_advances, 0);
+        assert!(report.summary().contains("units delivered"));
+    }
+
+    #[test]
+    fn full_horizon_option_runs_to_t() {
+        let instance = tiny_instance(2);
+        let report = solve(
+            &instance,
+            &PipelineOptions {
+                realize_full_horizon: true,
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome.timesteps, 600);
+        // Full horizon keeps delivering past the demand.
+        assert!(report.stats.total_delivered() > 2);
+    }
+
+    #[test]
+    fn infeasible_instance_reports_flow_phase() {
+        let mut instance = tiny_instance(1);
+        instance.workload = Workload::from_demands(vec![10_000_000]);
+        let err = solve(&instance, &PipelineOptions::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::Flow(_)));
+    }
+
+    #[test]
+    fn paper_engine_end_to_end() {
+        let instance = tiny_instance(6);
+        let report = solve(
+            &instance,
+            &PipelineOptions {
+                flow: FlowSynthesisOptions {
+                    engine: FlowEngine::PaperIlp,
+                    ..FlowSynthesisOptions::default()
+                },
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.stats.total_delivered() >= 6);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let instance = tiny_instance(4);
+        let report = solve(&instance, &PipelineOptions::default()).unwrap();
+        assert!(report.timings.total() > Duration::ZERO);
+    }
+}

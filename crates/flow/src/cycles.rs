@@ -1,0 +1,351 @@
+//! Agent cycles (§IV-B): closed walks of components, annotated with the
+//! pickup/drop-off actions agents perform along them.
+
+use std::fmt;
+
+use wsp_model::ProductId;
+use wsp_traffic::ComponentId;
+
+/// What an agent does while resident in one component of its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleAction {
+    /// Just pass through.
+    #[default]
+    Travel,
+    /// Pick up one unit of the product (component is a shelving row).
+    Pickup(ProductId),
+    /// Drop off one unit of the product (component is a station queue).
+    Dropoff(ProductId),
+}
+
+impl fmt::Display for CycleAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleAction::Travel => f.write_str("travel"),
+            CycleAction::Pickup(p) => write!(f, "pick {p}"),
+            CycleAction::Dropoff(p) => write!(f, "drop {p}"),
+        }
+    }
+}
+
+/// One stop of an agent cycle: a component and the action performed there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleStep {
+    /// The component visited.
+    pub component: ComponentId,
+    /// The action performed while resident.
+    pub action: CycleAction,
+}
+
+/// An agent cycle: a closed walk of `b` components staffed by `b` agents
+/// (§IV-B). Every cycle period the whole ring advances one component, so
+/// each pickup step injects one unit per period and each drop-off step
+/// delivers one unit per period.
+///
+/// The paper's cycles carry exactly one product between one target shelving
+/// row and one target station queue; cycles produced by flow decomposition
+/// may carry several pickup/drop-off pairs (a strict generalization the
+/// realizer supports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentCycle {
+    steps: Vec<CycleStep>,
+}
+
+impl AgentCycle {
+    /// Creates a cycle from its steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn new(steps: Vec<CycleStep>) -> Self {
+        assert!(!steps.is_empty(), "agent cycle must visit >= 1 component");
+        AgentCycle { steps }
+    }
+
+    /// The steps, in traversal order.
+    pub fn steps(&self) -> &[CycleStep] {
+        &self.steps
+    }
+
+    /// Number of components (= number of agents) in the cycle, the paper's
+    /// `b`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Cycles are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Units delivered per cycle period (number of drop-off steps).
+    pub fn deliveries_per_period(&self) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.action, CycleAction::Dropoff(_)))
+            .count() as u64
+    }
+
+    /// The products this cycle delivers, with multiplicity.
+    pub fn delivered_products(&self) -> Vec<ProductId> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s.action {
+                CycleAction::Dropoff(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks carry consistency: walking the closed cycle, pickups happen
+    /// only when unburdened, drop-offs match the carried product, and the
+    /// carry state closes (returns to its starting value).
+    ///
+    /// Returns a description of the first inconsistency, or `None` if the
+    /// cycle is well-formed.
+    pub fn carry_inconsistency(&self) -> Option<String> {
+        // Determine the starting carry: if the cycle has any action, the
+        // state right before a pickup must be empty. Walk twice: first to
+        // find an anchor, then to verify.
+        let anchor = self
+            .steps
+            .iter()
+            .position(|s| matches!(s.action, CycleAction::Pickup(_)));
+        let Some(start) = anchor else {
+            // No pickups: the cycle must have no drop-offs either.
+            if let Some(bad) = self
+                .steps
+                .iter()
+                .find(|s| matches!(s.action, CycleAction::Dropoff(_)))
+            {
+                return Some(format!(
+                    "cycle drops {} at {} but never picks anything up",
+                    bad.action, bad.component
+                ));
+            }
+            return None;
+        };
+        // Start immediately *before* the anchor pickup, carrying nothing.
+        let mut carry: Option<ProductId> = None;
+        for k in 0..self.steps.len() {
+            let step = &self.steps[(start + k) % self.steps.len()];
+            match step.action {
+                CycleAction::Travel => {}
+                CycleAction::Pickup(p) => {
+                    if let Some(held) = carry {
+                        return Some(format!(
+                            "cycle picks {p} at {} while already carrying {held}",
+                            step.component
+                        ));
+                    }
+                    carry = Some(p);
+                }
+                CycleAction::Dropoff(p) => match carry {
+                    Some(held) if held == p => carry = None,
+                    Some(held) => {
+                        return Some(format!(
+                            "cycle drops {p} at {} while carrying {held}",
+                            step.component
+                        ))
+                    }
+                    None => {
+                        return Some(format!(
+                            "cycle drops {p} at {} while carrying nothing",
+                            step.component
+                        ))
+                    }
+                },
+            }
+        }
+        if carry.is_some() {
+            return Some("cycle ends a full revolution still carrying a product".into());
+        }
+        None
+    }
+}
+
+impl fmt::Display for AgentCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle[")?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            match s.action {
+                CycleAction::Travel => write!(f, "{}", s.component)?,
+                a => write!(f, "{}({a})", s.component)?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A set of agent cycles sharing one cycle time `t_c` — the high-level plan
+/// the realizer turns into discrete agent motion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentCycleSet {
+    cycles: Vec<AgentCycle>,
+    cycle_time: usize,
+}
+
+impl AgentCycleSet {
+    /// Creates a cycle set with the given shared cycle time.
+    pub fn new(cycles: Vec<AgentCycle>, cycle_time: usize) -> Self {
+        AgentCycleSet { cycles, cycle_time }
+    }
+
+    /// The cycles.
+    pub fn cycles(&self) -> &[AgentCycle] {
+        &self.cycles
+    }
+
+    /// The shared cycle time `t_c`.
+    pub fn cycle_time(&self) -> usize {
+        self.cycle_time
+    }
+
+    /// Total agents across all cycles (`Σ b` — one agent per cycle step).
+    pub fn total_agents(&self) -> usize {
+        self.cycles.iter().map(AgentCycle::len).sum()
+    }
+
+    /// Units delivered per cycle period across all cycles.
+    pub fn deliveries_per_period(&self) -> u64 {
+        self.cycles.iter().map(AgentCycle::deliveries_per_period).sum()
+    }
+
+    /// How many times `component` appears across all cycles — the quantity
+    /// bounded by `⌊|Cᵢ|/2⌋` in Property 4.1.
+    pub fn occupancy(&self, component: ComponentId) -> usize {
+        self.cycles
+            .iter()
+            .flat_map(|c| c.steps())
+            .filter(|s| s.component == component)
+            .count()
+    }
+}
+
+impl fmt::Display for AgentCycleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} agents, {} deliveries/period (t_c = {})",
+            self.cycles.len(),
+            self.total_agents(),
+            self.deliveries_per_period(),
+            self.cycle_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(c: u32, action: CycleAction) -> CycleStep {
+        CycleStep {
+            component: ComponentId(c),
+            action,
+        }
+    }
+
+    #[test]
+    fn well_formed_cycle_passes() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Pickup(ProductId(0))),
+            step(1, CycleAction::Travel),
+            step(2, CycleAction::Dropoff(ProductId(0))),
+            step(3, CycleAction::Travel),
+        ]);
+        assert_eq!(c.carry_inconsistency(), None);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.deliveries_per_period(), 1);
+        assert_eq!(c.delivered_products(), vec![ProductId(0)]);
+    }
+
+    #[test]
+    fn multi_product_cycle_passes() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Pickup(ProductId(0))),
+            step(1, CycleAction::Dropoff(ProductId(0))),
+            step(2, CycleAction::Pickup(ProductId(1))),
+            step(3, CycleAction::Dropoff(ProductId(1))),
+        ]);
+        assert_eq!(c.carry_inconsistency(), None);
+        assert_eq!(c.deliveries_per_period(), 2);
+    }
+
+    #[test]
+    fn double_pickup_detected() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Pickup(ProductId(0))),
+            step(1, CycleAction::Pickup(ProductId(1))),
+            step(2, CycleAction::Dropoff(ProductId(0))),
+            step(3, CycleAction::Dropoff(ProductId(1))),
+        ]);
+        assert!(c.carry_inconsistency().is_some());
+    }
+
+    #[test]
+    fn wrong_product_dropoff_detected() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Pickup(ProductId(0))),
+            step(1, CycleAction::Dropoff(ProductId(1))),
+        ]);
+        assert!(c.carry_inconsistency().is_some());
+    }
+
+    #[test]
+    fn dropoff_without_pickup_detected() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Travel),
+            step(1, CycleAction::Dropoff(ProductId(0))),
+        ]);
+        assert!(c.carry_inconsistency().is_some());
+    }
+
+    #[test]
+    fn travel_only_cycle_is_consistent() {
+        let c = AgentCycle::new(vec![step(0, CycleAction::Travel), step(1, CycleAction::Travel)]);
+        assert_eq!(c.carry_inconsistency(), None);
+        assert_eq!(c.deliveries_per_period(), 0);
+    }
+
+    #[test]
+    fn unclosed_carry_detected() {
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Pickup(ProductId(0))),
+            step(1, CycleAction::Travel),
+        ]);
+        assert!(c.carry_inconsistency().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must visit")]
+    fn empty_cycle_panics() {
+        let _ = AgentCycle::new(Vec::new());
+    }
+
+    #[test]
+    fn cycle_set_aggregates() {
+        let set = AgentCycleSet::new(
+            vec![
+                AgentCycle::new(vec![
+                    step(0, CycleAction::Pickup(ProductId(0))),
+                    step(1, CycleAction::Dropoff(ProductId(0))),
+                ]),
+                AgentCycle::new(vec![
+                    step(1, CycleAction::Travel),
+                    step(2, CycleAction::Travel),
+                    step(3, CycleAction::Travel),
+                ]),
+            ],
+            12,
+        );
+        assert_eq!(set.total_agents(), 5);
+        assert_eq!(set.deliveries_per_period(), 1);
+        assert_eq!(set.occupancy(ComponentId(1)), 2);
+        assert_eq!(set.cycle_time(), 12);
+        assert!(set.to_string().contains("2 cycles"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Errors of the flow-synthesis pipeline.
+
+use std::fmt;
+
+/// Errors produced while synthesizing or decomposing agent flows.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The timestep limit `T` is shorter than one cycle period `t_c`, so no
+    /// delivery can complete (`q_c = ⌊T / t_c⌋ = 0`).
+    HorizonTooShort {
+        /// The requested plan horizon.
+        t_limit: usize,
+        /// The traffic system's cycle time `t_c = 2m`.
+        cycle_time: usize,
+    },
+    /// The conjunction of the traffic-system and workload contracts is
+    /// unsatisfiable: the workload cannot be serviced on this topology
+    /// within the time limit.
+    Infeasible {
+        /// Human-readable context (workload size, capacity summary).
+        detail: String,
+    },
+    /// The ILP solver hit a limit before finding any flow set.
+    SolverLimit {
+        /// Underlying solver error.
+        source: wsp_lp::IlpError,
+    },
+    /// The LP kernel failed.
+    Solver {
+        /// Underlying solver error.
+        source: wsp_lp::LpError,
+    },
+    /// A synthesized flow set failed exact validation against the contracts
+    /// (indicates a solver or encoder bug; never expected).
+    InvalidFlowSet {
+        /// The violated constraints.
+        violations: Vec<String>,
+    },
+    /// Flow decomposition found residual flow it could not route into
+    /// cycles (indicates an unbalanced flow set; never expected for
+    /// validated sets).
+    DecompositionStuck {
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::HorizonTooShort { t_limit, cycle_time } => write!(
+                f,
+                "plan horizon {t_limit} is shorter than one cycle period {cycle_time}"
+            ),
+            FlowError::Infeasible { detail } => {
+                write!(f, "no agent flow set services the workload: {detail}")
+            }
+            FlowError::SolverLimit { source } => {
+                write!(f, "ILP limit reached before a flow set was found: {source}")
+            }
+            FlowError::Solver { source } => write!(f, "LP kernel failure: {source}"),
+            FlowError::InvalidFlowSet { violations } => write!(
+                f,
+                "synthesized flow set violates {} contract constraints (first: {})",
+                violations.len(),
+                violations.first().map(String::as_str).unwrap_or("-")
+            ),
+            FlowError::DecompositionStuck { detail } => {
+                write!(f, "flow decomposition stuck: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::SolverLimit { source } => Some(source),
+            FlowError::Solver { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<wsp_lp::LpError> for FlowError {
+    fn from(source: wsp_lp::LpError) -> Self {
+        FlowError::Solver { source }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based round-trip tests for the §IV-E flow→cycle decomposition:
+//! build a flow set from random well-formed agent cycles, decompose it,
+//! and check that re-aggregating the decomposed cycles reproduces the
+//! flow set's observable content: pickups, drop-offs, and per-arc totals.
+//!
+//! Exact per-commodity identity is deliberately *not* asserted: when loaded
+//! paths of the same product overlap in opposite phase, the Euler walk may
+//! re-carve them (e.g. into one double-delivery cycle plus a circulation).
+//! Every carving delivers the same units at the same rates and realizes to
+//! an equivalent plan, so the invariants below are the meaningful ones.
+
+use proptest::prelude::*;
+use wsp_flow::{AgentCycleSet, AgentFlowSet, Commodity, CycleAction};
+use wsp_model::ProductId;
+use wsp_traffic::ComponentId;
+
+/// A randomly generated abstract agent cycle on a ring of `ring`
+/// components. Mirroring the MixedKind rule, even-indexed components act
+/// as shelving rows (pickups) and odd-indexed ones as station queues
+/// (drop-offs), so no component ever sees both actions — the precondition
+/// real validated traffic systems guarantee.
+#[derive(Debug, Clone)]
+struct RandomCycle {
+    pick_choice: usize,
+    drop_choice: usize,
+    product: u32,
+}
+
+fn random_cycles() -> impl Strategy<Value = Vec<RandomCycle>> {
+    let cycle = (0..64usize, 0..64usize, 0..3u32).prop_map(|(pick_choice, drop_choice, product)| {
+        RandomCycle {
+            pick_choice,
+            drop_choice,
+            product,
+        }
+    });
+    proptest::collection::vec(cycle, 1..8)
+}
+
+/// Builds the flow set induced by the cycles (each cycle contributes one
+/// unit of flow to every arc of the ring, loaded between its pickup and
+/// drop-off components).
+fn aggregate(ring: u32, cycles: &[RandomCycle]) -> AgentFlowSet {
+    let n = ring as usize;
+    let evens: Vec<usize> = (0..n).step_by(2).collect();
+    let odds: Vec<usize> = (1..n).step_by(2).collect();
+    let mut fs = AgentFlowSet::new(2 * n, 10);
+    for c in cycles {
+        let pick = evens[c.pick_choice % evens.len()];
+        let drop = odds[c.drop_choice % odds.len()];
+        let mut carry: Option<ProductId> = None;
+        for off in 0..n {
+            let pos = (pick + off) % n;
+            let comp = ComponentId(pos as u32);
+            let next = ComponentId(((pos + 1) % n) as u32);
+            if pos == pick {
+                fs.add_pickup(comp, ProductId(c.product), 1);
+                carry = Some(ProductId(c.product));
+            }
+            if pos == drop {
+                fs.add_dropoff(comp, ProductId(c.product), 1);
+                carry = None;
+            }
+            let commodity = match carry {
+                Some(p) => Commodity::Loaded(p),
+                None => Commodity::Unloaded,
+            };
+            fs.add_edge_flow(comp, next, commodity, 1);
+        }
+    }
+    fs
+}
+
+/// Re-aggregates a decomposed cycle set back into a flow set.
+fn reaggregate(set: &AgentCycleSet, periods: u64) -> AgentFlowSet {
+    let mut fs = AgentFlowSet::new(set.cycle_time(), periods);
+    for cycle in set.cycles() {
+        let steps = cycle.steps();
+        // Determine carry state by walking from a pickup (if any).
+        let anchor = steps
+            .iter()
+            .position(|s| matches!(s.action, CycleAction::Pickup(_)))
+            .unwrap_or(0);
+        let mut carry: Option<ProductId> = None;
+        for k in 0..steps.len() {
+            let idx = (anchor + k) % steps.len();
+            let step = steps[idx];
+            match step.action {
+                CycleAction::Pickup(p) => {
+                    fs.add_pickup(step.component, p, 1);
+                    carry = Some(p);
+                }
+                CycleAction::Dropoff(p) => {
+                    fs.add_dropoff(step.component, p, 1);
+                    carry = None;
+                }
+                CycleAction::Travel => {}
+            }
+            let next = steps[(idx + 1) % steps.len()].component;
+            let commodity = match carry {
+                Some(p) => Commodity::Loaded(p),
+                None => Commodity::Unloaded,
+            };
+            fs.add_edge_flow(step.component, next, commodity, 1);
+        }
+    }
+    fs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decompose_then_reaggregate_is_identity(
+        ring in 3u32..9,
+        cycles in random_cycles(),
+    ) {
+        let flow = aggregate(ring, &cycles);
+        let set = flow.decompose().expect("balanced by construction");
+
+        // Structural invariants.
+        prop_assert_eq!(set.total_agents() as u64, flow.total_edge_flow());
+        prop_assert_eq!(set.deliveries_per_period(), flow.total_deliveries_per_period());
+        for c in set.cycles() {
+            prop_assert_eq!(c.carry_inconsistency(), None);
+        }
+
+        // Round trip of the observable content.
+        let back = reaggregate(&set, flow.periods());
+        let pickups: Vec<_> = flow.pickups().collect();
+        let drops: Vec<_> = flow.dropoffs().collect();
+        prop_assert_eq!(back.pickups().collect::<Vec<_>>(), pickups);
+        prop_assert_eq!(back.dropoffs().collect::<Vec<_>>(), drops);
+        // Per-arc totals (summed over commodities) are preserved.
+        let totals = |fs: &AgentFlowSet| {
+            let mut m = std::collections::BTreeMap::new();
+            for (i, j, _, n) in fs.edge_flows() {
+                *m.entry((i, j)).or_insert(0u64) += n;
+            }
+            m
+        };
+        prop_assert_eq!(totals(&back), totals(&flow));
+        prop_assert_eq!(back.total_deliveries(), flow.total_deliveries());
+    }
+
+    #[test]
+    fn occupancy_equals_entering_flow(
+        ring in 3u32..9,
+        cycles in random_cycles(),
+    ) {
+        let flow = aggregate(ring, &cycles);
+        let set = flow.decompose().expect("balanced by construction");
+        // The Property 4.1 quantity: occupancy of a component equals the
+        // per-period flow entering it.
+        for comp in 0..ring {
+            let id = ComponentId(comp);
+            prop_assert_eq!(set.occupancy(id) as u64, flow.entering_flow(id));
+        }
+    }
+}

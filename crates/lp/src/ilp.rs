@@ -1,0 +1,569 @@
+//! Branch-and-bound integer programming on top of the simplex kernel.
+//!
+//! The default configuration solves LP relaxations in `f64` and *exactly
+//! verifies* every integer candidate with rational arithmetic before
+//! accepting it, falling back to the exact simplex on the rare node where
+//! rounding breaks feasibility. This gives fast solves with an exactness
+//! guarantee on the returned solution.
+
+use std::time::{Duration, Instant};
+
+use crate::problem::{Problem, VarId};
+use crate::simplex::{solve_lp, BoundOverrides, LpError, LpOutcome, SimplexOptions};
+use crate::Rational;
+
+/// Configuration for the branch-and-bound ILP solver.
+#[derive(Debug, Clone)]
+pub struct IlpOptions {
+    /// Solve node relaxations with the exact rational simplex instead of
+    /// `f64`. Slower; useful for small instances and cross-validation.
+    pub exact_lp: bool,
+    /// Hard cap on explored branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Simplex kernel options.
+    pub simplex: SimplexOptions,
+    /// Distance from the nearest integer at which an `f64` value counts as
+    /// fractional.
+    pub integrality_tol: f64,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        IlpOptions {
+            exact_lp: false,
+            max_nodes: 200_000,
+            time_limit: None,
+            simplex: SimplexOptions::default(),
+            integrality_tol: 1e-6,
+        }
+    }
+}
+
+/// Outcome of an ILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpOutcome {
+    /// An optimal integer solution (exactly verified).
+    Optimal(IlpSolution),
+    /// A feasible integer solution found, but optimality was not proven
+    /// before a node/time limit was hit.
+    Feasible(IlpSolution),
+    /// No integer solution exists.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded.
+    Unbounded,
+}
+
+impl IlpOutcome {
+    /// The solution, if one was found.
+    pub fn solution(&self) -> Option<&IlpSolution> {
+        match self {
+            IlpOutcome::Optimal(s) | IlpOutcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An integer solution with exact rational values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlpSolution {
+    /// One exact value per variable; integer-constrained variables hold
+    /// integers.
+    pub values: Vec<Rational>,
+    /// Exact objective value in the problem's original sense.
+    pub objective: Rational,
+}
+
+impl IlpSolution {
+    /// The value of an integer variable as `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored value is not an integer or does not fit `i64`.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        let v = self.values[var.index()];
+        assert!(v.is_integer(), "{var} = {v} is not integral");
+        i64::try_from(v.numer()).expect("value fits i64")
+    }
+}
+
+/// Errors from the ILP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// The simplex kernel failed.
+    Lp(LpError),
+    /// A node or time limit was hit before any integer solution was found.
+    LimitWithoutSolution {
+        /// Nodes explored when the limit hit.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for IlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IlpError::Lp(e) => write!(f, "lp kernel: {e}"),
+            IlpError::LimitWithoutSolution { nodes } => {
+                write!(f, "limit reached after {nodes} nodes with no integer solution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IlpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IlpError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for IlpError {
+    fn from(e: LpError) -> Self {
+        IlpError::Lp(e)
+    }
+}
+
+/// Solves a mixed-integer program by branch-and-bound.
+///
+/// # Errors
+///
+/// Returns [`IlpError::Lp`] if the simplex kernel fails and
+/// [`IlpError::LimitWithoutSolution`] if limits expire before any integer
+/// solution is found.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_lp::{solve_ilp, IlpOptions, IlpOutcome, LinExpr, Problem, Rational, Relation};
+///
+/// // Knapsack: max 5a + 4b s.t. 3a + 2b <= 6, a,b integer -> a=0,b=3: 12.
+/// let mut p = Problem::new();
+/// let a = p.add_int_var("a");
+/// let b = p.add_int_var("b");
+/// let mut cap = LinExpr::new();
+/// cap.add_term(a, Rational::from(3)).add_term(b, Rational::from(2));
+/// p.add_constraint(cap, Relation::Le, Rational::from(6), "cap");
+/// let mut obj = LinExpr::new();
+/// obj.add_term(a, Rational::from(5)).add_term(b, Rational::from(4));
+/// p.maximize(obj);
+///
+/// match solve_ilp(&p, &IlpOptions::default())? {
+///     IlpOutcome::Optimal(sol) => assert_eq!(sol.objective, Rational::from(12)),
+///     other => panic!("expected optimal, got {other:?}"),
+/// }
+/// # Ok::<(), wsp_lp::IlpError>(())
+/// ```
+pub fn solve_ilp(problem: &Problem, options: &IlpOptions) -> Result<IlpOutcome, IlpError> {
+    let start = Instant::now();
+    let minimize = matches!(problem.sense(), crate::problem::Sense::Minimize);
+    let int_vars: Vec<VarId> = problem.integer_vars().collect();
+    let all_integer = int_vars.len() == problem.var_count();
+
+    let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::none()];
+    let mut incumbent: Option<IlpSolution> = None;
+    let mut nodes = 0usize;
+    let mut limit_hit = false;
+
+    while let Some(bounds) = stack.pop() {
+        if nodes >= options.max_nodes
+            || options
+                .time_limit
+                .is_some_and(|lim| start.elapsed() >= lim)
+        {
+            limit_hit = true;
+            break;
+        }
+        nodes += 1;
+
+        let node = if options.exact_lp {
+            solve_node_exact(problem, &bounds, options)?
+        } else {
+            solve_node_f64(problem, &bounds, options)?
+        };
+
+        let (values, lp_obj) = match node {
+            NodeOutcome::Infeasible => continue,
+            NodeOutcome::Unbounded => {
+                // Only the root relaxation can prove the ILP unbounded.
+                if nodes == 1 {
+                    return Ok(IlpOutcome::Unbounded);
+                }
+                continue;
+            }
+            NodeOutcome::Solved { values, objective } => (values, objective),
+        };
+
+        // Bound pruning against the incumbent (objective sense-normalized:
+        // we compare in the minimization direction).
+        if let Some(inc) = &incumbent {
+            let bound = if minimize { lp_obj } else { -lp_obj };
+            let inc_obj = if minimize {
+                inc.objective.to_f64()
+            } else {
+                -inc.objective.to_f64()
+            };
+            if bound >= inc_obj - 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(VarId, f64, f64)> = None; // (var, value, frac-distance)
+        for &v in &int_vars {
+            let x = values[v.index()];
+            let dist = (x - x.round()).abs();
+            if dist > options.integrality_tol {
+                match branch {
+                    Some((_, _, best)) if dist <= best => {}
+                    _ => branch = Some((v, x, dist)),
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer candidate: build exact values and verify.
+                let exact = exact_candidate(problem, &values, &int_vars, all_integer);
+                match exact {
+                    Some(sol) => {
+                        let better = match &incumbent {
+                            None => true,
+                            Some(inc) => {
+                                if minimize {
+                                    sol.objective < inc.objective
+                                } else {
+                                    sol.objective > inc.objective
+                                }
+                            }
+                        };
+                        if better {
+                            incumbent = Some(sol);
+                        }
+                    }
+                    None => {
+                        // Rounding broke exact feasibility: redo this node
+                        // with the exact simplex.
+                        let exact_node = solve_node_exact_rational(problem, &bounds, options)?;
+                        if let Some((vals, frac)) =
+                            exact_node_candidate(&int_vars, exact_node)
+                        {
+                            match frac {
+                                None => {
+                                    let obj = problem.objective().eval(&vals);
+                                    let sol = IlpSolution {
+                                        values: vals,
+                                        objective: obj,
+                                    };
+                                    let better = match &incumbent {
+                                        None => true,
+                                        Some(inc) => {
+                                            if minimize {
+                                                sol.objective < inc.objective
+                                            } else {
+                                                sol.objective > inc.objective
+                                            }
+                                        }
+                                    };
+                                    if better {
+                                        incumbent = Some(sol);
+                                    }
+                                }
+                                Some((v, val)) => {
+                                    push_children(&mut stack, &bounds, v, val);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Some((v, x, _)) => {
+                push_children(&mut stack, &bounds, v, Rational::from(x.floor() as i64));
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) if limit_hit => Ok(IlpOutcome::Feasible(sol)),
+        Some(sol) => Ok(IlpOutcome::Optimal(sol)),
+        None if limit_hit => Err(IlpError::LimitWithoutSolution { nodes }),
+        None => Ok(IlpOutcome::Infeasible),
+    }
+}
+
+enum NodeOutcome {
+    Solved { values: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+fn solve_node_f64(
+    problem: &Problem,
+    bounds: &BoundOverrides,
+    options: &IlpOptions,
+) -> Result<NodeOutcome, IlpError> {
+    Ok(match solve_lp::<f64>(problem, bounds, &options.simplex)? {
+        LpOutcome::Optimal(sol) => NodeOutcome::Solved {
+            values: sol.values,
+            objective: sol.objective,
+        },
+        LpOutcome::Infeasible => NodeOutcome::Infeasible,
+        LpOutcome::Unbounded => NodeOutcome::Unbounded,
+    })
+}
+
+fn solve_node_exact(
+    problem: &Problem,
+    bounds: &BoundOverrides,
+    options: &IlpOptions,
+) -> Result<NodeOutcome, IlpError> {
+    Ok(
+        match solve_lp::<Rational>(problem, bounds, &options.simplex)? {
+            LpOutcome::Optimal(sol) => NodeOutcome::Solved {
+                values: sol.values.iter().map(|v| v.to_f64()).collect(),
+                objective: sol.objective.to_f64(),
+            },
+            LpOutcome::Infeasible => NodeOutcome::Infeasible,
+            LpOutcome::Unbounded => NodeOutcome::Unbounded,
+        },
+    )
+}
+
+fn solve_node_exact_rational(
+    problem: &Problem,
+    bounds: &BoundOverrides,
+    options: &IlpOptions,
+) -> Result<Option<Vec<Rational>>, IlpError> {
+    Ok(
+        match solve_lp::<Rational>(problem, bounds, &options.simplex)? {
+            LpOutcome::Optimal(sol) => Some(sol.values),
+            _ => None,
+        },
+    )
+}
+
+/// Classifies an exact node solution: integral (no fractional int var) or
+/// the first fractional variable to branch on.
+#[allow(clippy::type_complexity)]
+fn exact_node_candidate(
+    int_vars: &[VarId],
+    values: Option<Vec<Rational>>,
+) -> Option<(Vec<Rational>, Option<(VarId, Rational)>)> {
+    let vals = values?;
+    for &v in int_vars {
+        let x = vals[v.index()];
+        if !x.is_integer() {
+            let floor = Rational::from(x.floor());
+            return Some((vals, Some((v, floor))));
+        }
+    }
+    Some((vals, None))
+}
+
+/// Rounds integer vars, keeps continuous vars approximate, and verifies the
+/// point exactly when the problem is purely integer. Returns `None` if the
+/// rounded point is not exactly feasible.
+fn exact_candidate(
+    problem: &Problem,
+    values: &[f64],
+    int_vars: &[VarId],
+    all_integer: bool,
+) -> Option<IlpSolution> {
+    let mut exact: Vec<Rational> = values
+        .iter()
+        .map(|&v| {
+            // Rationalize with a fixed denominator; good enough for the
+            // continuous vars we never branch on.
+            Rational::new((v * 1_000_000.0).round() as i128, 1_000_000)
+        })
+        .collect();
+    for &v in int_vars {
+        exact[v.index()] = Rational::from(values[v.index()].round() as i64);
+    }
+    if all_integer && !problem.violations(&exact).is_empty() {
+        return None;
+    }
+    let objective = problem.objective().eval(&exact);
+    Some(IlpSolution {
+        values: exact,
+        objective,
+    })
+}
+
+fn push_children(
+    stack: &mut Vec<BoundOverrides>,
+    bounds: &BoundOverrides,
+    var: VarId,
+    floor: Rational,
+) {
+    // Left child: var <= floor.
+    let mut left = bounds.clone();
+    let new_up = match left.upper.get(&var) {
+        Some(&u) => u.min(floor),
+        None => floor,
+    };
+    left.upper.insert(var, new_up);
+    // Right child: var >= floor + 1.
+    let mut right = bounds.clone();
+    let lo = floor + Rational::ONE;
+    let new_lo = match right.lower.get(&var) {
+        Some(&l) => l.max(lo),
+        None => lo,
+    };
+    right.lower.insert(var, new_lo);
+    // DFS: explore the "round down" side first (flows are minimized).
+    stack.push(right);
+    stack.push(left);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinExpr, Relation};
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 8a + 11b + 6c s.t. 5a + 7b + 4c <= 14, binary.
+        // Best is a+b: weight 12 <= 14, value 19 (a+b+c weighs 16).
+        let mut p = Problem::new();
+        let a = p.add_int_var("a");
+        let b = p.add_int_var("b");
+        let c = p.add_int_var("c");
+        for v in [a, b, c] {
+            p.set_upper(v, r(1));
+        }
+        let mut cap = LinExpr::new();
+        cap.add_term(a, r(5)).add_term(b, r(7)).add_term(c, r(4));
+        p.add_constraint(cap, Relation::Le, r(14), "cap");
+        let mut obj = LinExpr::new();
+        obj.add_term(a, r(8)).add_term(b, r(11)).add_term(c, r(6));
+        p.maximize(obj);
+        match solve_ilp(&p, &IlpOptions::default()).unwrap() {
+            IlpOutcome::Optimal(sol) => {
+                assert_eq!(sol.objective, r(19));
+                assert_eq!(sol.int_value(a), 1);
+                assert_eq!(sol.int_value(b), 1);
+                assert_eq!(sol.int_value(c), 0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_lp_rounds_down_via_branching() {
+        // max x s.t. 2x <= 5, x integer -> x = 2 (LP gives 2.5).
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        let mut c = LinExpr::new();
+        c.add_term(x, r(2));
+        p.add_constraint(c, Relation::Le, r(5), "c");
+        p.maximize(LinExpr::var(x));
+        match solve_ilp(&p, &IlpOptions::default()).unwrap() {
+            IlpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(2)),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_integer_gap() {
+        // 2x = 3 has an LP solution (1.5) but no integer solution.
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        let mut c = LinExpr::new();
+        c.add_term(x, r(2));
+        p.add_constraint(c, Relation::Eq, r(3), "c");
+        p.minimize(LinExpr::var(x));
+        assert_eq!(
+            solve_ilp(&p, &IlpOptions::default()).unwrap(),
+            IlpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_integer_program() {
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        p.maximize(LinExpr::var(x));
+        assert_eq!(
+            solve_ilp(&p, &IlpOptions::default()).unwrap(),
+            IlpOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn exact_lp_mode_agrees() {
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        let y = p.add_int_var("y");
+        let mut c = LinExpr::new();
+        c.add_term(x, r(3)).add_term(y, r(5));
+        p.add_constraint(c, Relation::Le, r(19), "cap");
+        let mut obj = LinExpr::new();
+        obj.add_term(x, r(2)).add_term(y, r(3));
+        p.maximize(obj);
+        let fast = solve_ilp(&p, &IlpOptions::default()).unwrap();
+        let exact = solve_ilp(
+            &p,
+            &IlpOptions {
+                exact_lp: true,
+                ..IlpOptions::default()
+            },
+        )
+        .unwrap();
+        let f = fast.solution().unwrap().objective;
+        let e = exact.solution().unwrap().objective;
+        assert_eq!(f, e);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_error() {
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        let mut c = LinExpr::new();
+        c.add_term(x, r(2));
+        p.add_constraint(c, Relation::Le, r(5), "c");
+        p.maximize(LinExpr::var(x));
+        // With a 1-node limit we at least explored the root; no candidate yet
+        // (root is fractional), so expect LimitWithoutSolution.
+        let out = solve_ilp(
+            &p,
+            &IlpOptions {
+                max_nodes: 1,
+                ..IlpOptions::default()
+            },
+        );
+        assert!(matches!(
+            out,
+            Err(IlpError::LimitWithoutSolution { .. })
+        ));
+    }
+
+    #[test]
+    fn equality_system_integer_solution() {
+        // x + y = 10, x - y = 4 -> (7, 3).
+        let mut p = Problem::new();
+        let x = p.add_int_var("x");
+        let y = p.add_int_var("y");
+        let mut c1 = LinExpr::new();
+        c1.add_term(x, r(1)).add_term(y, r(1));
+        p.add_constraint(c1, Relation::Eq, r(10), "sum");
+        let mut c2 = LinExpr::new();
+        c2.add_term(x, r(1)).add_term(y, r(-1));
+        p.add_constraint(c2, Relation::Eq, r(4), "diff");
+        p.minimize(LinExpr::new());
+        match solve_ilp(&p, &IlpOptions::default()).unwrap() {
+            IlpOutcome::Optimal(sol) => {
+                assert_eq!(sol.int_value(x), 7);
+                assert_eq!(sol.int_value(y), 3);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

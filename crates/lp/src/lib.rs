@@ -1,0 +1,44 @@
+//! Exact-rational LP/ILP solving: the constraint engine behind agent-flow
+//! synthesis.
+//!
+//! The paper discharges its contract conjunction with the Z3 SMT solver. The
+//! generated formula is a pure conjunction of linear constraints over
+//! non-negative integers, so an ILP solver is a faithful decision procedure
+//! for the same formula class. This crate provides one, built from scratch:
+//!
+//! * [`Rational`] — exact `i128`-backed rational arithmetic;
+//! * [`Problem`] / [`LinExpr`] / [`Constraint`] — model building;
+//! * [`solve_lp`] — a two-phase dense simplex, generic over the scalar
+//!   ([`f64`] fast path, [`Rational`] exact path);
+//! * [`solve_ilp`] — branch-and-bound with exact verification of every
+//!   integer candidate, so the fast path can never return an invalid model.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_lp::{solve_ilp, IlpOptions, IlpOutcome, LinExpr, Problem, Rational, Relation};
+//!
+//! // min x + y  s.t.  x + y >= 3, x,y integer.
+//! let mut p = Problem::new();
+//! let x = p.add_int_var("x");
+//! let y = p.add_int_var("y");
+//! let mut c = LinExpr::new();
+//! c.add_term(x, Rational::ONE).add_term(y, Rational::ONE);
+//! p.add_constraint(c.clone(), Relation::Ge, Rational::from(3), "demand");
+//! p.minimize(c);
+//! let outcome = solve_ilp(&p, &IlpOptions::default())?;
+//! assert!(matches!(outcome, IlpOutcome::Optimal(s) if s.objective == Rational::from(3)));
+//! # Ok::<(), wsp_lp::IlpError>(())
+//! ```
+
+mod ilp;
+mod problem;
+mod rational;
+mod scalar;
+mod simplex;
+
+pub use ilp::{solve_ilp, IlpError, IlpOptions, IlpOutcome, IlpSolution};
+pub use problem::{Constraint, LinExpr, Problem, Relation, Sense, VarId, VarInfo};
+pub use rational::Rational;
+pub use scalar::{Scalar, F64_TOL};
+pub use simplex::{solve_lp, BoundOverrides, LpError, LpOutcome, LpSolution, SimplexOptions};

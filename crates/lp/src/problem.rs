@@ -1,0 +1,432 @@
+//! Linear/integer programs: variables, expressions, constraints, problems.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Rational;
+
+/// Index of a decision variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A sparse linear expression `Σ c_i · x_i`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_lp::{LinExpr, Rational, VarId};
+///
+/// let mut e = LinExpr::new();
+/// e.add_term(VarId(0), Rational::from(2));
+/// e.add_term(VarId(1), Rational::ONE);
+/// e.add_term(VarId(0), Rational::from(-2)); // cancels x0
+/// assert_eq!(e.terms().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, Rational>,
+}
+
+impl LinExpr {
+    /// The empty (zero) expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// An expression with a single `1 · var` term.
+    pub fn var(var: VarId) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(var, Rational::ONE);
+        e
+    }
+
+    /// Adds `coeff · var`, merging (and removing cancelled) terms.
+    pub fn add_term(&mut self, var: VarId, coeff: Rational) -> &mut Self {
+        if coeff.is_zero() {
+            return self;
+        }
+        let entry = self.terms.entry(var).or_insert(Rational::ZERO);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.terms.remove(&var);
+        }
+        self
+    }
+
+    /// The coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: VarId) -> Rational {
+        self.terms.get(&var).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Iterates over `(variable, coefficient)` terms with non-zero
+    /// coefficients, in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, Rational)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Whether the expression has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression exactly at a rational point.
+    pub fn eval(&self, values: &[Rational]) -> Rational {
+        self.terms()
+            .map(|(v, c)| c * values.get(v.index()).copied().unwrap_or(Rational::ZERO))
+            .sum()
+    }
+
+    /// Evaluates the expression at an `f64` point.
+    pub fn eval_f64(&self, values: &[f64]) -> f64 {
+        self.terms()
+            .map(|(v, c)| c.to_f64() * values.get(v.index()).copied().unwrap_or(0.0))
+            .sum()
+    }
+}
+
+impl FromIterator<(VarId, Rational)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (VarId, Rational)>>(iter: I) -> Self {
+        let mut e = LinExpr::new();
+        for (v, c) in iter {
+            e.add_term(v, c);
+        }
+        e
+    }
+}
+
+/// The relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+/// A linear constraint `expr ⋈ rhs` with an optional provenance label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// The relation `⋈`.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+    /// Human-readable provenance (e.g. which contract produced it).
+    pub label: String,
+}
+
+impl Constraint {
+    /// Creates a labelled constraint.
+    pub fn new(expr: LinExpr, relation: Relation, rhs: Rational, label: impl Into<String>) -> Self {
+        Constraint {
+            expr,
+            relation,
+            rhs,
+            label: label.into(),
+        }
+    }
+
+    /// Whether the constraint holds exactly at a rational point.
+    pub fn is_satisfied(&self, values: &[Rational]) -> bool {
+        let lhs = self.expr.eval(values);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs,
+            Relation::Ge => lhs >= self.rhs,
+            Relation::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.expr.terms() {
+            if first {
+                write!(f, "{c}·{v}")?;
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}·{v}", -c)?;
+            } else {
+                write!(f, " + {c}·{v}")?;
+            }
+        }
+        if first {
+            f.write_str("0")?;
+        }
+        write!(f, " {} {}", self.relation, self.rhs)
+    }
+}
+
+/// The optimization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Minimize the objective (default).
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Metadata of one decision variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Diagnostic name.
+    pub name: String,
+    /// Upper bound, if any. All variables have an implicit lower bound of 0
+    /// (the flow-synthesis formulation is naturally non-negative).
+    pub upper: Option<Rational>,
+    /// Whether the variable is integer-constrained (for the ILP solver).
+    pub integer: bool,
+}
+
+/// A linear (or, with integer variables, mixed-integer) program.
+///
+/// All variables are non-negative. Minimization is the default sense.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_lp::{LinExpr, Problem, Rational, Relation};
+///
+/// // max x + y  s.t.  x + 2y <= 4, x <= 3
+/// let mut p = Problem::new();
+/// let x = p.add_var("x");
+/// let y = p.add_var("y");
+/// p.set_upper(x, Rational::from(3));
+/// let mut lhs = LinExpr::new();
+/// lhs.add_term(x, Rational::ONE).add_term(y, Rational::from(2));
+/// p.add_constraint(lhs, Relation::Le, Rational::from(4), "cap");
+/// let mut obj = LinExpr::new();
+/// obj.add_term(x, Rational::ONE).add_term(y, Rational::ONE);
+/// p.maximize(obj);
+/// assert_eq!(p.var_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    vars: Vec<VarInfo>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+    sense: Sense,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Problem::default()
+    }
+
+    /// Adds a continuous non-negative variable and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            upper: None,
+            integer: false,
+        });
+        id
+    }
+
+    /// Adds an integer non-negative variable and returns its id.
+    pub fn add_int_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = self.add_var(name);
+        self.vars[id.index()].integer = true;
+        id
+    }
+
+    /// Sets an upper bound on a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_upper(&mut self, var: VarId, upper: Rational) {
+        self.vars[var.index()].upper = Some(upper);
+    }
+
+    /// Adds a constraint; returns its index.
+    pub fn add_constraint(
+        &mut self,
+        expr: LinExpr,
+        relation: Relation,
+        rhs: Rational,
+        label: impl Into<String>,
+    ) -> usize {
+        self.constraints
+            .push(Constraint::new(expr, relation, rhs, label));
+        self.constraints.len() - 1
+    }
+
+    /// Sets a minimization objective.
+    pub fn minimize(&mut self, objective: LinExpr) {
+        self.objective = objective;
+        self.sense = Sense::Minimize;
+    }
+
+    /// Sets a maximization objective.
+    pub fn maximize(&mut self, objective: LinExpr) {
+        self.objective = objective;
+        self.sense = Sense::Maximize;
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&self, var: VarId) -> &VarInfo {
+        &self.vars[var.index()]
+    }
+
+    /// All variables' metadata, in id order.
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective expression.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Ids of integer-constrained variables.
+    pub fn integer_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i as u32))
+    }
+
+    /// Checks a rational point against all constraints and bounds, returning
+    /// the labels of violated constraints (empty = feasible).
+    pub fn violations(&self, values: &[Rational]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, info) in self.vars.iter().enumerate() {
+            let v = values.get(i).copied().unwrap_or(Rational::ZERO);
+            if v.is_negative() {
+                out.push(format!("lower bound of {} violated: {v} < 0", info.name));
+            }
+            if let Some(u) = info.upper {
+                if v > u {
+                    out.push(format!("upper bound of {} violated: {v} > {u}", info.name));
+                }
+            }
+        }
+        for c in &self.constraints {
+            if !c.is_satisfied(values) {
+                out.push(format!("{}: {} (lhs = {})", c.label, c, c.expr.eval(values)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexpr_merges_and_cancels() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(0), Rational::from(2));
+        e.add_term(VarId(0), Rational::from(3));
+        assert_eq!(e.coeff(VarId(0)), Rational::from(5));
+        e.add_term(VarId(0), Rational::from(-5));
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn eval_exact_and_f64() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(0), Rational::new(1, 2));
+        e.add_term(VarId(2), Rational::from(3));
+        let vals = [Rational::from(4), Rational::from(9), Rational::from(1)];
+        assert_eq!(e.eval(&vals), Rational::from(5));
+        assert_eq!(e.eval_f64(&[4.0, 9.0, 1.0]), 5.0);
+        // Missing trailing values are treated as zero.
+        assert_eq!(e.eval(&vals[..1]), Rational::from(2));
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(0), Rational::ONE);
+        let c = Constraint::new(e, Relation::Le, Rational::from(3), "t");
+        assert!(c.is_satisfied(&[Rational::from(3)]));
+        assert!(!c.is_satisfied(&[Rational::from(4)]));
+    }
+
+    #[test]
+    fn problem_violations_report_bounds_and_constraints() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.set_upper(x, Rational::from(2));
+        p.add_constraint(LinExpr::var(x), Relation::Ge, Rational::ONE, "ge1");
+        assert!(p.violations(&[Rational::from(2)]).is_empty());
+        assert_eq!(p.violations(&[Rational::from(3)]).len(), 1);
+        assert_eq!(p.violations(&[Rational::ZERO]).len(), 1);
+        assert_eq!(p.violations(&[Rational::from(-1)]).len(), 2);
+    }
+
+    #[test]
+    fn integer_vars_are_tracked() {
+        let mut p = Problem::new();
+        let _x = p.add_var("x");
+        let y = p.add_int_var("y");
+        let ints: Vec<_> = p.integer_vars().collect();
+        assert_eq!(ints, vec![y]);
+    }
+
+    #[test]
+    fn constraint_display_is_readable() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(0), Rational::ONE);
+        e.add_term(VarId(1), Rational::from(-2));
+        let c = Constraint::new(e, Relation::Eq, Rational::from(4), "t");
+        assert_eq!(c.to_string(), "1·x0 - 2·x1 = 4");
+    }
+}

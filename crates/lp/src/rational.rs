@@ -1,0 +1,390 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The flow-synthesis constraint systems have small integer data, so an
+//! `i128` numerator/denominator pair with aggressive GCD reduction is enough
+//! for an exact simplex on the instance sizes where exactness is requested.
+//! Overflow is detected and reported by panicking with a clear message (the
+//! fast `f64` path plus exact *verification* of integer candidates is the
+//! default pipeline; see the crate docs).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0`, always reduced.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_lp::Rational;
+///
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert_eq!((a / b), Rational::from(2));
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128, // invariant: den > 0, gcd(num, den) == 1
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational 0.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates the reduced rational `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Rational::ZERO;
+        }
+        Rational {
+            num: sign * num / g,
+            den: (den / g).abs(),
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The largest integer `≤ self`.
+    ///
+    /// ```
+    /// use wsp_lp::Rational;
+    /// assert_eq!(Rational::new(-3, 2).floor(), -2);
+    /// assert_eq!(Rational::new(3, 2).floor(), 1);
+    /// ```
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer `≥ self`.
+    pub fn ceil(self) -> i128 {
+        -(-self).floor()
+    }
+
+    /// The fractional part `self - floor(self)`, in `[0, 1)`.
+    pub fn fract(self) -> Rational {
+        self - Rational::from(self.floor())
+    }
+
+    /// Nearest-integer rounding (half away from zero).
+    pub fn round(self) -> i128 {
+        let two = Rational::from(2);
+        if self.is_negative() {
+            -(-self).round()
+        } else {
+            (self * two + Rational::ONE).floor() / 2
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// The reciprocal `1 / self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>, op: &str) -> Rational {
+        match (num, den) {
+            (Some(n), Some(d)) => Rational::new(n, d),
+            _ => panic!("rational overflow in {op}"),
+        }
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce cross terms first to delay overflow.
+        let g = gcd(self.den, rhs.den);
+        let lden = self.den / g;
+        let rden = rhs.den / g;
+        let num = self
+            .num
+            .checked_mul(rden)
+            .and_then(|a| rhs.num.checked_mul(lden).and_then(|b| a.checked_add(b)));
+        let den = self.den.checked_mul(rden);
+        Rational::checked(num, den, "addition")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2);
+        let den = (self.den / g2).checked_mul(rhs.den / g1);
+        Rational::checked(num, den, "multiplication")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d via ad vs cb (b, d > 0). Use checked math and
+        // fall back to f64 only on overflow (astronomically unlikely with
+        // reduced fractions from our problem data).
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .expect("finite rationals"),
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(3, 4);
+        let b = Rational::new(1, 4);
+        assert_eq!(a + b, Rational::ONE);
+        assert_eq!(a - b, Rational::new(1, 2));
+        assert_eq!(a * b, Rational::new(3, 16));
+        assert_eq!(a / b, Rational::from(3));
+        assert_eq!(-a, Rational::new(-3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(7, 2).round(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(5, 1).floor(), 5);
+        assert_eq!(Rational::new(1, 3).fract(), Rational::new(1, 3));
+        assert_eq!(Rational::new(-1, 3).fract(), Rational::new(2, 3));
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+        assert_eq!(Rational::new(-2, 3).abs(), Rational::new(2, 3));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = (1..=4).map(|i| Rational::new(1, i)).sum();
+        assert_eq!(total, Rational::new(25, 12));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::from(5).to_string(), "5");
+    }
+}

@@ -1,0 +1,113 @@
+//! The scalar abstraction that lets one simplex implementation run in fast
+//! `f64` arithmetic or exact [`Rational`] arithmetic.
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::Rational;
+
+/// A field scalar usable by the simplex kernel.
+///
+/// Implemented by `f64` (fast, tolerance-based comparisons) and by
+/// [`Rational`] (exact). The trait is sealed: the simplex kernel's
+/// correctness argument only covers these two instantiations.
+pub trait Scalar:
+    Clone
+    + PartialOrd
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + private::Sealed
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact conversion from problem data.
+    fn from_rational(r: Rational) -> Self;
+    /// Whether `|self|` is within the zero tolerance.
+    fn is_zero_tol(&self) -> bool;
+    /// Whether `self` exceeds the positive tolerance.
+    fn is_pos_tol(&self) -> bool;
+    /// Whether `self` is below the negative tolerance.
+    fn is_neg_tol(&self) -> bool {
+        (-self.clone()).is_pos_tol()
+    }
+    /// Lossy view as `f64` (for diagnostics and branching decisions).
+    fn to_f64(&self) -> f64;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for crate::Rational {}
+}
+
+/// Comparison tolerance for the `f64` instantiation.
+pub const F64_TOL: f64 = 1e-9;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_rational(r: Rational) -> Self {
+        r.to_f64()
+    }
+    fn is_zero_tol(&self) -> bool {
+        self.abs() <= F64_TOL
+    }
+    fn is_pos_tol(&self) -> bool {
+        *self > F64_TOL
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+    fn from_rational(r: Rational) -> Self {
+        r
+    }
+    fn is_zero_tol(&self) -> bool {
+        self.is_zero()
+    }
+    fn is_pos_tol(&self) -> bool {
+        self.is_positive()
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerances() {
+        assert!(0.0f64.is_zero_tol());
+        assert!((F64_TOL / 2.0).is_zero_tol());
+        assert!(1.0f64.is_pos_tol());
+        assert!((-1.0f64).is_neg_tol());
+        assert!(!(F64_TOL / 2.0).is_pos_tol());
+    }
+
+    #[test]
+    fn rational_is_exact() {
+        assert!(Rational::ZERO.is_zero_tol());
+        assert!(!Rational::new(1, 1_000_000_000_000).is_zero_tol());
+        assert!(Rational::new(1, 1_000_000_000_000).is_pos_tol());
+    }
+}

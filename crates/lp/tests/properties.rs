@@ -1,0 +1,210 @@
+//! Property-based tests for the LP/ILP substrate: field axioms for
+//! `Rational`, agreement between the `f64` and exact simplex paths, and
+//! branch-and-bound cross-checked against brute force.
+
+use proptest::prelude::*;
+use wsp_lp::{
+    solve_ilp, solve_lp, BoundOverrides, IlpOptions, IlpOutcome, LinExpr, LpOutcome, Problem,
+    Rational, Relation, SimplexOptions, VarId,
+};
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-50i128..=50, 1i128..=10).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn rational_recip_inverts(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn rational_floor_ceil_sandwich(a in small_rational()) {
+        let f = Rational::from(a.floor());
+        let c = Rational::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!((c - f) <= Rational::ONE);
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in small_rational(), b in small_rational()) {
+        // Small rationals convert exactly enough for strict comparisons.
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+}
+
+/// A random small LP: maximize a non-negative objective over `<=`
+/// constraints with non-negative coefficients — always feasible (origin)
+/// and always bounded (every variable capped).
+fn random_bounded_lp() -> impl Strategy<Value = Problem> {
+    let dims = (1usize..=4, 1usize..=4);
+    dims.prop_flat_map(|(nv, nc)| {
+        let coeffs = proptest::collection::vec(0i128..=5, nv * nc);
+        let rhs = proptest::collection::vec(1i128..=20, nc);
+        let obj = proptest::collection::vec(0i128..=5, nv);
+        let caps = proptest::collection::vec(1i128..=10, nv);
+        (Just(nv), Just(nc), coeffs, rhs, obj, caps).prop_map(
+            |(nv, nc, coeffs, rhs, obj, caps)| {
+                let mut p = Problem::new();
+                let vars: Vec<VarId> = (0..nv).map(|i| p.add_var(format!("x{i}"))).collect();
+                for (i, &v) in vars.iter().enumerate() {
+                    p.set_upper(v, Rational::from(caps[i]));
+                }
+                for c in 0..nc {
+                    let mut e = LinExpr::new();
+                    for (i, &v) in vars.iter().enumerate() {
+                        e.add_term(v, Rational::from(coeffs[c * nv + i]));
+                    }
+                    p.add_constraint(e, Relation::Le, Rational::from(rhs[c]), format!("c{c}"));
+                }
+                let mut o = LinExpr::new();
+                for (i, &v) in vars.iter().enumerate() {
+                    o.add_term(v, Rational::from(obj[i]));
+                }
+                p.maximize(o);
+                p
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f64_and_exact_simplex_agree(p in random_bounded_lp()) {
+        let opts = SimplexOptions::default();
+        let fast = solve_lp::<f64>(&p, &BoundOverrides::none(), &opts).unwrap();
+        let exact = solve_lp::<Rational>(&p, &BoundOverrides::none(), &opts).unwrap();
+        match (fast, exact) {
+            (LpOutcome::Optimal(f), LpOutcome::Optimal(e)) => {
+                prop_assert!((f.objective - e.objective.to_f64()).abs() < 1e-6,
+                    "fast {} vs exact {}", f.objective, e.objective);
+            }
+            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_lp_solution_is_exactly_feasible(p in random_bounded_lp()) {
+        let opts = SimplexOptions::default();
+        if let LpOutcome::Optimal(sol) =
+            solve_lp::<Rational>(&p, &BoundOverrides::none(), &opts).unwrap()
+        {
+            prop_assert!(p.violations(&sol.values).is_empty(),
+                "exact solution violates: {:?}", p.violations(&sol.values));
+        }
+    }
+}
+
+/// Brute force a pure-integer maximization by enumerating the box of upper
+/// bounds.
+fn brute_force_max(p: &Problem) -> Option<Rational> {
+    let caps: Vec<i128> = p
+        .vars()
+        .iter()
+        .map(|v| v.upper.expect("bounded").floor())
+        .collect();
+    let n = caps.len();
+    let mut best: Option<Rational> = None;
+    let mut point = vec![0i128; n];
+    loop {
+        let values: Vec<Rational> = point.iter().map(|&x| Rational::from(x)).collect();
+        if p.violations(&values).is_empty() {
+            let obj = p.objective().eval(&values);
+            if best.is_none_or(|b| obj > b) {
+                best = Some(obj);
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            point[i] += 1;
+            if point[i] <= caps[i] {
+                break;
+            }
+            point[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn random_small_ilp() -> impl Strategy<Value = Problem> {
+    let dims = (1usize..=3, 1usize..=3);
+    dims.prop_flat_map(|(nv, nc)| {
+        let coeffs = proptest::collection::vec(0i128..=4, nv * nc);
+        let rhs = proptest::collection::vec(1i128..=12, nc);
+        let obj = proptest::collection::vec(0i128..=5, nv);
+        (Just(nv), Just(nc), coeffs, rhs, obj).prop_map(|(nv, nc, coeffs, rhs, obj)| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..nv).map(|i| p.add_int_var(format!("x{i}"))).collect();
+            for &v in &vars {
+                p.set_upper(v, Rational::from(4));
+            }
+            for c in 0..nc {
+                let mut e = LinExpr::new();
+                for (i, &v) in vars.iter().enumerate() {
+                    e.add_term(v, Rational::from(coeffs[c * nv + i]));
+                }
+                p.add_constraint(e, Relation::Le, Rational::from(rhs[c]), format!("c{c}"));
+            }
+            let mut o = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                o.add_term(v, Rational::from(obj[i]));
+            }
+            p.maximize(o);
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(p in random_small_ilp()) {
+        let expected = brute_force_max(&p).expect("origin always feasible");
+        match solve_ilp(&p, &IlpOptions::default()).unwrap() {
+            IlpOutcome::Optimal(sol) => {
+                prop_assert_eq!(sol.objective, expected);
+                prop_assert!(p.violations(&sol.values).is_empty());
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_and_fast_ilp_agree(p in random_small_ilp()) {
+        let fast = solve_ilp(&p, &IlpOptions::default()).unwrap();
+        let exact = solve_ilp(&p, &IlpOptions { exact_lp: true, ..IlpOptions::default() }).unwrap();
+        let f = fast.solution().expect("feasible").objective;
+        let e = exact.solution().expect("feasible").objective;
+        prop_assert_eq!(f, e);
+    }
+}

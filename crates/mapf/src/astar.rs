@@ -1,0 +1,398 @@
+//! Space-time A*: single-agent shortest paths over (vertex, time) with
+//! wait moves, reservations, CBS constraints, and an optional focal layer
+//! for bounded-suboptimal search.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use wsp_model::{FloorplanGraph, VertexId};
+
+use crate::ReservationTable;
+
+/// CBS-style hard constraints for one agent.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    /// Forbidden (vertex, time) pairs.
+    pub vertex: HashSet<(VertexId, usize)>,
+    /// Forbidden (from, to, departure-time) moves.
+    pub edge: HashSet<(VertexId, VertexId, usize)>,
+}
+
+impl Constraints {
+    /// Whether occupying `v` at `t` is allowed.
+    pub fn allows_vertex(&self, v: VertexId, t: usize) -> bool {
+        !self.vertex.contains(&(v, t))
+    }
+
+    /// Whether the move `u → v` departing at `t` is allowed.
+    pub fn allows_edge(&self, u: VertexId, v: VertexId, t: usize) -> bool {
+        !self.edge.contains(&(u, v, t))
+    }
+
+    /// The latest time at which `v` is constrained (an agent may only
+    /// finish at `v` strictly after this).
+    pub fn latest_vertex_constraint(&self, v: VertexId) -> Option<usize> {
+        self.vertex
+            .iter()
+            .filter(|&&(cv, _)| cv == v)
+            .map(|&(_, t)| t)
+            .max()
+    }
+}
+
+/// A query for one path segment.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanQuery<'a> {
+    /// Start vertex.
+    pub start: VertexId,
+    /// Absolute timestep at which the agent stands on `start`.
+    pub start_time: usize,
+    /// Goal vertex of this segment.
+    pub goal: VertexId,
+    /// Reservations of already-planned agents (prioritized planning).
+    pub reservations: Option<&'a ReservationTable>,
+    /// Hard constraints of this agent (CBS).
+    pub constraints: Option<&'a Constraints>,
+    /// Other agents' committed paths, for focal conflict counting.
+    pub conflict_paths: Option<&'a [Vec<VertexId>]>,
+    /// Whether the agent must be able to stay at `goal` forever
+    /// (final segment) rather than merely touch it (intermediate waypoint).
+    pub require_parkable: bool,
+}
+
+/// The space-time A* searcher.
+///
+/// With `focal_weight = 1.0` this is plain optimal A*; with `w > 1` it runs
+/// a focal search returning a path of cost at most `w ×` optimal while
+/// minimizing conflicts against [`PlanQuery::conflict_paths`] — the
+/// low-level of ECBS.
+#[derive(Debug, Clone)]
+pub struct SpaceTimeAstar {
+    /// Hard horizon on path length (timesteps).
+    pub max_time: usize,
+    /// Focal suboptimality factor `w ≥ 1`.
+    pub focal_weight: f64,
+}
+
+impl Default for SpaceTimeAstar {
+    fn default() -> Self {
+        SpaceTimeAstar {
+            max_time: 512,
+            focal_weight: 1.0,
+        }
+    }
+}
+
+/// A found segment: the timed path (absolute; `path[0]` is at
+/// `query.start_time`) and the optimal-cost lower bound `f_min` observed
+/// (used by ECBS's high level).
+#[derive(Debug, Clone)]
+pub struct SegmentPath {
+    /// `path[i]` is the vertex at time `start_time + i`.
+    pub path: Vec<VertexId>,
+    /// Lower bound on the optimal segment cost.
+    pub f_min: usize,
+}
+
+impl SpaceTimeAstar {
+    /// Plans one segment.
+    ///
+    /// Returns `None` if no path exists within `max_time`.
+    pub fn plan(&self, graph: &FloorplanGraph, query: &PlanQuery<'_>) -> Option<SegmentPath> {
+        let heuristic = graph.bfs_distances(query.goal);
+        if heuristic[query.start.index()] == u32::MAX {
+            return None;
+        }
+        let min_end = query
+            .constraints
+            .map(|c| c.latest_vertex_constraint(query.goal).map_or(0, |t| t + 1))
+            .unwrap_or(0);
+
+        // Node table: since every step costs 1, g = t is determined by the
+        // key (vertex, time); entries only compete on conflict count.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        struct Key {
+            v: VertexId,
+            t: usize,
+        }
+        // key -> (fewest conflicts seen, parent achieving it).
+        let mut best: HashMap<Key, (usize, Option<Key>)> = HashMap::new();
+        let mut closed: HashSet<Key> = HashSet::new();
+        // Ordered open set: (f, conflicts, seq, key). BTreeSet gives both
+        // f_min (first element) and a scannable focal range.
+        let mut open: BTreeSet<(usize, usize, u64, VertexId, usize)> = BTreeSet::new();
+        let mut seq = 0u64;
+
+        let count_conflicts = |u: VertexId, v: VertexId, t_arrive: usize| -> usize {
+            let Some(paths) = query.conflict_paths else {
+                return 0;
+            };
+            let mut n = 0;
+            for p in paths {
+                if p.is_empty() {
+                    continue;
+                }
+                let at = |time: usize| *p.get(time).unwrap_or(p.last().expect("non-empty"));
+                if at(t_arrive) == v {
+                    n += 1;
+                }
+                if t_arrive > 0 && u != v && at(t_arrive) == u && at(t_arrive - 1) == v {
+                    n += 1;
+                }
+            }
+            n
+        };
+
+        let h0 = heuristic[query.start.index()] as usize;
+        best.insert(
+            Key {
+                v: query.start,
+                t: query.start_time,
+            },
+            (0, None),
+        );
+        open.insert((
+            query.start_time + h0,
+            0,
+            seq,
+            query.start,
+            query.start_time,
+        ));
+        seq += 1;
+
+        while !open.is_empty() {
+            let f_min = open.first().expect("non-empty").0;
+            // Focal selection: among f <= w * f_min, minimize conflicts.
+            let bound = if self.focal_weight > 1.0 {
+                (self.focal_weight * f_min as f64).floor() as usize
+            } else {
+                f_min
+            };
+            let chosen = *open
+                .range(..=(bound, usize::MAX, u64::MAX, VertexId(u32::MAX), usize::MAX))
+                .min_by_key(|&&(f, c, _, _, _)| (c, f))
+                .expect("range contains at least the f_min node");
+            open.remove(&chosen);
+            let (_, conflicts, _, v, t) = chosen;
+            let key = Key { v, t };
+            if closed.contains(&key) {
+                continue;
+            }
+            // Stale entry: a cheaper-conflict duplicate was queued later.
+            if best.get(&key).is_some_and(|&(c, _)| c < conflicts) {
+                continue;
+            }
+            closed.insert(key);
+
+            // Goal test.
+            if v == query.goal && t >= min_end {
+                let parkable = match (query.require_parkable, query.reservations) {
+                    (true, Some(rt)) => rt.free_forever(v, t),
+                    _ => true,
+                };
+                if parkable {
+                    // Reconstruct along best-conflict parents.
+                    let mut rev = vec![v];
+                    let mut cur = key;
+                    while let Some(&(_, Some(p))) = best.get(&cur) {
+                        rev.push(p.v);
+                        cur = p;
+                    }
+                    rev.reverse();
+                    return Some(SegmentPath { path: rev, f_min });
+                }
+            }
+
+            if t + 1 > self.max_time {
+                continue;
+            }
+
+            // Expand: wait + moves.
+            let mut push = |to: VertexId| {
+                let nt = t + 1;
+                let nkey = Key { v: to, t: nt };
+                if closed.contains(&nkey) {
+                    return;
+                }
+                if let Some(rt) = query.reservations {
+                    if !rt.vertex_free(to, nt) || !rt.edge_free(v, to, t) {
+                        return;
+                    }
+                }
+                if let Some(cs) = query.constraints {
+                    if !cs.allows_vertex(to, nt) || !cs.allows_edge(v, to, t) {
+                        return;
+                    }
+                }
+                let h = heuristic[to.index()];
+                if h == u32::MAX {
+                    return;
+                }
+                let f = nt + h as usize;
+                let c = conflicts + count_conflicts(v, to, nt);
+                let improves = match best.get(&nkey) {
+                    Some(&(bc, _)) => c < bc,
+                    None => true,
+                };
+                if improves {
+                    best.insert(nkey, (c, Some(key)));
+                    open.insert((f, c, seq, to, nt));
+                    seq += 1;
+                }
+            };
+            push(v); // wait
+            for &n in graph.neighbors(v) {
+                push(n);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::GridMap;
+
+    fn graph(art: &str) -> FloorplanGraph {
+        FloorplanGraph::from_grid(&GridMap::from_ascii(art).unwrap())
+    }
+
+    fn v(g: &FloorplanGraph, x: u32, y: u32) -> VertexId {
+        g.vertex_at((x, y).into()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_optimal() {
+        let g = graph(".....");
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 4, 0),
+            reservations: None,
+            constraints: None,
+            conflict_paths: None,
+            require_parkable: false,
+        };
+        let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
+        assert_eq!(seg.path.len(), 5);
+        assert_eq!(seg.f_min, 4);
+    }
+
+    #[test]
+    fn routes_around_reservations() {
+        // A crossing agent sweeps (1,1) -> (1,0) -> (2,0) and parks there.
+        let g = graph("...\n...");
+        let mut rt = ReservationTable::new();
+        rt.reserve_path(&[v(&g, 1, 1), v(&g, 1, 0), v(&g, 2, 0)]);
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 2, 1),
+            reservations: Some(&rt),
+            constraints: None,
+            conflict_paths: None,
+            require_parkable: true,
+        };
+        let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
+        assert_eq!(*seg.path.first().unwrap(), v(&g, 0, 0));
+        assert_eq!(*seg.path.last().unwrap(), v(&g, 2, 1));
+        assert!(seg.path.len() >= 4);
+        // Verify the path respects every reservation slot.
+        for (t, &pv) in seg.path.iter().enumerate() {
+            assert!(rt.vertex_free(pv, t), "cell {pv} taken at t={t}");
+        }
+    }
+
+    #[test]
+    fn cbs_constraints_respected() {
+        let g = graph("...");
+        let mut cs = Constraints::default();
+        cs.vertex.insert((v(&g, 1, 0), 1));
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 2, 0),
+            reservations: None,
+            constraints: Some(&cs),
+            conflict_paths: None,
+            require_parkable: false,
+        };
+        let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
+        // Must wait one step: 0,0 -> wait -> 1,0 -> 2,0.
+        assert_eq!(seg.path.len(), 4);
+        assert_ne!(seg.path[1], v(&g, 1, 0));
+    }
+
+    #[test]
+    fn goal_constraint_forces_late_arrival() {
+        let g = graph("...");
+        let mut cs = Constraints::default();
+        cs.vertex.insert((v(&g, 2, 0), 5));
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 2, 0),
+            reservations: None,
+            constraints: Some(&cs),
+            conflict_paths: None,
+            require_parkable: false,
+        };
+        let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
+        assert!(seg.path.len() >= 7); // arrive at t >= 6
+    }
+
+    #[test]
+    fn unreachable_goal_is_none() {
+        let g = graph(".x.");
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 2, 0),
+            reservations: None,
+            constraints: None,
+            conflict_paths: None,
+            require_parkable: false,
+        };
+        assert!(SpaceTimeAstar::default().plan(&g, &q).is_none());
+    }
+
+    #[test]
+    fn focal_prefers_conflict_free_detour() {
+        let g = graph("...\n...");
+        // Another agent parks on the straight route's middle cell.
+        let other = vec![vec![v(&g, 1, 0); 6]];
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 0,
+            goal: v(&g, 2, 0),
+            reservations: None,
+            constraints: None,
+            conflict_paths: Some(&other),
+            require_parkable: false,
+        };
+        let focal = SpaceTimeAstar {
+            focal_weight: 2.0,
+            ..SpaceTimeAstar::default()
+        };
+        let seg = focal.plan(&g, &q).unwrap();
+        // The detour via row y=1 has zero conflicts and cost 4 <= 2 * 2.
+        assert!(!seg.path.contains(&v(&g, 1, 0)));
+    }
+
+    #[test]
+    fn start_time_offsets_are_respected() {
+        let g = graph("..");
+        let q = PlanQuery {
+            start: v(&g, 0, 0),
+            start_time: 7,
+            goal: v(&g, 1, 0),
+            reservations: None,
+            constraints: None,
+            conflict_paths: None,
+            require_parkable: false,
+        };
+        let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
+        assert_eq!(seg.path.len(), 2);
+        assert_eq!(seg.f_min, 8); // f accounts for the absolute clock
+    }
+}

@@ -1,0 +1,187 @@
+//! Prioritized (sequential / HCA*-style) planning: agents plan one after
+//! another against a shared reservation table, each routing through its
+//! whole goal itinerary.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::astar::{PlanQuery, SpaceTimeAstar};
+use crate::{MapfError, MapfProblem, MapfSolution, ReservationTable};
+
+/// The prioritized planner. Incomplete (priority orderings can fail where a
+/// solution exists), so it retries with shuffled priorities.
+#[derive(Debug, Clone)]
+pub struct PrioritizedPlanner {
+    /// Single-agent search configuration.
+    pub astar: SpaceTimeAstar,
+    /// Number of priority orderings to try (the first is always the
+    /// natural agent order, for determinism).
+    pub attempts: usize,
+    /// Seed for the shuffled retry orderings.
+    pub seed: u64,
+}
+
+impl Default for PrioritizedPlanner {
+    fn default() -> Self {
+        PrioritizedPlanner {
+            astar: SpaceTimeAstar::default(),
+            attempts: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl PrioritizedPlanner {
+    /// Solves the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapfError::NoSolution`] if every attempted priority
+    /// ordering fails.
+    pub fn solve(&self, problem: &MapfProblem<'_>) -> Result<MapfSolution, MapfError> {
+        let n = problem.agent_count();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut last_failure = MapfError::NoSolution { agent: None };
+
+        for attempt in 0..self.attempts.max(1) {
+            if attempt > 0 {
+                order.shuffle(&mut rng);
+            }
+            match self.try_order(problem, &order) {
+                Ok(solution) => return Ok(solution),
+                Err(e) => last_failure = e,
+            }
+        }
+        Err(last_failure)
+    }
+
+    fn try_order(
+        &self,
+        problem: &MapfProblem<'_>,
+        order: &[usize],
+    ) -> Result<MapfSolution, MapfError> {
+        let graph = problem.graph();
+        let mut reservations = ReservationTable::new();
+        let mut paths: Vec<Vec<wsp_model::VertexId>> =
+            vec![Vec::new(); problem.agent_count()];
+
+        for &agent in order {
+            let start = problem.starts()[agent];
+            let itinerary = &problem.itineraries()[agent];
+            let mut full: Vec<wsp_model::VertexId> = vec![start];
+            let mut at = start;
+            let mut t = 0usize;
+            for (leg, &goal) in itinerary.iter().enumerate() {
+                let last_leg = leg + 1 == itinerary.len();
+                let query = PlanQuery {
+                    start: at,
+                    start_time: t,
+                    goal,
+                    reservations: Some(&reservations),
+                    constraints: None,
+                    conflict_paths: None,
+                    require_parkable: last_leg,
+                };
+                let seg = self
+                    .astar
+                    .plan(graph, &query)
+                    .ok_or(MapfError::NoSolution {
+                        agent: Some(agent),
+                    })?;
+                // Append without duplicating the junction state.
+                full.extend(seg.path.iter().skip(1).copied());
+                at = goal;
+                t = full.len() - 1;
+                if t > problem.max_time() {
+                    return Err(MapfError::Timeout { expanded: t });
+                }
+            }
+            reservations.reserve_path(&full);
+            paths[agent] = full;
+        }
+        Ok(MapfSolution { paths })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{FloorplanGraph, GridMap, VertexId};
+
+    fn graph(art: &str) -> FloorplanGraph {
+        FloorplanGraph::from_grid(&GridMap::from_ascii(art).unwrap())
+    }
+
+    fn v(g: &FloorplanGraph, x: u32, y: u32) -> VertexId {
+        g.vertex_at((x, y).into()).unwrap()
+    }
+
+    #[test]
+    fn two_agents_swap_on_wide_corridor() {
+        let g = graph("....\n....");
+        let a = v(&g, 0, 0);
+        let b = v(&g, 3, 0);
+        let p = MapfProblem::new(&g, vec![a, b], vec![vec![b], vec![a]]);
+        let sol = PrioritizedPlanner::default().solve(&p).unwrap();
+        assert!(sol.validate(&g).is_empty());
+        assert_eq!(*sol.paths[0].last().unwrap(), b);
+        assert_eq!(*sol.paths[1].last().unwrap(), a);
+    }
+
+    #[test]
+    fn narrow_corridor_swap_fails() {
+        // 1-wide corridor: a swap is impossible for any planner.
+        let g = graph("...");
+        let a = v(&g, 0, 0);
+        let b = v(&g, 2, 0);
+        let p = MapfProblem::new(&g, vec![a, b], vec![vec![b], vec![a]]);
+        assert!(PrioritizedPlanner::default().solve(&p).is_err());
+    }
+
+    #[test]
+    fn multi_goal_itineraries() {
+        let g = graph(".....\n.....");
+        let a = v(&g, 0, 0);
+        let p = MapfProblem::new(
+            &g,
+            vec![a],
+            vec![vec![v(&g, 4, 0), v(&g, 0, 1), v(&g, 4, 1)]],
+        );
+        let sol = PrioritizedPlanner::default().solve(&p).unwrap();
+        assert!(sol.validate(&g).is_empty());
+        let path = &sol.paths[0];
+        assert!(path.contains(&v(&g, 4, 0)));
+        assert!(path.contains(&v(&g, 0, 1)));
+        assert_eq!(*path.last().unwrap(), v(&g, 4, 1));
+    }
+
+    #[test]
+    fn crowded_crossing_resolved() {
+        // Four agents crossing a 3x3 open square.
+        let g = graph("...\n...\n...");
+        let starts = vec![v(&g, 0, 0), v(&g, 2, 2), v(&g, 0, 2), v(&g, 2, 0)];
+        let goals = vec![
+            vec![v(&g, 2, 2)],
+            vec![v(&g, 0, 0)],
+            vec![v(&g, 2, 0)],
+            vec![v(&g, 0, 2)],
+        ];
+        let p = MapfProblem::new(&g, starts, goals);
+        let sol = PrioritizedPlanner::default().solve(&p).unwrap();
+        assert!(sol.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn ten_agents_on_open_grid() {
+        let g = graph(".....\n.....\n.....\n.....\n.....");
+        let vs: Vec<VertexId> = g.vertices().collect();
+        let starts: Vec<VertexId> = vs.iter().take(10).copied().collect();
+        let goals: Vec<Vec<VertexId>> =
+            vs.iter().rev().take(10).map(|&g| vec![g]).collect();
+        let p = MapfProblem::new(&g, starts, goals);
+        let sol = PrioritizedPlanner::default().solve(&p).unwrap();
+        assert!(sol.validate(&g).is_empty());
+    }
+}

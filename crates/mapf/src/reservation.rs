@@ -1,0 +1,122 @@
+//! Space-time reservation tables shared by the sequential planners.
+
+use std::collections::{HashMap, HashSet};
+
+use wsp_model::VertexId;
+
+/// Records which (vertex, time) and (edge, time) slots are taken by
+/// already-planned agents, plus permanent "parked" reservations for agents
+/// that have finished.
+#[derive(Debug, Clone, Default)]
+pub struct ReservationTable {
+    vertex: HashSet<(VertexId, usize)>,
+    edge: HashSet<(VertexId, VertexId, usize)>,
+    parked: HashMap<VertexId, usize>,
+}
+
+impl ReservationTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ReservationTable::default()
+    }
+
+    /// Reserves every slot of a timed path, parking the agent at the final
+    /// vertex from its arrival time onward.
+    pub fn reserve_path(&mut self, path: &[VertexId]) {
+        for (t, &v) in path.iter().enumerate() {
+            self.vertex.insert((v, t));
+            if t > 0 {
+                let u = path[t - 1];
+                if u != v {
+                    self.edge.insert((u, v, t - 1));
+                }
+            }
+        }
+        if let Some(&last) = path.last() {
+            self.park(last, path.len().saturating_sub(1));
+        }
+    }
+
+    /// Reserves `v` permanently from time `t` onward.
+    pub fn park(&mut self, v: VertexId, t: usize) {
+        match self.parked.get_mut(&v) {
+            Some(existing) => *existing = (*existing).min(t),
+            None => {
+                self.parked.insert(v, t);
+            }
+        }
+    }
+
+    /// Whether vertex `v` is free at time `t`.
+    pub fn vertex_free(&self, v: VertexId, t: usize) -> bool {
+        if self.vertex.contains(&(v, t)) {
+            return false;
+        }
+        match self.parked.get(&v) {
+            Some(&from) => t < from,
+            None => true,
+        }
+    }
+
+    /// Whether the move `u → v` starting at time `t` is free of edge-swap
+    /// reservations.
+    pub fn edge_free(&self, u: VertexId, v: VertexId, t: usize) -> bool {
+        !self.edge.contains(&(v, u, t))
+    }
+
+    /// Whether `v` stays free forever from time `t` on (needed to finish a
+    /// path there).
+    pub fn free_forever(&self, v: VertexId, t: usize) -> bool {
+        if self.parked.contains_key(&v) {
+            return false;
+        }
+        // Any future timed reservation on v blocks parking there.
+        // Timed reservations are finite; scan is bounded by table size.
+        !self.vertex.iter().any(|&(rv, rt)| rv == v && rt >= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn path_reservation_blocks_slots() {
+        let mut rt = ReservationTable::new();
+        rt.reserve_path(&[v(0), v(1), v(2)]);
+        assert!(!rt.vertex_free(v(0), 0));
+        assert!(!rt.vertex_free(v(1), 1));
+        assert!(rt.vertex_free(v(1), 0));
+        // Edge swap v1->v0 at t=0 is blocked by the move v0->v1.
+        assert!(!rt.edge_free(v(1), v(0), 0));
+        assert!(rt.edge_free(v(1), v(0), 1));
+        // Parked at v2 from t=2 onward.
+        assert!(!rt.vertex_free(v(2), 2));
+        assert!(!rt.vertex_free(v(2), 99));
+        assert!(rt.vertex_free(v(2), 1));
+    }
+
+    #[test]
+    fn parking_takes_earliest_time() {
+        let mut rt = ReservationTable::new();
+        rt.park(v(5), 10);
+        rt.park(v(5), 4);
+        assert!(rt.vertex_free(v(5), 3));
+        assert!(!rt.vertex_free(v(5), 4));
+    }
+
+    #[test]
+    fn free_forever_checks_future() {
+        let mut rt = ReservationTable::new();
+        rt.reserve_path(&[v(0), v(1)]);
+        // v0 is reserved at t=0 only; free forever from t=1.
+        assert!(rt.free_forever(v(0), 1));
+        assert!(!rt.free_forever(v(0), 0));
+        // v1 is parked.
+        assert!(!rt.free_forever(v(1), 5));
+    }
+}

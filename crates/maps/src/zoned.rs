@@ -1,0 +1,349 @@
+//! The shared *zoned* warehouse layout and its traffic-system designer.
+//!
+//! ```text
+//!   y = H-1   → → → → → → → → →   top lane (east)
+//!   (spare)   . . . . . . . . .   unused padding rows
+//!   ladder    ↑ [aisle east / shelf rows]*  ↓  left lane feeds aisles,
+//!             ↑ ...                         ↓  right lane drains them
+//!   y = d     ← ← ← ← ← ← ← ← ←   distributor lane (west), feeds strips
+//!   queue     ┌─┐ ┌─┐ ┌─┐ ┌─┐     serpentine station-queue strips
+//!   zone      └─┘ └─┘ └─┘ └─┘     (one station bay per strip)
+//!   y = 0     ← ← ← ← ← ← ← ← ←   collector lane (west), back to left lane
+//! ```
+//!
+//! Junction discipline: every merge happens at a component *entry* and
+//! every branch at a component *exit*, and every component ends up with
+//! 1–2 inlets and 1–2 outlets, as §IV-A requires. Long lanes are chopped
+//! into chains of components no longer than
+//! [`ZonedLayout::max_component_len`]; the serpentine queue strips stay
+//! whole (their length deliberately sets `m`, maximizing station-queue
+//! capacity per Property 4.1).
+
+use std::collections::HashMap;
+
+use wsp_model::{Coord, VertexId, Warehouse};
+use wsp_traffic::{ComponentId, TrafficError, TrafficSystem, TrafficSystemBuilder};
+
+/// Geometry of a zoned warehouse; the grid builder and the traffic
+/// designer must agree on one of these.
+#[derive(Debug, Clone)]
+pub struct ZonedLayout {
+    /// Total grid width.
+    pub width: u32,
+    /// Total grid height.
+    pub height: u32,
+    /// Number of serpentine rows in the station-queue zone
+    /// (`y = 1 ..= queue_rows`).
+    pub queue_rows: u32,
+    /// Number of station-queue strips (each gets one station bay).
+    pub strips: u32,
+    /// Ladder aisle rows (ascending `y`); shelf rows sit between them.
+    pub aisle_ys: Vec<u32>,
+    /// Maximum component length for chopped lanes.
+    pub max_component_len: usize,
+}
+
+impl ZonedLayout {
+    /// The distributor lane row (directly above the queue zone).
+    pub fn distributor_y(&self) -> u32 {
+        self.queue_rows + 1
+    }
+
+    /// Width of one strip (interior width divided evenly; any remainder
+    /// stays unused).
+    pub fn strip_width(&self) -> u32 {
+        (self.width - 2) / self.strips
+    }
+
+    /// The column span `[xl, xr]` of strip `s`.
+    pub fn strip_span(&self, s: u32) -> (u32, u32) {
+        let sw = self.strip_width();
+        (1 + s * sw, s * sw + sw)
+    }
+
+    /// The serpentine path of strip `s`, entry first: boustrophedon from
+    /// the top queue row down to `y = 1`.
+    pub fn strip_path(&self, s: u32) -> Vec<(u32, u32)> {
+        let (xl, xr) = self.strip_span(s);
+        let mut cells = Vec::new();
+        for (i, y) in (1..=self.queue_rows).rev().enumerate() {
+            if i % 2 == 0 {
+                cells.extend((xl..=xr).map(|x| (x, y)));
+            } else {
+                cells.extend((xl..=xr).rev().map(|x| (x, y)));
+            }
+        }
+        cells
+    }
+
+    /// The station-bay cell of strip `s`: the middle of its final
+    /// serpentine row.
+    pub fn station_cell(&self, s: u32) -> (u32, u32) {
+        let (xl, xr) = self.strip_span(s);
+        (xl + (xr - xl) / 2, 1)
+    }
+
+    /// All station-bay cells.
+    pub fn station_cells(&self) -> Vec<(u32, u32)> {
+        (0..self.strips).map(|s| self.station_cell(s)).collect()
+    }
+
+    /// The exit column of strip `s`'s serpentine (parity-dependent).
+    fn strip_exit_col(&self, s: u32) -> u32 {
+        let (xl, xr) = self.strip_span(s);
+        if self.queue_rows % 2 == 1 {
+            xr
+        } else {
+            xl
+        }
+    }
+
+    /// Builds and validates the traffic system for this layout over the
+    /// given warehouse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TrafficError`] if the layout and grid disagree
+    /// (e.g. a lane cell is not traversable) or a composition rule breaks.
+    pub fn build_traffic(&self, warehouse: &Warehouse) -> Result<TrafficSystem, TrafficError> {
+        let mut b = TrafficSystemBuilder::new();
+        let (w, h, d) = (self.width, self.height, self.distributor_y());
+        let lmax = self.max_component_len.max(2);
+
+        let vertex = |x: u32, y: u32| -> Result<VertexId, TrafficError> {
+            warehouse.graph().vertex_at(Coord::new(x, y)).ok_or(
+                // Report layout/grid disagreements as a broken path on a
+                // placeholder id; callers treat any error as fatal.
+                TrafficError::BrokenPath {
+                    component: ComponentId(u32::MAX),
+                    at: ((x as usize) << 16) | y as usize,
+                },
+            )
+        };
+
+        // Adds a run of cells as a chain of <= lmax components; returns
+        // (first, last) ids.
+        let chain = |b: &mut TrafficSystemBuilder,
+                         cells: &[(u32, u32)]|
+         -> Result<(ComponentId, ComponentId), TrafficError> {
+            debug_assert!(!cells.is_empty(), "empty lane run");
+            let pieces = cells.len().div_ceil(lmax);
+            let target = cells.len().div_ceil(pieces);
+            let mut ids: Vec<ComponentId> = Vec::new();
+            for chunk in cells.chunks(target) {
+                let path: Result<Vec<VertexId>, TrafficError> =
+                    chunk.iter().map(|&(x, y)| vertex(x, y)).collect();
+                ids.push(b.add_component(path?));
+            }
+            for pair in ids.windows(2) {
+                b.connect(pair[0], pair[1]);
+            }
+            Ok((ids[0], *ids.last().expect("non-empty chain")))
+        };
+
+        // ---- Left lane (north): (0,1) .. (0,H-1); exits at aisle rows. ----
+        let mut left_exit_at: HashMap<u32, ComponentId> = HashMap::new();
+        let mut prev_left: Option<ComponentId> = None;
+        let mut left_first: Option<ComponentId> = None;
+        let mut seg_start = 1u32;
+        for &a in self.aisle_ys.iter().chain(std::iter::once(&(h - 1))) {
+            let cells: Vec<(u32, u32)> = (seg_start..=a).map(|y| (0, y)).collect();
+            let (first, last) = chain(&mut b, &cells)?;
+            if let Some(p) = prev_left {
+                b.connect(p, first);
+            }
+            left_first.get_or_insert(first);
+            left_exit_at.insert(a, last);
+            prev_left = Some(last);
+            seg_start = a + 1;
+        }
+        let left_top_exit = *left_exit_at.get(&(h - 1)).expect("top segment exists");
+        let left_first = left_first.expect("left lane non-empty");
+
+        // ---- Top lane (east): (1,H-1) .. (W-1,H-1). ----
+        let top_cells: Vec<(u32, u32)> = (1..w).map(|x| (x, h - 1)).collect();
+        let (top_first, top_last) = chain(&mut b, &top_cells)?;
+        b.connect(left_top_exit, top_first);
+
+        // ---- Right lane (south): (W-1,H-2) .. (W-1,d); a new segment
+        // starts at every aisle level so aisle merges land on entries. ----
+        let mut aisles_desc: Vec<u32> = self.aisle_ys.clone();
+        aisles_desc.sort_unstable_by(|x, y| y.cmp(x));
+        let mut starts: Vec<u32> = Vec::new();
+        if aisles_desc.first() != Some(&(h - 2)) {
+            starts.push(h - 2);
+        }
+        starts.extend(aisles_desc.iter().copied());
+        let mut right_entry_at: HashMap<u32, ComponentId> = HashMap::new();
+        let mut prev_right: Option<ComponentId> = None;
+        let mut right_first_entry: Option<ComponentId> = None;
+        for (i, &top_of_seg) in starts.iter().enumerate() {
+            let bottom = match starts.get(i + 1) {
+                Some(&next_start) => next_start + 1,
+                None => d,
+            };
+            let cells: Vec<(u32, u32)> =
+                (bottom..=top_of_seg).rev().map(|y| (w - 1, y)).collect();
+            let (first, last) = chain(&mut b, &cells)?;
+            if let Some(p) = prev_right {
+                b.connect(p, first);
+            }
+            right_entry_at.insert(top_of_seg, first);
+            right_first_entry.get_or_insert(first);
+            prev_right = Some(last);
+        }
+        let right_first = right_first_entry.expect("right lane non-empty");
+        let right_last = prev_right.expect("right lane non-empty");
+        b.connect(top_last, right_first);
+
+        // ---- Aisles (east): (1,a) .. (W-2,a). ----
+        for &a in &self.aisle_ys {
+            let cells: Vec<(u32, u32)> = (1..=w - 2).map(|x| (x, a)).collect();
+            let (first, last) = chain(&mut b, &cells)?;
+            b.connect(left_exit_at[&a], first);
+            b.connect(last, right_entry_at[&a]);
+        }
+
+        // ---- Distributor (west): (W-2,d) .. (xl_0,d); exits at strip
+        // entry columns. ----
+        let entry_cols: Vec<u32> = (0..self.strips).map(|s| self.strip_span(s).0).collect();
+        let mut cols_desc = entry_cols.clone();
+        cols_desc.sort_unstable_by(|x, y| y.cmp(x));
+        let mut dist_exit_at: HashMap<u32, ComponentId> = HashMap::new();
+        let mut prev_dist: Option<ComponentId> = None;
+        let mut seg_east = w - 2;
+        for &xc in &cols_desc {
+            let cells: Vec<(u32, u32)> = (xc..=seg_east).rev().map(|x| (x, d)).collect();
+            let (first, last) = chain(&mut b, &cells)?;
+            match prev_dist {
+                Some(p) => b.connect(p, first),
+                None => b.connect(right_last, first),
+            };
+            dist_exit_at.insert(xc, last);
+            prev_dist = Some(last);
+            seg_east = xc.saturating_sub(1);
+        }
+
+        // ---- Strips: one serpentine component each. ----
+        let mut strip_ids: Vec<ComponentId> = Vec::new();
+        for s in 0..self.strips {
+            let path: Result<Vec<VertexId>, TrafficError> = self
+                .strip_path(s)
+                .iter()
+                .map(|&(x, y)| vertex(x, y))
+                .collect();
+            let id = b.add_component(path?);
+            let (xl, _) = self.strip_span(s);
+            b.connect(dist_exit_at[&xl], id);
+            strip_ids.push(id);
+        }
+
+        // ---- Collector (west): from the easternmost strip exit to (0,0);
+        // entries at strip exit columns. ----
+        let mut exits: Vec<(u32, ComponentId)> = (0..self.strips)
+            .map(|s| (self.strip_exit_col(s), strip_ids[s as usize]))
+            .collect();
+        exits.sort_unstable_by(|x, y| y.0.cmp(&x.0));
+        let mut prev_coll: Option<ComponentId> = None;
+        for (i, &(xe, strip)) in exits.iter().enumerate() {
+            let west_end = match exits.get(i + 1) {
+                Some(&(next_xe, _)) => next_xe + 1,
+                None => 0,
+            };
+            let cells: Vec<(u32, u32)> = (west_end..=xe).rev().map(|x| (x, 0)).collect();
+            let (first, last) = chain(&mut b, &cells)?;
+            b.connect(strip, first);
+            if let Some(p) = prev_coll {
+                b.connect(p, first);
+            }
+            prev_coll = Some(last);
+        }
+        let coll_last = prev_coll.expect("at least one strip");
+        b.connect(coll_last, left_first);
+
+        b.build(warehouse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{CellKind, Direction, GridMap};
+
+    /// A minimal zoned map: 2 strips, 2 queue rows, 2 aisles with one shelf
+    /// row between them.
+    fn tiny_layout() -> (Warehouse, ZonedLayout) {
+        let layout = ZonedLayout {
+            width: 11,
+            height: 9,
+            queue_rows: 2,
+            strips: 2,
+            aisle_ys: vec![4, 6],
+            max_component_len: 6,
+        };
+        let mut grid = GridMap::new(layout.width, layout.height).unwrap();
+        // Shelf row between the aisles (y = 5).
+        for x in 1..=layout.width - 2 {
+            grid.set(Coord::new(x, 5), CellKind::Shelf).unwrap();
+        }
+        for (x, y) in layout.station_cells() {
+            grid.set(Coord::new(x, y), CellKind::Station).unwrap();
+        }
+        let warehouse = Warehouse::from_grid_with_access(
+            &grid,
+            &[Direction::North, Direction::South],
+        )
+        .unwrap();
+        (warehouse, layout)
+    }
+
+    #[test]
+    fn tiny_layout_builds_valid_traffic() {
+        let (w, layout) = tiny_layout();
+        let ts = layout.build_traffic(&w).expect("valid zoned design");
+        assert!(ts.is_strongly_connected());
+        assert_eq!(ts.station_queues().count(), 2);
+        assert!(ts.shelving_rows().count() >= 2); // both aisles touch shelves
+        // Strips are the longest components: m = 2 * strip width.
+        assert_eq!(ts.max_component_len(), (layout.strip_width() * 2) as usize);
+    }
+
+    #[test]
+    fn strip_paths_are_connected_serpentines() {
+        let (_, layout) = tiny_layout();
+        for s in 0..layout.strips {
+            let path = layout.strip_path(s);
+            assert_eq!(
+                path.len(),
+                (layout.strip_width() * layout.queue_rows) as usize
+            );
+            for pair in path.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let dist = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
+                assert_eq!(dist, 1, "serpentine must be 4-connected");
+            }
+        }
+    }
+
+    #[test]
+    fn station_cells_lie_on_strip_paths() {
+        let (_, layout) = tiny_layout();
+        for s in 0..layout.strips {
+            let cell = layout.station_cell(s);
+            assert!(layout.strip_path(s).contains(&cell));
+        }
+    }
+
+    #[test]
+    fn all_components_respect_max_len_except_strips() {
+        let (w, layout) = tiny_layout();
+        let ts = layout.build_traffic(&w).unwrap();
+        let strip_len = (layout.strip_width() * layout.queue_rows) as usize;
+        for c in ts.components() {
+            assert!(
+                c.len() <= layout.max_component_len || c.len() == strip_len,
+                "{c} too long"
+            );
+        }
+    }
+}

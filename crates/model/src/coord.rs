@@ -1,0 +1,162 @@
+//! Grid coordinates and the four cardinal movement directions.
+
+use std::fmt;
+
+/// A cell coordinate on a [`GridMap`](crate::GridMap).
+///
+/// `x` grows to the east (right), `y` grows to the north (up), matching the
+/// paper's Fig. 1 convention where stations sit at `y = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{Coord, Direction};
+///
+/// let c = Coord::new(2, 1);
+/// assert_eq!(c.step(Direction::North), Some(Coord::new(2, 2)));
+/// assert_eq!(Coord::new(0, 0).step(Direction::West), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    /// Column index, growing eastward.
+    pub x: u32,
+    /// Row index, growing northward.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Creates a coordinate at `(x, y)`.
+    pub const fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+
+    /// Returns the neighbouring coordinate one step in `dir`, or `None` if
+    /// the step would leave the non-negative quadrant.
+    pub fn step(self, dir: Direction) -> Option<Coord> {
+        match dir {
+            Direction::North => Some(Coord::new(self.x, self.y.checked_add(1)?)),
+            Direction::South => Some(Coord::new(self.x, self.y.checked_sub(1)?)),
+            Direction::East => Some(Coord::new(self.x.checked_add(1)?, self.y)),
+            Direction::West => Some(Coord::new(self.x.checked_sub(1)?, self.y)),
+        }
+    }
+
+    /// The four cardinal neighbours that stay in the non-negative quadrant.
+    pub fn neighbors(self) -> impl Iterator<Item = Coord> {
+        Direction::ALL.into_iter().filter_map(move |d| self.step(d))
+    }
+
+    /// Manhattan distance between two coordinates.
+    ///
+    /// ```
+    /// use wsp_model::Coord;
+    /// assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+    /// ```
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u32, u32)> for Coord {
+    fn from((x, y): (u32, u32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// One of the four cardinal movement directions on a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger `y`.
+    North,
+    /// Toward smaller `y`.
+    South,
+    /// Toward larger `x`.
+    East,
+    /// Toward smaller `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in N/S/E/W order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The direction pointing the opposite way.
+    ///
+    /// ```
+    /// use wsp_model::Direction;
+    /// assert_eq!(Direction::North.opposite(), Direction::South);
+    /// ```
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::East => "east",
+            Direction::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_roundtrip() {
+        let c = Coord::new(5, 5);
+        for d in Direction::ALL {
+            let stepped = c.step(d).expect("interior coordinate");
+            assert_eq!(stepped.step(d.opposite()), Some(c));
+        }
+    }
+
+    #[test]
+    fn step_clamps_at_origin() {
+        assert_eq!(Coord::new(0, 3).step(Direction::West), None);
+        assert_eq!(Coord::new(3, 0).step(Direction::South), None);
+    }
+
+    #[test]
+    fn neighbors_of_origin_are_two() {
+        let n: Vec<_> = Coord::new(0, 0).neighbors().collect();
+        assert_eq!(n.len(), 2);
+        assert!(n.contains(&Coord::new(1, 0)));
+        assert!(n.contains(&Coord::new(0, 1)));
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Coord::new(2, 9);
+        let b = Coord::new(7, 1);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Coord::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Direction::East.to_string(), "east");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by the warehouse-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Coord;
+
+/// Errors produced while constructing or validating warehouse models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An ASCII grid had rows of unequal length.
+    RaggedGrid {
+        /// Row index (from the top of the input).
+        row: usize,
+        /// Length of the offending row.
+        len: usize,
+        /// Expected row length (taken from the first row).
+        expected: usize,
+    },
+    /// An ASCII grid contained a character with no [`CellKind`](crate::CellKind) mapping.
+    UnknownCell {
+        /// The unrecognised character.
+        ch: char,
+        /// Where it appeared.
+        at: Coord,
+    },
+    /// The grid was empty.
+    EmptyGrid,
+    /// A coordinate was outside the grid bounds.
+    OutOfBounds {
+        /// The offending coordinate.
+        at: Coord,
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+    },
+    /// A shelf cell had no traversable neighbour, so its products are
+    /// unreachable.
+    UnreachableShelf {
+        /// The shelf cell.
+        at: Coord,
+    },
+    /// A warehouse had no stations, so no workload can ever be serviced.
+    NoStations,
+    /// A warehouse had no shelf-access vertices.
+    NoShelfAccess,
+    /// Product data referenced a product id outside the catalog.
+    UnknownProduct {
+        /// The out-of-range product index.
+        index: usize,
+        /// Catalog size.
+        catalog_len: usize,
+    },
+    /// Inventory was placed on a vertex that is not a shelf-access vertex.
+    NotShelfAccess {
+        /// The offending vertex, as a coordinate.
+        at: Coord,
+    },
+    /// A plan matrix had inconsistent dimensions.
+    MalformedPlan {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::RaggedGrid { row, len, expected } => write!(
+                f,
+                "grid row {row} has length {len}, expected {expected}"
+            ),
+            ModelError::UnknownCell { ch, at } => {
+                write!(f, "unknown cell character {ch:?} at {at}")
+            }
+            ModelError::EmptyGrid => f.write_str("grid has no cells"),
+            ModelError::OutOfBounds { at, width, height } => {
+                write!(f, "coordinate {at} outside {width}x{height} grid")
+            }
+            ModelError::UnreachableShelf { at } => {
+                write!(f, "shelf at {at} has no traversable neighbour")
+            }
+            ModelError::NoStations => f.write_str("warehouse has no station vertices"),
+            ModelError::NoShelfAccess => f.write_str("warehouse has no shelf-access vertices"),
+            ModelError::UnknownProduct { index, catalog_len } => write!(
+                f,
+                "product index {index} outside catalog of {catalog_len} products"
+            ),
+            ModelError::NotShelfAccess { at } => {
+                write!(f, "vertex at {at} is not a shelf-access vertex")
+            }
+            ModelError::MalformedPlan { detail } => write!(f, "malformed plan: {detail}"),
+        }
+    }
+}
+
+impl Error for ModelError {}

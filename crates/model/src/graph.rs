@@ -1,0 +1,248 @@
+//! The floorplan graph `G := (V, E)` induced by a grid map.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Coord, GridMap};
+
+/// Index of a vertex in a [`FloorplanGraph`].
+///
+/// Vertex ids are dense (`0..vertex_count`) so they can index into flat
+/// per-vertex tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The undirected floorplan graph of §III: one vertex per traversable
+/// one-agent-wide cell, with an edge between orthogonally adjacent cells.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{Coord, FloorplanGraph, GridMap};
+///
+/// let grid = GridMap::from_ascii("..\n.#")?;
+/// let graph = FloorplanGraph::from_grid(&grid);
+/// assert_eq!(graph.vertex_count(), 3); // the shelf cell is not a vertex
+/// let v = graph.vertex_at(Coord::new(0, 0)).unwrap();
+/// assert_eq!(graph.neighbors(v).len(), 1);
+/// # Ok::<(), wsp_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorplanGraph {
+    coords: Vec<Coord>,
+    by_coord: HashMap<Coord, VertexId>,
+    adjacency: Vec<Vec<VertexId>>,
+}
+
+impl FloorplanGraph {
+    /// Builds the floorplan graph of a grid: traversable cells become
+    /// vertices; orthogonally adjacent traversable cells are connected.
+    pub fn from_grid(grid: &GridMap) -> Self {
+        let mut coords = Vec::new();
+        let mut by_coord = HashMap::new();
+        for (at, kind) in grid.iter() {
+            if kind.is_traversable() {
+                let id = VertexId(coords.len() as u32);
+                coords.push(at);
+                by_coord.insert(at, id);
+            }
+        }
+        let adjacency = coords
+            .iter()
+            .map(|&at| {
+                at.neighbors()
+                    .filter_map(|n| by_coord.get(&n).copied())
+                    .collect()
+            })
+            .collect();
+        FloorplanGraph {
+            coords,
+            by_coord,
+            adjacency,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// All vertex ids, in increasing order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.coords.len() as u32).map(VertexId)
+    }
+
+    /// The grid coordinate of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    pub fn coord(&self, v: VertexId) -> Coord {
+        self.coords[v.index()]
+    }
+
+    /// The vertex at a coordinate, if that cell is traversable.
+    pub fn vertex_at(&self, at: Coord) -> Option<VertexId> {
+        self.by_coord.get(&at).copied()
+    }
+
+    /// The neighbours of `v` (adjacent traversable cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Whether `a` and `b` are connected by an edge.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.adjacency
+            .get(a.index())
+            .is_some_and(|adj| adj.contains(&b))
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Breadth-first distances (in timesteps) from `source` to every vertex;
+    /// `u32::MAX` marks unreachable vertices.
+    pub fn bfs_distances(&self, source: VertexId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.vertex_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            for &n in self.neighbors(v) {
+                if dist[n.index()] == u32::MAX {
+                    dist[n.index()] = d + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every vertex can reach every other vertex.
+    pub fn is_connected(&self) -> bool {
+        if self.coords.is_empty() {
+            return true;
+        }
+        self.bfs_distances(VertexId(0))
+            .iter()
+            .all(|&d| d != u32::MAX)
+    }
+
+    /// A shortest path from `from` to `to` (inclusive of both endpoints), or
+    /// `None` if unreachable.
+    pub fn shortest_path(&self, from: VertexId, to: VertexId) -> Option<Vec<VertexId>> {
+        let dist = self.bfs_distances(from);
+        if dist[to.index()] == u32::MAX {
+            return None;
+        }
+        // Walk back from `to` along strictly decreasing distances.
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            let d = dist[cur.index()];
+            let prev = self
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|n| dist[n.index()] == d - 1)
+                .expect("bfs predecessor exists");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridMap;
+
+    fn open_grid(w: u32, h: u32) -> FloorplanGraph {
+        FloorplanGraph::from_grid(&GridMap::new(w, h).unwrap())
+    }
+
+    #[test]
+    fn open_grid_counts() {
+        let g = open_grid(3, 3);
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn obstacles_are_not_vertices() {
+        let grid = GridMap::from_ascii(".x.\n...").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        assert_eq!(g.vertex_count(), 5);
+        assert!(g.vertex_at(Coord::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn bfs_distances_match_manhattan_on_open_grid() {
+        let g = open_grid(4, 4);
+        let s = g.vertex_at(Coord::new(0, 0)).unwrap();
+        let dist = g.bfs_distances(s);
+        for v in g.vertices() {
+            assert_eq!(dist[v.index()], g.coord(v).manhattan(Coord::new(0, 0)));
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let grid = GridMap::from_ascii("...\n.x.\n...").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        let a = g.vertex_at(Coord::new(0, 1)).unwrap();
+        let b = g.vertex_at(Coord::new(2, 1)).unwrap();
+        let path = g.shortest_path(a, b).unwrap();
+        assert_eq!(path.first(), Some(&a));
+        assert_eq!(path.last(), Some(&b));
+        assert_eq!(path.len(), 5); // must detour around the obstacle
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn disconnected_grid_detected() {
+        let grid = GridMap::from_ascii(".x.\nxx.\n..x").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        assert!(!g.is_connected());
+        let a = g.vertex_at(Coord::new(0, 0)).unwrap();
+        let b = g.vertex_at(Coord::new(2, 2)).unwrap();
+        assert_eq!(g.shortest_path(a, b), None);
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let grid = GridMap::from_ascii("..#\n...\n#..").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        for v in g.vertices() {
+            for &n in g.neighbors(v) {
+                assert!(g.has_edge(n, v));
+            }
+        }
+    }
+}

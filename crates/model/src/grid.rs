@@ -1,0 +1,285 @@
+//! Rectangular grid maps and their ASCII serialization.
+
+use std::fmt;
+
+use crate::{Coord, ModelError};
+
+/// What occupies a single one-agent-wide cell of a warehouse floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellKind {
+    /// Open floor an agent may traverse.
+    #[default]
+    Empty,
+    /// A wall or other static obstacle; never traversable.
+    Obstacle,
+    /// A shelf holding products. Not traversable; products are picked from
+    /// adjacent traversable cells (the *shelf-access* vertices).
+    Shelf,
+    /// A packing station. Traversable; agents drop products off here.
+    Station,
+}
+
+impl CellKind {
+    /// Whether an agent may occupy a cell of this kind.
+    pub fn is_traversable(self) -> bool {
+        matches!(self, CellKind::Empty | CellKind::Station)
+    }
+
+    /// The canonical ASCII character for this kind (see [`GridMap::from_ascii`]).
+    pub fn to_char(self) -> char {
+        match self {
+            CellKind::Empty => '.',
+            CellKind::Obstacle => 'x',
+            CellKind::Shelf => '#',
+            CellKind::Station => '@',
+        }
+    }
+
+    /// Parses the canonical ASCII character for a cell kind.
+    ///
+    /// Recognised characters: `.` or ` ` (empty), `x` or `X` (obstacle),
+    /// `#` (shelf), `@` (station).
+    pub fn from_char(ch: char) -> Option<CellKind> {
+        match ch {
+            '.' | ' ' => Some(CellKind::Empty),
+            'x' | 'X' => Some(CellKind::Obstacle),
+            '#' => Some(CellKind::Shelf),
+            '@' => Some(CellKind::Station),
+            _ => None,
+        }
+    }
+}
+
+/// A rectangular warehouse floorplan of [`CellKind`]s.
+///
+/// Row `y = 0` is the *bottom* row; [`GridMap::from_ascii`] therefore reads
+/// the last input line as `y = 0`, matching the paper's Fig. 1 where stations
+/// sit on the bottom edge.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{CellKind, Coord, GridMap};
+///
+/// let grid = GridMap::from_ascii(".#.\n.@.")?;
+/// assert_eq!(grid.width(), 3);
+/// assert_eq!(grid.height(), 2);
+/// assert_eq!(grid.get(Coord::new(1, 1)), Some(CellKind::Shelf));
+/// assert_eq!(grid.get(Coord::new(1, 0)), Some(CellKind::Station));
+/// # Ok::<(), wsp_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridMap {
+    width: u32,
+    height: u32,
+    cells: Vec<CellKind>,
+}
+
+impl GridMap {
+    /// Creates a grid of `width * height` [`CellKind::Empty`] cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyGrid`] if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Result<Self, ModelError> {
+        if width == 0 || height == 0 {
+            return Err(ModelError::EmptyGrid);
+        }
+        Ok(GridMap {
+            width,
+            height,
+            cells: vec![CellKind::Empty; (width as usize) * (height as usize)],
+        })
+    }
+
+    /// Parses a grid from ASCII art (see [`CellKind::from_char`] for the
+    /// character set). The *last* line becomes row `y = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RaggedGrid`] if lines have unequal lengths,
+    /// [`ModelError::UnknownCell`] on an unrecognised character, and
+    /// [`ModelError::EmptyGrid`] on empty input.
+    pub fn from_ascii(art: &str) -> Result<Self, ModelError> {
+        let lines: Vec<&str> = art.lines().filter(|l| !l.is_empty()).collect();
+        if lines.is_empty() {
+            return Err(ModelError::EmptyGrid);
+        }
+        let width = lines[0].chars().count();
+        let height = lines.len();
+        let mut grid = GridMap::new(width as u32, height as u32)?;
+        for (row, line) in lines.iter().enumerate() {
+            let len = line.chars().count();
+            if len != width {
+                return Err(ModelError::RaggedGrid {
+                    row,
+                    len,
+                    expected: width,
+                });
+            }
+            // Input row 0 is the top of the map, i.e. y = height - 1.
+            let y = (height - 1 - row) as u32;
+            for (x, ch) in line.chars().enumerate() {
+                let at = Coord::new(x as u32, y);
+                let kind = CellKind::from_char(ch).ok_or(ModelError::UnknownCell { ch, at })?;
+                grid.set(at, kind)?;
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells (`width * height`).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether `at` lies within the grid bounds.
+    pub fn contains(&self, at: Coord) -> bool {
+        at.x < self.width && at.y < self.height
+    }
+
+    fn index(&self, at: Coord) -> Option<usize> {
+        self.contains(at)
+            .then(|| (at.y as usize) * (self.width as usize) + at.x as usize)
+    }
+
+    /// Returns the cell kind at `at`, or `None` if out of bounds.
+    pub fn get(&self, at: Coord) -> Option<CellKind> {
+        self.index(at).map(|i| self.cells[i])
+    }
+
+    /// Sets the cell kind at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfBounds`] if `at` is outside the grid.
+    pub fn set(&mut self, at: Coord, kind: CellKind) -> Result<(), ModelError> {
+        let idx = self.index(at).ok_or(ModelError::OutOfBounds {
+            at,
+            width: self.width,
+            height: self.height,
+        })?;
+        self.cells[idx] = kind;
+        Ok(())
+    }
+
+    /// Iterates over all `(coordinate, kind)` pairs in row-major order
+    /// starting from the bottom-left cell.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, CellKind)> + '_ {
+        (0..self.height).flat_map(move |y| {
+            (0..self.width).map(move |x| {
+                let at = Coord::new(x, y);
+                (at, self.get(at).expect("in-bounds by construction"))
+            })
+        })
+    }
+
+    /// Coordinates of all cells of the given kind.
+    pub fn cells_of_kind(&self, kind: CellKind) -> Vec<Coord> {
+        self.iter()
+            .filter_map(|(at, k)| (k == kind).then_some(at))
+            .collect()
+    }
+
+    /// Number of traversable cells.
+    pub fn traversable_count(&self) -> usize {
+        self.iter().filter(|(_, k)| k.is_traversable()).count()
+    }
+
+    /// Renders the grid back to ASCII art (top row first), the inverse of
+    /// [`GridMap::from_ascii`].
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.width as usize + 1) * self.height as usize);
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                out.push(
+                    self.get(Coord::new(x, y))
+                        .expect("in-bounds by construction")
+                        .to_char(),
+                );
+            }
+            if y != 0 {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for GridMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let art = ".#.#.\n.....\n.@.@.";
+        let grid = GridMap::from_ascii(art).unwrap();
+        assert_eq!(grid.to_ascii(), art);
+    }
+
+    #[test]
+    fn bottom_row_is_y_zero() {
+        let grid = GridMap::from_ascii("#\n@").unwrap();
+        assert_eq!(grid.get(Coord::new(0, 0)), Some(CellKind::Station));
+        assert_eq!(grid.get(Coord::new(0, 1)), Some(CellKind::Shelf));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = GridMap::from_ascii("..\n...").unwrap_err();
+        assert!(matches!(err, ModelError::RaggedGrid { row: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let err = GridMap::from_ascii(".?").unwrap_err();
+        assert!(matches!(err, ModelError::UnknownCell { ch: '?', .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(GridMap::from_ascii("").unwrap_err(), ModelError::EmptyGrid);
+        assert_eq!(GridMap::new(0, 4).unwrap_err(), ModelError::EmptyGrid);
+    }
+
+    #[test]
+    fn out_of_bounds_get_and_set() {
+        let mut grid = GridMap::new(2, 2).unwrap();
+        assert_eq!(grid.get(Coord::new(2, 0)), None);
+        assert!(matches!(
+            grid.set(Coord::new(0, 5), CellKind::Shelf),
+            Err(ModelError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn traversability() {
+        assert!(CellKind::Empty.is_traversable());
+        assert!(CellKind::Station.is_traversable());
+        assert!(!CellKind::Shelf.is_traversable());
+        assert!(!CellKind::Obstacle.is_traversable());
+    }
+
+    #[test]
+    fn cells_of_kind_finds_all() {
+        let grid = GridMap::from_ascii(".#.\n#.#").unwrap();
+        assert_eq!(grid.cells_of_kind(CellKind::Shelf).len(), 3);
+        assert_eq!(grid.traversable_count(), 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! The location matrix `Λ`: which products are stocked at which
+//! shelf-access vertices, and in what quantity.
+
+use std::collections::BTreeMap;
+
+use crate::{ProductId, VertexId};
+
+/// The `|ρ| × |S|` location matrix `Λ` of §III, stored sparsely.
+///
+/// `Λ_{k,l}` is the number of units of product `ρ_k` accessible from
+/// shelf-access vertex `v_l`. The paper's sorting-center reduction needs
+/// effectively unbounded stock, so quantities saturate at [`u64::MAX`].
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{LocationMatrix, ProductId, VertexId};
+///
+/// let mut inv = LocationMatrix::new();
+/// inv.add_units(VertexId(3), ProductId(0), 10);
+/// inv.add_units(VertexId(3), ProductId(0), 5);
+/// assert_eq!(inv.units_at(VertexId(3), ProductId(0)), 15);
+/// assert_eq!(inv.units_at(VertexId(4), ProductId(0)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocationMatrix {
+    // BTreeMap keeps iteration deterministic, which keeps flow synthesis and
+    // benchmarks reproducible run-to-run.
+    units: BTreeMap<(VertexId, ProductId), u64>,
+}
+
+impl LocationMatrix {
+    /// Creates an empty location matrix (no stock anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` units of `product` at shelf-access vertex `at`,
+    /// saturating at [`u64::MAX`].
+    pub fn add_units(&mut self, at: VertexId, product: ProductId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let entry = self.units.entry((at, product)).or_insert(0);
+        *entry = entry.saturating_add(count);
+    }
+
+    /// Removes up to `count` units, returning how many were actually removed.
+    pub fn remove_units(&mut self, at: VertexId, product: ProductId, count: u64) -> u64 {
+        match self.units.get_mut(&(at, product)) {
+            None => 0,
+            Some(have) => {
+                let taken = count.min(*have);
+                *have -= taken;
+                if *have == 0 {
+                    self.units.remove(&(at, product));
+                }
+                taken
+            }
+        }
+    }
+
+    /// Units of `product` stocked at `at` (`Λ_{k,l}`).
+    pub fn units_at(&self, at: VertexId, product: ProductId) -> u64 {
+        self.units.get(&(at, product)).copied().unwrap_or(0)
+    }
+
+    /// Total units of `product` across all shelf-access vertices, saturating.
+    pub fn total_units(&self, product: ProductId) -> u64 {
+        self.units
+            .iter()
+            .filter(|((_, p), _)| *p == product)
+            .fold(0u64, |acc, (_, &n)| acc.saturating_add(n))
+    }
+
+    /// The products stocked at `at` (the paper's `PRODUCTS_AT(v)`), with
+    /// their quantities.
+    pub fn products_at(&self, at: VertexId) -> impl Iterator<Item = (ProductId, u64)> + '_ {
+        self.units
+            .range((at, ProductId(0))..=(at, ProductId(u32::MAX)))
+            .map(|(&(_, p), &n)| (p, n))
+    }
+
+    /// Whether any units of `product` are stocked at `at`.
+    pub fn has_product(&self, at: VertexId, product: ProductId) -> bool {
+        self.units_at(at, product) > 0
+    }
+
+    /// All `(vertex, product, units)` entries with non-zero stock.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, ProductId, u64)> + '_ {
+        self.units.iter().map(|(&(v, p), &n)| (v, p, n))
+    }
+
+    /// The shelf-access vertices that stock `product`.
+    pub fn vertices_with(&self, product: ProductId) -> Vec<VertexId> {
+        self.units
+            .iter()
+            .filter_map(|(&(v, p), &n)| (p == product && n > 0).then_some(v))
+            .collect()
+    }
+
+    /// Number of non-zero `(vertex, product)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.units.len()
+    }
+}
+
+impl FromIterator<(VertexId, ProductId, u64)> for LocationMatrix {
+    fn from_iter<I: IntoIterator<Item = (VertexId, ProductId, u64)>>(iter: I) -> Self {
+        let mut m = LocationMatrix::new();
+        for (v, p, n) in iter {
+            m.add_units(v, p, n);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_roundtrip() {
+        let mut inv = LocationMatrix::new();
+        inv.add_units(VertexId(1), ProductId(2), 7);
+        assert_eq!(inv.remove_units(VertexId(1), ProductId(2), 3), 3);
+        assert_eq!(inv.units_at(VertexId(1), ProductId(2)), 4);
+        assert_eq!(inv.remove_units(VertexId(1), ProductId(2), 100), 4);
+        assert_eq!(inv.units_at(VertexId(1), ProductId(2)), 0);
+        assert_eq!(inv.entry_count(), 0);
+    }
+
+    #[test]
+    fn remove_from_empty_is_zero() {
+        let mut inv = LocationMatrix::new();
+        assert_eq!(inv.remove_units(VertexId(0), ProductId(0), 5), 0);
+    }
+
+    #[test]
+    fn totals_sum_across_vertices() {
+        let inv: LocationMatrix = [
+            (VertexId(0), ProductId(0), 10),
+            (VertexId(1), ProductId(0), 10),
+            (VertexId(1), ProductId(1), 10),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(inv.total_units(ProductId(0)), 20);
+        assert_eq!(inv.total_units(ProductId(1)), 10);
+        assert_eq!(inv.vertices_with(ProductId(0)), vec![VertexId(0), VertexId(1)]);
+    }
+
+    #[test]
+    fn products_at_lists_only_that_vertex() {
+        let inv: LocationMatrix = [
+            (VertexId(5), ProductId(0), 1),
+            (VertexId(5), ProductId(3), 2),
+            (VertexId(6), ProductId(1), 4),
+        ]
+        .into_iter()
+        .collect();
+        let at5: Vec<_> = inv.products_at(VertexId(5)).collect();
+        assert_eq!(at5, vec![(ProductId(0), 1), (ProductId(3), 2)]);
+    }
+
+    #[test]
+    fn saturating_addition() {
+        let mut inv = LocationMatrix::new();
+        inv.add_units(VertexId(0), ProductId(0), u64::MAX);
+        inv.add_units(VertexId(0), ProductId(0), 10);
+        assert_eq!(inv.units_at(VertexId(0), ProductId(0)), u64::MAX);
+    }
+
+    #[test]
+    fn zero_add_is_noop() {
+        let mut inv = LocationMatrix::new();
+        inv.add_units(VertexId(0), ProductId(0), 0);
+        assert_eq!(inv.entry_count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Warehouse substrate: grids, floorplan graphs, products, workloads, plans,
+//! and feasibility checkers.
+//!
+//! This crate implements the automated-warehouse model of §III of
+//! *Co-Design of Topology, Scheduling, and Path Planning in Automated
+//! Warehouses* (DATE 2023). A warehouse `W := (G, S, R, ρ, Λ)` consists of a
+//! [`FloorplanGraph`] `G`, shelf-access vertices `S`, station vertices `R`, a
+//! product catalog `ρ`, and a location matrix `Λ`. Teams of agents execute
+//! [`Plan`]s, which this crate can check for feasibility (movement, collision,
+//! and product-handling rules) and for whether they service a [`Workload`].
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_model::{Direction, GridMap, Warehouse};
+//!
+//! // The Fig. 1 example warehouse: two shelves (#), two stations (@),
+//! // shelves accessed from the east and west.
+//! let grid = GridMap::from_ascii(
+//!     ".#.#.\n\
+//!      .....\n\
+//!      .@.@.",
+//! )?;
+//! let warehouse =
+//!     Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])?;
+//! assert_eq!(warehouse.shelf_access().len(), 3);
+//! assert_eq!(warehouse.stations().len(), 2);
+//! # Ok::<(), wsp_model::ModelError>(())
+//! ```
+
+mod coord;
+mod error;
+mod graph;
+mod grid;
+mod inventory;
+mod plan;
+mod product;
+mod warehouse;
+mod workload;
+
+pub use coord::{Coord, Direction};
+pub use error::ModelError;
+pub use graph::{FloorplanGraph, VertexId};
+pub use grid::{CellKind, GridMap};
+pub use inventory::LocationMatrix;
+pub use plan::{AgentState, Carry, Plan, PlanChecker, PlanStats, PlanViolation};
+pub use product::{ProductCatalog, ProductId};
+pub use warehouse::Warehouse;
+pub use workload::Workload;

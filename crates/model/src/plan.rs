@@ -1,0 +1,677 @@
+//! Discrete agent plans `(π, φ)` and their feasibility/servicing checkers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{ModelError, ProductId, VertexId, Warehouse, Workload};
+
+/// What an agent is carrying: either nothing (the paper's `ρ_0`) or one unit
+/// of a product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Carry {
+    /// Unburdened (`φ = ρ_0`).
+    #[default]
+    Empty,
+    /// Carrying one unit of the given product.
+    Product(ProductId),
+}
+
+impl Carry {
+    /// Whether the agent carries nothing.
+    pub fn is_empty(self) -> bool {
+        self == Carry::Empty
+    }
+
+    /// The carried product, if any.
+    pub fn product(self) -> Option<ProductId> {
+        match self {
+            Carry::Empty => None,
+            Carry::Product(p) => Some(p),
+        }
+    }
+}
+
+impl fmt::Display for Carry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Carry::Empty => f.write_str("ρ0"),
+            Carry::Product(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// The state `(π_{i,t}, φ_{i,t})` of one agent at one timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentState {
+    /// The vertex the agent occupies.
+    pub at: VertexId,
+    /// What the agent is carrying.
+    pub carry: Carry,
+}
+
+impl AgentState {
+    /// An unburdened agent at `at`.
+    pub fn idle(at: VertexId) -> Self {
+        AgentState {
+            at,
+            carry: Carry::Empty,
+        }
+    }
+}
+
+/// A `T`-timestep plan for a team of agents: the pair of `c × (T+1)`
+/// matrices `(π, φ)` of §III, stored agent-major.
+///
+/// State index `t ∈ [0, T]` holds the configuration *at* timestep `t`;
+/// timestep `t → t+1` is one synchronous move of the whole team.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{AgentState, Plan, VertexId};
+///
+/// let mut plan = Plan::new();
+/// let agent = plan.add_agent(AgentState::idle(VertexId(0)));
+/// plan.push_state(agent, AgentState::idle(VertexId(1)));
+/// assert_eq!(plan.horizon(), 1);
+/// assert_eq!(plan.agent_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Per-agent state trajectories; all must end up the same length.
+    trajectories: Vec<Vec<AgentState>>,
+}
+
+impl Plan {
+    /// Creates an empty plan with no agents.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Adds an agent with its initial (t = 0) state; returns its index.
+    pub fn add_agent(&mut self, initial: AgentState) -> usize {
+        self.trajectories.push(vec![initial]);
+        self.trajectories.len() - 1
+    }
+
+    /// Appends the next-timestep state for an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn push_state(&mut self, agent: usize, state: AgentState) {
+        self.trajectories[agent].push(state);
+    }
+
+    /// Number of agents `c`.
+    pub fn agent_count(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// The planning horizon `T` (number of timesteps, i.e. states minus one).
+    /// Zero for an empty plan.
+    pub fn horizon(&self) -> usize {
+        self.trajectories
+            .iter()
+            .map(|t| t.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The state of `agent` at time `t`, or `None` if out of range.
+    pub fn state(&self, agent: usize, t: usize) -> Option<AgentState> {
+        self.trajectories.get(agent)?.get(t).copied()
+    }
+
+    /// The full trajectory of one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn trajectory(&self, agent: usize) -> &[AgentState] {
+        &self.trajectories[agent]
+    }
+
+    /// Checks all trajectories have equal length (a well-formed matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedPlan`] otherwise.
+    pub fn validate_shape(&self) -> Result<(), ModelError> {
+        if let Some(first) = self.trajectories.first() {
+            let len = first.len();
+            for (i, t) in self.trajectories.iter().enumerate() {
+                if t.len() != len {
+                    return Err(ModelError::MalformedPlan {
+                        detail: format!(
+                            "agent 0 has {len} states but agent {i} has {}",
+                            t.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One way a plan can violate feasibility (§III, conditions (1)–(3)) or the
+/// warehouse inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanViolation {
+    /// Condition (1): an agent moved to a non-adjacent vertex.
+    IllegalMove {
+        /// Offending agent.
+        agent: usize,
+        /// Timestep of departure.
+        t: usize,
+        /// Vertex departed from.
+        from: VertexId,
+        /// Vertex arrived at.
+        to: VertexId,
+    },
+    /// Condition (2): two agents occupy the same vertex.
+    VertexCollision {
+        /// First agent.
+        a: usize,
+        /// Second agent.
+        b: usize,
+        /// Timestep of the collision.
+        t: usize,
+        /// Shared vertex.
+        at: VertexId,
+    },
+    /// Condition (2): two agents traverse the same edge in opposite
+    /// directions in the same timestep.
+    EdgeCollision {
+        /// First agent.
+        a: usize,
+        /// Second agent.
+        b: usize,
+        /// Timestep the swap starts.
+        t: usize,
+    },
+    /// Condition (3): a pickup happened away from a shelf-access vertex
+    /// stocking the product, a drop-off happened away from a station, or a
+    /// carried product mutated in transit.
+    IllegalHandling {
+        /// Offending agent.
+        agent: usize,
+        /// Timestep of the violation.
+        t: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// More units of a product were picked at a vertex than `Λ` stocks there.
+    InventoryExceeded {
+        /// The shelf-access vertex.
+        at: VertexId,
+        /// The over-picked product.
+        product: ProductId,
+        /// Units available per `Λ`.
+        available: u64,
+        /// Units the plan picked.
+        picked: u64,
+    },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::IllegalMove { agent, t, from, to } => {
+                write!(f, "agent {agent} made illegal move {from}->{to} at t={t}")
+            }
+            PlanViolation::VertexCollision { a, b, t, at } => {
+                write!(f, "agents {a} and {b} collide at {at} at t={t}")
+            }
+            PlanViolation::EdgeCollision { a, b, t } => {
+                write!(f, "agents {a} and {b} swap positions at t={t}")
+            }
+            PlanViolation::IllegalHandling { agent, t, detail } => {
+                write!(f, "agent {agent} illegal product handling at t={t}: {detail}")
+            }
+            PlanViolation::InventoryExceeded {
+                at,
+                product,
+                available,
+                picked,
+            } => write!(
+                f,
+                "picked {picked} units of {product} at {at} but only {available} stocked"
+            ),
+        }
+    }
+}
+
+/// Aggregate statistics of a checked plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Units of each product delivered to stations (indexed by product id).
+    pub delivered: Vec<u64>,
+    /// Number of agents in the plan.
+    pub agents: usize,
+    /// Plan horizon `T`.
+    pub horizon: usize,
+    /// Total vertex-to-vertex moves (excluding waits).
+    pub moves: u64,
+    /// Total wait steps.
+    pub waits: u64,
+    /// Timestep of the last delivery, if any (the effective makespan).
+    pub last_delivery: Option<usize>,
+}
+
+impl PlanStats {
+    /// Total units delivered across all products.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+}
+
+/// Checks plans against a warehouse: feasibility conditions (1)–(3) of §III,
+/// inventory accounting, and workload servicing.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{AgentState, GridMap, Plan, PlanChecker, Warehouse};
+///
+/// let grid = GridMap::from_ascii(".#.\n...\n.@.")?;
+/// let warehouse = Warehouse::from_grid(&grid)?;
+/// let checker = PlanChecker::new(&warehouse);
+/// let mut plan = Plan::new();
+/// let v = warehouse.stations()[0];
+/// plan.add_agent(AgentState::idle(v));
+/// let stats = checker.check(&plan)?;
+/// assert_eq!(stats.agents, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PlanChecker<'w> {
+    warehouse: &'w Warehouse,
+}
+
+impl<'w> PlanChecker<'w> {
+    /// Creates a checker bound to a warehouse.
+    pub fn new(warehouse: &'w Warehouse) -> Self {
+        PlanChecker { warehouse }
+    }
+
+    /// Checks feasibility conditions (1)–(3) plus inventory accounting and
+    /// returns plan statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanViolation`] encountered (wrapped in a vector
+    /// of all violations found) or a [`ModelError`] if the plan matrix is
+    /// malformed.
+    pub fn check(&self, plan: &Plan) -> Result<PlanStats, Box<CheckFailure>> {
+        plan.validate_shape().map_err(|e| {
+            Box::new(CheckFailure {
+                violations: Vec::new(),
+                malformed: Some(e),
+            })
+        })?;
+
+        let mut violations = Vec::new();
+        let graph = self.warehouse.graph();
+        let horizon = plan.horizon();
+        let agents = plan.agent_count();
+
+        let mut stats = PlanStats {
+            delivered: vec![0; self.warehouse.catalog().len()],
+            agents,
+            horizon,
+            ..PlanStats::default()
+        };
+        // (vertex, product) -> units picked, for inventory accounting.
+        let mut picked: HashMap<(VertexId, ProductId), u64> = HashMap::new();
+
+        for t in 0..=horizon {
+            // Condition (2a): vertex collisions at time t.
+            let mut occupied: HashMap<VertexId, usize> = HashMap::new();
+            for a in 0..agents {
+                let s = plan.state(a, t).expect("validated shape");
+                if let Some(&b) = occupied.get(&s.at) {
+                    violations.push(PlanViolation::VertexCollision { a: b, b: a, t, at: s.at });
+                } else {
+                    occupied.insert(s.at, a);
+                }
+            }
+            if t == horizon {
+                break;
+            }
+            // Per-agent transition t -> t+1.
+            let mut moves: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+            for a in 0..agents {
+                let cur = plan.state(a, t).expect("validated shape");
+                let nxt = plan.state(a, t + 1).expect("validated shape");
+
+                // Condition (1): move by 0 or 1 vertices along an edge.
+                if cur.at != nxt.at {
+                    if !graph.has_edge(cur.at, nxt.at) {
+                        violations.push(PlanViolation::IllegalMove {
+                            agent: a,
+                            t,
+                            from: cur.at,
+                            to: nxt.at,
+                        });
+                    }
+                    stats.moves += 1;
+                    // Condition (2b): edge swap.
+                    if let Some(&b) = moves.get(&(nxt.at, cur.at)) {
+                        violations.push(PlanViolation::EdgeCollision { a: b, b: a, t });
+                    }
+                    moves.insert((cur.at, nxt.at), a);
+                } else {
+                    stats.waits += 1;
+                }
+
+                // Condition (3): product handling.
+                match (cur.carry, nxt.carry) {
+                    (Carry::Empty, Carry::Empty) => {}
+                    (Carry::Empty, Carry::Product(p)) => {
+                        // Pickup must happen at the *current* vertex, which
+                        // must be a shelf-access vertex stocking p.
+                        if !self.warehouse.location_matrix().has_product(cur.at, p) {
+                            violations.push(PlanViolation::IllegalHandling {
+                                agent: a,
+                                t,
+                                detail: format!("picked {p} at {} which does not stock it", cur.at),
+                            });
+                        } else {
+                            *picked.entry((cur.at, p)).or_insert(0) += 1;
+                        }
+                    }
+                    (Carry::Product(p), Carry::Empty) => {
+                        // Drop-off must happen at a station.
+                        if !self.warehouse.is_station(cur.at) {
+                            violations.push(PlanViolation::IllegalHandling {
+                                agent: a,
+                                t,
+                                detail: format!("dropped {p} away from a station"),
+                            });
+                        } else {
+                            if p.index() < stats.delivered.len() {
+                                stats.delivered[p.index()] += 1;
+                            }
+                            stats.last_delivery = Some(t + 1);
+                        }
+                    }
+                    (Carry::Product(p), Carry::Product(q)) => {
+                        if p != q {
+                            violations.push(PlanViolation::IllegalHandling {
+                                agent: a,
+                                t,
+                                detail: format!("carried product mutated {p} -> {q}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Inventory accounting: total picks per (vertex, product) within Λ.
+        for ((v, p), &n) in &picked {
+            let available = self.warehouse.location_matrix().units_at(*v, *p);
+            if n > available {
+                violations.push(PlanViolation::InventoryExceeded {
+                    at: *v,
+                    product: *p,
+                    available,
+                    picked: n,
+                });
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(stats)
+        } else {
+            Err(Box::new(CheckFailure {
+                violations,
+                malformed: None,
+            }))
+        }
+    }
+
+    /// Checks the plan is feasible *and* services `workload` (§III,
+    /// Problem 3.1): every demand is met by deliveries to stations.
+    ///
+    /// # Errors
+    ///
+    /// Returns violations, or a synthetic
+    /// [`PlanViolation::IllegalHandling`]-free failure listing the shortfall
+    /// in `CheckFailure::violations` being empty and `shortfall` non-empty.
+    pub fn check_services(
+        &self,
+        plan: &Plan,
+        workload: &Workload,
+    ) -> Result<PlanStats, Box<CheckFailure>> {
+        let stats = self.check(plan)?;
+        if !workload.is_satisfied_by(&stats.delivered) {
+            let shortfall: Vec<(ProductId, u64, u64)> = workload
+                .iter()
+                .filter_map(|(p, d)| {
+                    let got = stats.delivered.get(p.index()).copied().unwrap_or(0);
+                    (got < d).then_some((p, d, got))
+                })
+                .collect();
+            return Err(Box::new(CheckFailure {
+                violations: Vec::new(),
+                malformed: Some(ModelError::MalformedPlan {
+                    detail: format!(
+                        "workload not serviced; shortfall on {} products: {:?}",
+                        shortfall.len(),
+                        shortfall
+                            .iter()
+                            .map(|(p, d, got)| format!("{p}: {got}/{d}"))
+                            .collect::<Vec<_>>()
+                    ),
+                }),
+            }));
+        }
+        Ok(stats)
+    }
+}
+
+/// The detailed outcome of a failed plan check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// All feasibility violations found.
+    pub violations: Vec<PlanViolation>,
+    /// Shape or servicing failure, if any.
+    pub malformed: Option<ModelError>,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(m) = &self.malformed {
+            write!(f, "{m}")?;
+        }
+        for v in self.violations.iter().take(5) {
+            write!(f, "; {v}")?;
+        }
+        if self.violations.len() > 5 {
+            write!(f, "; … {} more violations", self.violations.len() - 5)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coord, GridMap, ProductCatalog};
+
+    fn small_warehouse() -> Warehouse {
+        // Shelf on top, station on bottom, 3-wide corridor.
+        let grid = GridMap::from_ascii(".#.\n...\n.@.").unwrap();
+        let mut w = Warehouse::from_grid(&grid).unwrap();
+        w.set_catalog(ProductCatalog::with_len(1));
+        let access = w.graph().vertex_at(Coord::new(0, 2)).unwrap();
+        w.stock(access, ProductId(0), 10).unwrap();
+        w
+    }
+
+    fn v(w: &Warehouse, x: u32, y: u32) -> VertexId {
+        w.graph().vertex_at(Coord::new(x, y)).unwrap()
+    }
+
+    #[test]
+    fn legal_delivery_roundtrip() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
+        // Pick up at (0,2), walk to station (1,0), drop.
+        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 0, 1), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 1, 0), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 1, 0), carry: Carry::Empty });
+        let stats = checker.check(&plan).unwrap();
+        assert_eq!(stats.delivered, vec![1]);
+        assert_eq!(stats.moves, 3);
+        assert_eq!(stats.waits, 2);
+        assert_eq!(stats.last_delivery, Some(5));
+
+        let workload = Workload::from_demands(vec![1]);
+        assert!(checker.check_services(&plan, &workload).is_ok());
+        let too_much = Workload::from_demands(vec![2]);
+        assert!(checker.check_services(&plan, &too_much).is_err());
+    }
+
+    #[test]
+    fn teleport_is_illegal() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        plan.push_state(a, AgentState::idle(v(&w, 2, 2)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(matches!(err.violations[0], PlanViolation::IllegalMove { .. }));
+    }
+
+    #[test]
+    fn vertex_collision_detected() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(matches!(err.violations[0], PlanViolation::VertexCollision { .. }));
+    }
+
+    #[test]
+    fn edge_swap_detected() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let b = plan.add_agent(AgentState::idle(v(&w, 1, 0)));
+        plan.push_state(a, AgentState::idle(v(&w, 1, 0)));
+        plan.push_state(b, AgentState::idle(v(&w, 0, 0)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::EdgeCollision { .. })));
+    }
+
+    #[test]
+    fn pickup_away_from_shelf_is_illegal() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 1, 1)));
+        plan.push_state(a, AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) });
+        let err = checker.check(&plan).unwrap_err();
+        assert!(matches!(err.violations[0], PlanViolation::IllegalHandling { .. }));
+    }
+
+    #[test]
+    fn dropoff_away_from_station_is_illegal() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
+        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Empty });
+        let err = checker.check(&plan).unwrap_err();
+        assert!(matches!(err.violations[0], PlanViolation::IllegalHandling { .. }));
+    }
+
+    #[test]
+    fn product_mutation_is_illegal() {
+        let w = {
+            let grid = GridMap::from_ascii(".#.\n...\n.@.").unwrap();
+            let mut w = Warehouse::from_grid(&grid).unwrap();
+            w.set_catalog(ProductCatalog::with_len(2));
+            let access = w.graph().vertex_at(Coord::new(0, 2)).unwrap();
+            w.stock(access, ProductId(0), 1).unwrap();
+            w.stock(access, ProductId(1), 1).unwrap();
+            w
+        };
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
+        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(1)) });
+        let err = checker.check(&plan).unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|vi| matches!(vi, PlanViolation::IllegalHandling { .. })));
+    }
+
+    #[test]
+    fn inventory_overdraw_detected() {
+        let w = {
+            let grid = GridMap::from_ascii(".#.\n...\n.@.").unwrap();
+            let mut w = Warehouse::from_grid(&grid).unwrap();
+            w.set_catalog(ProductCatalog::with_len(1));
+            let access = w.graph().vertex_at(Coord::new(0, 2)).unwrap();
+            w.stock(access, ProductId(0), 1).unwrap();
+            w
+        };
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
+        // Pick, drop at station, come back, pick again: 2 picks > 1 stocked.
+        let station = v(&w, 1, 0);
+        let path = [
+            AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) },
+            AgentState { at: v(&w, 0, 1), carry: Carry::Product(ProductId(0)) },
+            AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) },
+            AgentState { at: station, carry: Carry::Product(ProductId(0)) },
+            AgentState { at: station, carry: Carry::Empty },
+            AgentState { at: v(&w, 1, 1), carry: Carry::Empty },
+            AgentState { at: v(&w, 0, 1), carry: Carry::Empty },
+            AgentState { at: v(&w, 0, 2), carry: Carry::Empty },
+            AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) },
+        ];
+        for s in path {
+            plan.push_state(a, s);
+        }
+        let err = checker.check(&plan).unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|vi| matches!(vi, PlanViolation::InventoryExceeded { .. })));
+    }
+
+    #[test]
+    fn ragged_plan_rejected() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        plan.add_agent(AgentState::idle(v(&w, 2, 0)));
+        plan.push_state(a, AgentState::idle(v(&w, 0, 0)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(err.malformed.is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! Product identities and the warehouse product catalog `ρ`.
+
+use std::fmt;
+
+/// Index of a product in a [`ProductCatalog`].
+///
+/// The paper writes products `ρ_1 … ρ_n`; here they are dense zero-based ids
+/// so they can index flat tables. The sentinel "no product" `ρ_0` is
+/// represented by [`Carry::Empty`](crate::Carry), not by a `ProductId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProductId(pub u32);
+
+impl ProductId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ρ{}", self.0 + 1)
+    }
+}
+
+/// The product vector `ρ := ⟨ρ_1, …, ρ_n⟩` of a warehouse.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::ProductCatalog;
+///
+/// let catalog = ProductCatalog::with_names(["widget", "gadget"]);
+/// assert_eq!(catalog.len(), 2);
+/// assert_eq!(catalog.name(catalog.ids().next().unwrap()), "widget");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProductCatalog {
+    names: Vec<String>,
+}
+
+impl ProductCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog of `n` products named `p1 … pn`.
+    pub fn with_len(n: usize) -> Self {
+        ProductCatalog {
+            names: (1..=n).map(|i| format!("p{i}")).collect(),
+        }
+    }
+
+    /// Creates a catalog from explicit product names.
+    pub fn with_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ProductCatalog {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Appends a product and returns its id.
+    pub fn add(&mut self, name: impl Into<String>) -> ProductId {
+        let id = ProductId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of products `|ρ|`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the catalog.
+    pub fn name(&self, id: ProductId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Whether `id` belongs to this catalog.
+    pub fn contains(&self, id: ProductId) -> bool {
+        id.index() < self.names.len()
+    }
+
+    /// All product ids, in increasing order.
+    pub fn ids(&self) -> impl Iterator<Item = ProductId> + '_ {
+        (0..self.names.len() as u32).map(ProductId)
+    }
+}
+
+impl FromIterator<String> for ProductCatalog {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        ProductCatalog::with_names(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_len_names_products() {
+        let c = ProductCatalog::with_len(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.name(ProductId(0)), "p1");
+        assert_eq!(c.name(ProductId(2)), "p3");
+    }
+
+    #[test]
+    fn add_returns_dense_ids() {
+        let mut c = ProductCatalog::new();
+        assert!(c.is_empty());
+        let a = c.add("a");
+        let b = c.add("b");
+        assert_eq!(a, ProductId(0));
+        assert_eq!(b, ProductId(1));
+        assert!(c.contains(b));
+        assert!(!c.contains(ProductId(2)));
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let c = ProductCatalog::with_len(4);
+        let ids: Vec<_> = c.ids().collect();
+        assert_eq!(ids, vec![ProductId(0), ProductId(1), ProductId(2), ProductId(3)]);
+    }
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(ProductId(0).to_string(), "ρ1");
+    }
+}

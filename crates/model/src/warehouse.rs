@@ -1,0 +1,290 @@
+//! The automated warehouse `W := (G, S, R, ρ, Λ)`.
+
+use std::collections::BTreeSet;
+
+use crate::{
+    CellKind, Coord, FloorplanGraph, GridMap, LocationMatrix, ModelError, ProductCatalog,
+    ProductId, VertexId,
+};
+
+/// An automated warehouse: the 5-tuple `W := (G, S, R, ρ, Λ)` of §III.
+///
+/// Construction derives `G` (floorplan graph), `S` (shelf-access vertices:
+/// traversable cells adjacent to a shelf), and `R` (station vertices) from a
+/// [`GridMap`]; the catalog `ρ` and location matrix `Λ` are attached with
+/// [`Warehouse::set_catalog`] / [`Warehouse::stock`].
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{GridMap, ProductCatalog, ProductId, Warehouse};
+///
+/// let grid = GridMap::from_ascii(".#.#.\n.....\n.@.@.")?;
+/// let mut warehouse = Warehouse::from_grid(&grid)?;
+/// warehouse.set_catalog(ProductCatalog::with_len(2));
+/// let s = warehouse.shelf_access()[0];
+/// warehouse.stock(s, ProductId(0), 10)?;
+/// assert_eq!(warehouse.location_matrix().total_units(ProductId(0)), 10);
+/// # Ok::<(), wsp_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    grid: GridMap,
+    graph: FloorplanGraph,
+    shelf_access: Vec<VertexId>,
+    stations: Vec<VertexId>,
+    catalog: ProductCatalog,
+    location: LocationMatrix,
+}
+
+impl Warehouse {
+    /// Builds a warehouse from a grid, deriving the floorplan graph, the
+    /// shelf-access vertex set `S` (every traversable neighbour of a shelf),
+    /// and the station vertex set `R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnreachableShelf`] if a shelf cell has no
+    /// traversable neighbour, [`ModelError::NoStations`] /
+    /// [`ModelError::NoShelfAccess`] if either derived set is empty.
+    pub fn from_grid(grid: &GridMap) -> Result<Self, ModelError> {
+        Self::from_grid_with_access(grid, &crate::Direction::ALL)
+    }
+
+    /// Like [`Warehouse::from_grid`], but a shelf may only be accessed from
+    /// the given directions (relative to the shelf cell). The paper's Fig. 1
+    /// warehouse, for example, accesses shelves from the east and west only.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Warehouse::from_grid`].
+    pub fn from_grid_with_access(
+        grid: &GridMap,
+        access: &[crate::Direction],
+    ) -> Result<Self, ModelError> {
+        let graph = FloorplanGraph::from_grid(grid);
+
+        let mut shelf_access = BTreeSet::new();
+        for at in grid.cells_of_kind(CellKind::Shelf) {
+            let mut reachable = false;
+            for &dir in access {
+                let Some(n) = at.step(dir) else { continue };
+                if let Some(v) = graph.vertex_at(n) {
+                    shelf_access.insert(v);
+                    reachable = true;
+                }
+            }
+            if !reachable {
+                return Err(ModelError::UnreachableShelf { at });
+            }
+        }
+        if shelf_access.is_empty() {
+            return Err(ModelError::NoShelfAccess);
+        }
+
+        let stations: Vec<VertexId> = grid
+            .cells_of_kind(CellKind::Station)
+            .into_iter()
+            .map(|at| graph.vertex_at(at).expect("stations are traversable"))
+            .collect();
+        if stations.is_empty() {
+            return Err(ModelError::NoStations);
+        }
+
+        Ok(Warehouse {
+            grid: grid.clone(),
+            graph,
+            shelf_access: shelf_access.into_iter().collect(),
+            stations,
+            catalog: ProductCatalog::new(),
+            location: LocationMatrix::new(),
+        })
+    }
+
+    /// The underlying grid map.
+    pub fn grid(&self) -> &GridMap {
+        &self.grid
+    }
+
+    /// The floorplan graph `G`.
+    pub fn graph(&self) -> &FloorplanGraph {
+        &self.graph
+    }
+
+    /// The shelf-access vertices `S ⊂ V`, sorted by id.
+    pub fn shelf_access(&self) -> &[VertexId] {
+        &self.shelf_access
+    }
+
+    /// The station vertices `R ⊂ V`.
+    pub fn stations(&self) -> &[VertexId] {
+        &self.stations
+    }
+
+    /// Whether `v` is a shelf-access vertex.
+    pub fn is_shelf_access(&self, v: VertexId) -> bool {
+        self.shelf_access.binary_search(&v).is_ok()
+    }
+
+    /// Whether `v` is a station vertex.
+    pub fn is_station(&self, v: VertexId) -> bool {
+        self.stations.contains(&v)
+    }
+
+    /// The product catalog `ρ`.
+    pub fn catalog(&self) -> &ProductCatalog {
+        &self.catalog
+    }
+
+    /// Replaces the product catalog.
+    ///
+    /// Existing stock is kept; callers replacing the catalog with a smaller
+    /// one should rebuild stock as well.
+    pub fn set_catalog(&mut self, catalog: ProductCatalog) {
+        self.catalog = catalog;
+    }
+
+    /// The location matrix `Λ`.
+    pub fn location_matrix(&self) -> &LocationMatrix {
+        &self.location
+    }
+
+    /// Stocks `count` units of `product` at shelf-access vertex `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotShelfAccess`] if `at` is not in `S`, and
+    /// [`ModelError::UnknownProduct`] if `product` is outside the catalog.
+    pub fn stock(
+        &mut self,
+        at: VertexId,
+        product: ProductId,
+        count: u64,
+    ) -> Result<(), ModelError> {
+        if !self.is_shelf_access(at) {
+            return Err(ModelError::NotShelfAccess {
+                at: self.graph.coord(at),
+            });
+        }
+        if !self.catalog.contains(product) {
+            return Err(ModelError::UnknownProduct {
+                index: product.index(),
+                catalog_len: self.catalog.len(),
+            });
+        }
+        self.location.add_units(at, product, count);
+        Ok(())
+    }
+
+    /// The products available at vertex `v` (the paper's `PRODUCTS_AT(v)`),
+    /// empty when `v ∉ S`.
+    pub fn products_at(&self, v: VertexId) -> Vec<ProductId> {
+        self.location.products_at(v).map(|(p, _)| p).collect()
+    }
+
+    /// The coordinate of vertex `v` (convenience passthrough).
+    pub fn coord(&self, v: VertexId) -> Coord {
+        self.graph.coord(v)
+    }
+
+    /// Number of shelf cells on the grid (reported in the paper's map stats).
+    pub fn shelf_count(&self) -> usize {
+        self.grid.cells_of_kind(CellKind::Shelf).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::Direction;
+
+    fn fig1() -> Warehouse {
+        // Fig. 1: two shelves at (1,2) and (3,2), accessed from east and
+        // west; stations at (1,0), (3,0).
+        let grid = GridMap::from_ascii(".#.#.\n.....\n.@.@.").unwrap();
+        Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap()
+    }
+
+    #[test]
+    fn fig1_sets_match_paper() {
+        let w = fig1();
+        let coords: Vec<Coord> = w.shelf_access().iter().map(|&v| w.coord(v)).collect();
+        // S = {v(0,2), v(2,2), v(4,2)}
+        assert!(coords.contains(&Coord::new(0, 2)));
+        assert!(coords.contains(&Coord::new(2, 2)));
+        assert!(coords.contains(&Coord::new(4, 2)));
+        assert_eq!(coords.len(), 3);
+        // R = {v(1,0), v(3,0)}
+        let stations: Vec<Coord> = w.stations().iter().map(|&v| w.coord(v)).collect();
+        assert_eq!(stations, vec![Coord::new(1, 0), Coord::new(3, 0)]);
+        assert_eq!(w.shelf_count(), 2);
+    }
+
+    #[test]
+    fn fig1_location_matrix_matches_paper() {
+        let mut w = fig1();
+        w.set_catalog(ProductCatalog::with_len(2));
+        // Shelf (1,2) holds 10 of ρ1: accessible from (0,2) and (2,2).
+        // Shelf (3,2) holds 10 of ρ2: accessible from (2,2) and (4,2).
+        let v02 = w.graph().vertex_at(Coord::new(0, 2)).unwrap();
+        let v22 = w.graph().vertex_at(Coord::new(2, 2)).unwrap();
+        let v42 = w.graph().vertex_at(Coord::new(4, 2)).unwrap();
+        w.stock(v02, ProductId(0), 10).unwrap();
+        w.stock(v22, ProductId(0), 10).unwrap();
+        w.stock(v22, ProductId(1), 10).unwrap();
+        w.stock(v42, ProductId(1), 10).unwrap();
+        assert_eq!(w.location_matrix().units_at(v02, ProductId(0)), 10);
+        assert_eq!(w.location_matrix().units_at(v02, ProductId(1)), 0);
+        assert_eq!(w.products_at(v22).len(), 2);
+    }
+
+    #[test]
+    fn stock_rejects_non_shelf_vertex() {
+        let mut w = fig1();
+        w.set_catalog(ProductCatalog::with_len(1));
+        let station = w.stations()[0];
+        assert!(matches!(
+            w.stock(station, ProductId(0), 1),
+            Err(ModelError::NotShelfAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn stock_rejects_unknown_product() {
+        let mut w = fig1();
+        w.set_catalog(ProductCatalog::with_len(1));
+        let s = w.shelf_access()[0];
+        assert!(matches!(
+            w.stock(s, ProductId(5), 1),
+            Err(ModelError::UnknownProduct { .. })
+        ));
+    }
+
+    #[test]
+    fn walled_in_shelf_rejected() {
+        let grid = GridMap::from_ascii("xxx\nx#x\nxxx").unwrap();
+        assert!(matches!(
+            Warehouse::from_grid(&grid),
+            Err(ModelError::UnreachableShelf { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_stations_rejected() {
+        let grid = GridMap::from_ascii(".#.\n...").unwrap();
+        assert!(matches!(
+            Warehouse::from_grid(&grid),
+            Err(ModelError::NoStations)
+        ));
+    }
+
+    #[test]
+    fn missing_shelves_rejected() {
+        let grid = GridMap::from_ascii("...\n.@.").unwrap();
+        assert!(matches!(
+            Warehouse::from_grid(&grid),
+            Err(ModelError::NoShelfAccess)
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! Workloads: the demand vector `w := ⟨w_1, …, w_n⟩`.
+
+use std::fmt;
+
+use crate::{ModelError, ProductCatalog, ProductId};
+
+/// A workload `w := ⟨w_1, …, w_n⟩`: how many units of each product must be
+/// brought to a station within the time limit.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{ProductId, Workload};
+///
+/// let mut w = Workload::zeros(3);
+/// w.set(ProductId(1), 5);
+/// assert_eq!(w.demand(ProductId(1)), 5);
+/// assert_eq!(w.total_units(), 5);
+/// assert!(!w.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Workload {
+    demands: Vec<u64>,
+}
+
+impl Workload {
+    /// A zero workload over `n` products.
+    pub fn zeros(n: usize) -> Self {
+        Workload {
+            demands: vec![0; n],
+        }
+    }
+
+    /// Builds a workload from explicit per-product demands.
+    pub fn from_demands(demands: Vec<u64>) -> Self {
+        Workload { demands }
+    }
+
+    /// Number of products this workload ranges over.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Whether every demand is zero (or the workload ranges over no products).
+    pub fn is_empty(&self) -> bool {
+        self.demands.iter().all(|&d| d == 0)
+    }
+
+    /// The demand `w_k` for a product, zero if out of range.
+    pub fn demand(&self, product: ProductId) -> u64 {
+        self.demands.get(product.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the demand for a product, growing the vector if needed.
+    pub fn set(&mut self, product: ProductId, units: u64) {
+        if product.index() >= self.demands.len() {
+            self.demands.resize(product.index() + 1, 0);
+        }
+        self.demands[product.index()] = units;
+    }
+
+    /// Adds `units` to the demand for a product, saturating.
+    pub fn add(&mut self, product: ProductId, units: u64) {
+        let current = self.demand(product);
+        self.set(product, current.saturating_add(units));
+    }
+
+    /// Total units demanded across all products ("Units Moved" in Table I).
+    pub fn total_units(&self) -> u64 {
+        self.demands.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Number of products with non-zero demand ("Unique Products" in Table I
+    /// counts catalog size; this counts demanded products).
+    pub fn demanded_products(&self) -> usize {
+        self.demands.iter().filter(|&&d| d > 0).count()
+    }
+
+    /// Iterates over `(product, demand)` pairs with non-zero demand.
+    pub fn iter(&self) -> impl Iterator<Item = (ProductId, u64)> + '_ {
+        self.demands
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, &d)| (ProductId(i as u32), d))
+    }
+
+    /// A workload scaled by an integer factor (used by the sensitivity
+    /// experiment, §V: "doubling the units of product in the workload…").
+    pub fn scaled(&self, factor: u64) -> Workload {
+        Workload {
+            demands: self
+                .demands
+                .iter()
+                .map(|&d| d.saturating_mul(factor))
+                .collect(),
+        }
+    }
+
+    /// Checks the workload is compatible with a catalog: it must not demand
+    /// products outside the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownProduct`] if it does.
+    pub fn validate_against(&self, catalog: &ProductCatalog) -> Result<(), ModelError> {
+        if self.demands.len() > catalog.len() {
+            // Trailing zero demands for unknown products are still an error:
+            // they indicate the workload was built for a different warehouse.
+            if self.demands[catalog.len()..].iter().any(|&d| d > 0) {
+                return Err(ModelError::UnknownProduct {
+                    index: catalog.len(),
+                    catalog_len: catalog.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the per-product `delivered` counts satisfy every demand.
+    pub fn is_satisfied_by(&self, delivered: &[u64]) -> bool {
+        self.demands
+            .iter()
+            .enumerate()
+            .all(|(i, &d)| delivered.get(i).copied().unwrap_or(0) >= d)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload[{} products, {} units]",
+            self.demanded_products(),
+            self.total_units()
+        )
+    }
+}
+
+impl FromIterator<(ProductId, u64)> for Workload {
+    fn from_iter<I: IntoIterator<Item = (ProductId, u64)>>(iter: I) -> Self {
+        let mut w = Workload::default();
+        for (p, d) in iter {
+            w.add(p, d);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_grows_vector() {
+        let mut w = Workload::default();
+        w.set(ProductId(4), 9);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.demand(ProductId(4)), 9);
+        assert_eq!(w.demand(ProductId(0)), 0);
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let w = Workload::from_demands(vec![3, 0, 7]);
+        assert_eq!(w.total_units(), 10);
+        assert_eq!(w.demanded_products(), 2);
+        let pairs: Vec<_> = w.iter().collect();
+        assert_eq!(pairs, vec![(ProductId(0), 3), (ProductId(2), 7)]);
+    }
+
+    #[test]
+    fn scaling_doubles_units() {
+        let w = Workload::from_demands(vec![3, 4]);
+        assert_eq!(w.scaled(2).total_units(), 14);
+    }
+
+    #[test]
+    fn satisfaction_requires_every_product() {
+        let w = Workload::from_demands(vec![2, 2]);
+        assert!(w.is_satisfied_by(&[2, 3]));
+        assert!(!w.is_satisfied_by(&[3, 1]));
+        assert!(!w.is_satisfied_by(&[2]));
+        assert!(Workload::zeros(2).is_satisfied_by(&[]));
+    }
+
+    #[test]
+    fn validate_against_catalog() {
+        let catalog = ProductCatalog::with_len(2);
+        let ok = Workload::from_demands(vec![1, 1]);
+        assert!(ok.validate_against(&catalog).is_ok());
+        let bad = Workload::from_demands(vec![1, 1, 1]);
+        assert!(bad.validate_against(&catalog).is_err());
+        // Trailing zeros are fine.
+        let trailing = Workload::from_demands(vec![1, 1, 0]);
+        assert!(trailing.validate_against(&catalog).is_ok());
+    }
+}

@@ -1,0 +1,476 @@
+//! The component-timestep realization algorithm (Algorithm 1).
+
+use std::collections::{HashMap, HashSet};
+
+use wsp_flow::{AgentCycleSet, CycleAction};
+use wsp_model::{AgentState, Carry, Plan, ProductId, VertexId, Warehouse, Workload};
+use wsp_traffic::{ComponentId, TrafficSystem};
+
+use crate::RealizeError;
+
+/// The result of realizing an agent cycle set.
+#[derive(Debug, Clone)]
+pub struct RealizeOutcome {
+    /// The realized plan (initial placement at `t = 0`).
+    pub plan: Plan,
+    /// Units of each product delivered, indexed by product id.
+    pub delivered: Vec<u64>,
+    /// Timesteps actually executed (≤ the requested limit; realization
+    /// stops as soon as the workload is serviced).
+    pub timesteps: usize,
+    /// Number of agents in the plan.
+    pub agents: usize,
+    /// First-revolution pickup opportunities that were skipped because the
+    /// agent was initially placed past its component's stocked shelf cell.
+    /// Always zero from the second revolution on.
+    pub pickup_misses: u64,
+    /// Period/agent pairs where an agent failed to advance a component
+    /// within one cycle period. Property 4.1 promises zero for cycle sets
+    /// within component capacities.
+    pub missed_advances: u64,
+}
+
+#[derive(Debug)]
+struct AgentRt {
+    cycle: usize,
+    step: usize,
+    pos: VertexId,
+    /// Timestep at which the agent entered its current component
+    /// (`ADVANCE_T`); `-1` lets every agent hop in the very first period.
+    advance_t: i64,
+    carry: Option<ProductId>,
+}
+
+/// Realizes an agent cycle set into a discrete plan, stepping all
+/// components for up to `t_limit` timesteps (stopping early once
+/// `workload`, if given, is fully delivered).
+///
+/// # Errors
+///
+/// Returns [`RealizeError`] if the cycle set violates the Property 4.1
+/// capacity precondition, references unknown components or missing arcs, or
+/// is internally inconsistent.
+pub fn realize(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+    workload: Option<&Workload>,
+    t_limit: usize,
+) -> Result<RealizeOutcome, RealizeError> {
+    validate_cycles(traffic, cycles)?;
+
+    let tc = cycles.cycle_time().max(1);
+    let n_products = warehouse.catalog().len();
+
+    // ---- Initial placement: entry-side cells of each component. ----
+    // Residents per component, as (cycle, step) pairs.
+    let mut residents_init: HashMap<ComponentId, Vec<(usize, usize)>> = HashMap::new();
+    for (ci, cycle) in cycles.cycles().iter().enumerate() {
+        for (si, step) in cycle.steps().iter().enumerate() {
+            residents_init.entry(step.component).or_default().push((ci, si));
+        }
+    }
+
+    let mut agents: Vec<AgentRt> = Vec::with_capacity(cycles.total_agents());
+    let mut plan = Plan::new();
+    for comp in traffic.components() {
+        let Some(list) = residents_init.get(&comp.id()) else {
+            continue;
+        };
+        for (j, &(ci, si)) in list.iter().enumerate() {
+            // Capacity was validated, so j < |Cᵢ| always holds.
+            let pos = comp.path()[j];
+            agents.push(AgentRt {
+                cycle: ci,
+                step: si,
+                pos,
+                advance_t: -1,
+                carry: None,
+            });
+            plan.add_agent(AgentState::idle(pos));
+        }
+    }
+    let n_agents = agents.len();
+
+    // Remaining stock ledger for pickup accounting.
+    let mut stock = warehouse.location_matrix().clone();
+    let mut delivered = vec![0u64; n_products];
+    let mut pickup_misses = 0u64;
+    let mut missed_advances = 0u64;
+
+    let step_component = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].component;
+    let step_action = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].action;
+
+    let mut executed = 0usize;
+    for t in 0..t_limit {
+        if workload.is_some_and(|w| w.is_satisfied_by(&delivered)) {
+            break;
+        }
+        executed = t + 1;
+        let period_start = ((t / tc) * tc) as i64;
+
+        // Occupancy and per-component resident lists at time t.
+        let mut occupant: HashMap<VertexId, usize> = HashMap::with_capacity(n_agents);
+        let mut by_component: HashMap<ComponentId, Vec<usize>> = HashMap::new();
+        for (idx, a) in agents.iter().enumerate() {
+            occupant.insert(a.pos, idx);
+            by_component.entry(step_component(a)).or_default().push(idx);
+        }
+
+        // Movement decisions.
+        let mut claimed: HashSet<VertexId> = HashSet::with_capacity(n_agents);
+        let mut vacated: HashSet<VertexId> = HashSet::with_capacity(n_agents);
+        // (agent, new_pos, hopped)
+        let mut moves: Vec<(usize, VertexId, bool)> = Vec::with_capacity(n_agents);
+
+        for comp in traffic.components() {
+            let Some(list) = by_component.get_mut(&comp.id()) else {
+                continue;
+            };
+            // Exit-first order: agents closest to the exit move first so
+            // followers can step into freshly vacated cells.
+            list.sort_by_key(|&idx| {
+                std::cmp::Reverse(comp.position(agents[idx].pos).expect("agent on its component"))
+            });
+            for &idx in list.iter() {
+                let a = &agents[idx];
+                // Hop to the next component of the agent cycle: only from
+                // the exit, at most once per cycle period (ADVANCE_T < ts),
+                // and only into an entry cell that is free *at time t* and
+                // unclaimed (conservative, order-independent).
+                if a.pos == comp.exit() && a.advance_t < period_start {
+                    let cycle = &cycles.cycles()[a.cycle];
+                    let next_step = (a.step + 1) % cycle.steps().len();
+                    let next_comp = traffic.component(cycle.steps()[next_step].component);
+                    let entry = next_comp.entry();
+                    if !claimed.contains(&entry) && !occupant.contains_key(&entry) {
+                        claimed.insert(entry);
+                        vacated.insert(a.pos);
+                        moves.push((idx, entry, true));
+                        continue;
+                    }
+                }
+                // Internal move along the component path.
+                if let Some(v) = comp.next(a.pos) {
+                    let blocked = claimed.contains(&v)
+                        || (occupant.contains_key(&v) && !vacated.contains(&v));
+                    if !blocked {
+                        claimed.insert(v);
+                        vacated.insert(a.pos);
+                        moves.push((idx, v, false));
+                        continue;
+                    }
+                }
+                // Stay put; the cell remains occupied for followers.
+                claimed.insert(a.pos);
+            }
+        }
+
+        // Apply actions (evaluated at the *time-t* position, recorded in
+        // the t+1 state, matching feasibility condition (3)) and movement.
+        let mut hops: Vec<usize> = Vec::new();
+        let mut moved_set: HashMap<usize, (VertexId, bool)> = HashMap::with_capacity(moves.len());
+        for (idx, v, hopped) in moves {
+            moved_set.insert(idx, (v, hopped));
+            if hopped {
+                hops.push(idx);
+            }
+        }
+
+        for idx in 0..n_agents {
+            let action = step_action(&agents[idx]);
+            let pos_t = agents[idx].pos;
+            match action {
+                CycleAction::Pickup(p) => {
+                    if agents[idx].carry.is_none() && stock.units_at(pos_t, p) > 0 {
+                        stock.remove_units(pos_t, p, 1);
+                        agents[idx].carry = Some(p);
+                    }
+                }
+                CycleAction::Dropoff(p) => {
+                    if agents[idx].carry == Some(p) && warehouse.is_station(pos_t) {
+                        agents[idx].carry = None;
+                        if p.index() < delivered.len() {
+                            delivered[p.index()] += 1;
+                        }
+                    }
+                }
+                CycleAction::Travel => {}
+            }
+            // First-revolution diagnostics: hopping out of a pickup step
+            // still empty-handed.
+            if let Some(&(_, true)) = moved_set.get(&idx) {
+                if matches!(action, CycleAction::Pickup(_)) && agents[idx].carry.is_none() {
+                    pickup_misses += 1;
+                }
+            }
+        }
+
+        for (&idx, &(v, hopped)) in &moved_set {
+            agents[idx].pos = v;
+            if hopped {
+                let cycle = &cycles.cycles()[agents[idx].cycle];
+                agents[idx].step = (agents[idx].step + 1) % cycle.steps().len();
+                agents[idx].advance_t = (t + 1) as i64;
+            }
+        }
+
+        // Period-boundary diagnostic: every agent should have advanced one
+        // component during the period that just ended.
+        if (t + 1) % tc == 0 {
+            let this_period_start = period_start;
+            for a in &agents {
+                if a.advance_t <= this_period_start && t as i64 >= tc as i64 {
+                    missed_advances += 1;
+                }
+            }
+        }
+
+        // Record the t+1 states.
+        for (idx, a) in agents.iter().enumerate() {
+            let carry = match a.carry {
+                None => Carry::Empty,
+                Some(p) => Carry::Product(p),
+            };
+            plan.push_state(idx, AgentState { at: a.pos, carry });
+        }
+    }
+
+    Ok(RealizeOutcome {
+        plan,
+        delivered,
+        timesteps: executed,
+        agents: n_agents,
+        pickup_misses,
+        missed_advances,
+    })
+}
+
+/// Validates the Property 4.1 preconditions and cycle well-formedness.
+fn validate_cycles(traffic: &TrafficSystem, cycles: &AgentCycleSet) -> Result<(), RealizeError> {
+    let arcs: HashSet<(ComponentId, ComponentId)> = traffic.arcs().collect();
+    for cycle in cycles.cycles() {
+        if let Some(detail) = cycle.carry_inconsistency() {
+            return Err(RealizeError::InconsistentCycle { detail });
+        }
+        let steps = cycle.steps();
+        for (i, s) in steps.iter().enumerate() {
+            if s.component.index() >= traffic.component_count() {
+                return Err(RealizeError::UnknownComponent {
+                    component: s.component,
+                });
+            }
+            let next = steps[(i + 1) % steps.len()].component;
+            if s.component == next && steps.len() == 1 && !arcs.contains(&(s.component, next)) {
+                return Err(RealizeError::MissingArc {
+                    from: s.component,
+                    to: next,
+                });
+            }
+            if s.component != next && !arcs.contains(&(s.component, next)) {
+                return Err(RealizeError::MissingArc {
+                    from: s.component,
+                    to: next,
+                });
+            }
+        }
+    }
+    for comp in traffic.components() {
+        let occupancy = cycles.occupancy(comp.id());
+        if occupancy > comp.capacity() {
+            return Err(RealizeError::CapacityExceeded {
+                component: comp.id(),
+                occupancy,
+                capacity: comp.capacity(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_flow::{synthesize_flow, AgentCycle, CycleStep, FlowSynthesisOptions};
+    use wsp_model::{Direction, GridMap, PlanChecker, ProductCatalog};
+
+    fn pipeline_fixture(
+        stock: u64,
+        demand: u64,
+    ) -> (Warehouse, TrafficSystem, AgentCycleSet, Workload) {
+        let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
+        let mut w = Warehouse::from_grid_with_access(
+            &grid,
+            &[Direction::East, Direction::West],
+        )
+        .unwrap();
+        w.set_catalog(ProductCatalog::with_len(1));
+        let s = w.shelf_access()[0];
+        w.stock(s, ProductId(0), stock).unwrap();
+        let ts = wsp_traffic::design_perimeter_loop(&w, 3).unwrap();
+        let workload = Workload::from_demands(vec![demand]);
+        let flow =
+            synthesize_flow(&w, &ts, &workload, 600, &FlowSynthesisOptions::default()).unwrap();
+        let cycles = flow.decompose().unwrap();
+        (w, ts, cycles, workload)
+    }
+
+    #[test]
+    fn realized_plan_is_feasible_and_services_workload() {
+        let (w, ts, cycles, workload) = pipeline_fixture(1000, 8);
+        let out = realize(&w, &ts, &cycles, Some(&workload), 600).unwrap();
+        assert!(out.delivered[0] >= 8);
+        assert_eq!(out.missed_advances, 0, "Property 4.1 violated");
+        let checker = PlanChecker::new(&w);
+        let stats = checker.check_services(&out.plan, &workload).unwrap();
+        assert_eq!(stats.delivered[0], out.delivered[0]);
+        assert_eq!(stats.agents, out.agents);
+    }
+
+    #[test]
+    fn stops_early_once_serviced() {
+        let (w, ts, cycles, workload) = pipeline_fixture(1000, 3);
+        let out = realize(&w, &ts, &cycles, Some(&workload), 600).unwrap();
+        assert!(out.timesteps < 600);
+    }
+
+    #[test]
+    fn runs_full_horizon_without_workload() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 3);
+        let out = realize(&w, &ts, &cycles, None, 97).unwrap();
+        assert_eq!(out.timesteps, 97);
+        assert_eq!(out.plan.horizon(), 97);
+        // Still collision-free.
+        let checker = PlanChecker::new(&w);
+        checker.check(&out.plan).unwrap();
+    }
+
+    #[test]
+    fn capacity_precondition_enforced() {
+        let (w, ts, _, _) = pipeline_fixture(1000, 3);
+        // Overload every component by stacking full-ring travel cycles one
+        // past the smallest capacity.
+        let ring: Vec<ComponentId> = {
+            let mut ids = vec![ts.components()[0].id()];
+            loop {
+                let next = ts.outlets(*ids.last().unwrap())[0];
+                if next == ids[0] {
+                    break;
+                }
+                ids.push(next);
+            }
+            ids
+        };
+        let min_cap = ts.components().iter().map(|c| c.capacity()).min().unwrap();
+        let make_cycle = || {
+            AgentCycle::new(
+                ring.iter()
+                    .map(|&c| CycleStep {
+                        component: c,
+                        action: CycleAction::Travel,
+                    })
+                    .collect(),
+            )
+        };
+        let cycles: Vec<AgentCycle> = (0..=min_cap).map(|_| make_cycle()).collect();
+        let overloaded = AgentCycleSet::new(cycles, ts.cycle_time());
+        let err = realize(&w, &ts, &overloaded, None, 10).unwrap_err();
+        assert!(matches!(err, RealizeError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn missing_arc_detected() {
+        let (w, ts, _, _) = pipeline_fixture(1000, 3);
+        // A 2-cycle between non-adjacent components (0 and 2 in a 3-ring).
+        let c0 = ts.components()[0].id();
+        let c2 = ts.outlets(ts.outlets(c0)[0])[0];
+        assert!(!ts.outlets(c0).contains(&c2));
+        let step = |c: ComponentId| CycleStep {
+            component: c,
+            action: CycleAction::Travel,
+        };
+        let bad = AgentCycleSet::new(
+            vec![AgentCycle::new(vec![step(c0), step(c2)])],
+            ts.cycle_time(),
+        );
+        let err = realize(&w, &ts, &bad, None, 10).unwrap_err();
+        assert!(matches!(err, RealizeError::MissingArc { .. }));
+    }
+
+    #[test]
+    fn inconsistent_cycle_detected() {
+        let (w, ts, _, _) = pipeline_fixture(1000, 3);
+        let c0 = ts.components()[0].id();
+        let c1 = ts.outlets(c0)[0];
+        let bad = AgentCycleSet::new(
+            vec![AgentCycle::new(vec![
+                CycleStep {
+                    component: c0,
+                    action: CycleAction::Dropoff(ProductId(0)),
+                },
+                CycleStep {
+                    component: c1,
+                    action: CycleAction::Travel,
+                },
+            ])],
+            ts.cycle_time(),
+        );
+        let err = realize(&w, &ts, &bad, None, 10).unwrap_err();
+        assert!(matches!(err, RealizeError::InconsistentCycle { .. }));
+    }
+
+    #[test]
+    fn travel_only_cycles_circulate_without_deliveries() {
+        let (w, ts, _, _) = pipeline_fixture(1000, 3);
+        let ids: Vec<ComponentId> = {
+            // Follow outlets around the ring.
+            let mut ids = vec![ts.components()[0].id()];
+            loop {
+                let next = ts.outlets(*ids.last().unwrap())[0];
+                if next == ids[0] {
+                    break;
+                }
+                ids.push(next);
+            }
+            ids
+        };
+        let cycle = AgentCycle::new(
+            ids.iter()
+                .map(|&c| CycleStep {
+                    component: c,
+                    action: CycleAction::Travel,
+                })
+                .collect(),
+        );
+        let set = AgentCycleSet::new(vec![cycle], ts.cycle_time());
+        let out = realize(&w, &ts, &set, None, 3 * ts.cycle_time()).unwrap();
+        assert_eq!(out.delivered.iter().sum::<u64>(), 0);
+        assert_eq!(out.missed_advances, 0);
+        let checker = PlanChecker::new(&w);
+        checker.check(&out.plan).unwrap();
+    }
+
+    #[test]
+    fn delivery_rate_matches_cycle_count_after_warmup() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 60);
+        // Run with no early stop for several periods.
+        let periods = 10;
+        let out = realize(&w, &ts, &cycles, None, periods * ts.cycle_time()).unwrap();
+        let per_period = cycles.deliveries_per_period();
+        // After a one-revolution warmup, each period delivers `per_period`
+        // units; allow the warmup to cost up to two revolutions' worth.
+        let revolution_periods = cycles
+            .cycles()
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(1) as u64;
+        let expected_min =
+            per_period * (periods as u64).saturating_sub(2 * revolution_periods);
+        assert!(
+            out.delivered.iter().sum::<u64>() >= expected_min,
+            "delivered {} < expected {expected_min}",
+            out.delivered.iter().sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors of the realization algorithm.
+
+use std::fmt;
+
+use wsp_traffic::ComponentId;
+
+/// Ways realization of an agent cycle set can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RealizeError {
+    /// A component hosts more agent-cycle passes than its Property 4.1
+    /// capacity `⌊|Cᵢ|/2⌋`, so the realization guarantee does not apply.
+    CapacityExceeded {
+        /// The overloaded component.
+        component: ComponentId,
+        /// Cycle passes through the component.
+        occupancy: usize,
+        /// The component's capacity.
+        capacity: usize,
+    },
+    /// A cycle step references a component id outside the traffic system.
+    UnknownComponent {
+        /// The dangling id.
+        component: ComponentId,
+    },
+    /// An agent cycle is internally inconsistent (pickup while loaded,
+    /// mismatched drop-off, …).
+    InconsistentCycle {
+        /// Description from the cycle checker.
+        detail: String,
+    },
+    /// A cycle uses an arc that is not in the traffic-system graph.
+    MissingArc {
+        /// Source component.
+        from: ComponentId,
+        /// Target component.
+        to: ComponentId,
+    },
+    /// An agent traversed its whole pickup component without finding stock
+    /// of the product it must pick up.
+    PickupMissed {
+        /// The shelving-row component.
+        component: ComponentId,
+        /// Timestep at which the agent exited empty-handed.
+        t: usize,
+    },
+}
+
+impl fmt::Display for RealizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealizeError::CapacityExceeded {
+                component,
+                occupancy,
+                capacity,
+            } => write!(
+                f,
+                "{component} hosts {occupancy} cycle passes, capacity {capacity} (Property 4.1)"
+            ),
+            RealizeError::UnknownComponent { component } => {
+                write!(f, "cycle references unknown {component}")
+            }
+            RealizeError::InconsistentCycle { detail } => {
+                write!(f, "inconsistent agent cycle: {detail}")
+            }
+            RealizeError::MissingArc { from, to } => {
+                write!(f, "cycle moves {from} -> {to}, which is not a traffic-system arc")
+            }
+            RealizeError::PickupMissed { component, t } => write!(
+                f,
+                "agent exited pickup component {component} empty-handed at t={t}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RealizeError {}

@@ -1,0 +1,45 @@
+//! Realization of agent cycle sets into discrete, collision-free plans —
+//! Algorithm 1 of the paper (§IV-C).
+//!
+//! Each timestep, every component moves the agents it contains toward its
+//! exit; the agent at the exit hops to the entry of the next component of
+//! its agent cycle once per cycle period (`t_c = 2m`, Property 4.1).
+//! Pickups and drop-offs happen while an agent traverses its target
+//! shelving row / station queue. The emitted [`wsp_model::Plan`] can be
+//! checked independently with [`wsp_model::PlanChecker`]; realization never
+//! produces vertex or edge collisions by construction, and the test suite
+//! verifies this property on every realized plan.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_flow::{synthesize_flow, FlowSynthesisOptions};
+//! use wsp_model::{Direction, GridMap, PlanChecker, ProductCatalog, ProductId, Warehouse, Workload};
+//! use wsp_realize::realize;
+//! use wsp_traffic::design_perimeter_loop;
+//!
+//! let grid = GridMap::from_ascii("...\n.#.\n.@.")?;
+//! let mut warehouse =
+//!     Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])?;
+//! warehouse.set_catalog(ProductCatalog::with_len(1));
+//! let access = warehouse.shelf_access()[0];
+//! warehouse.stock(access, ProductId(0), 1000)?;
+//! let ts = design_perimeter_loop(&warehouse, 3)?;
+//! let workload = Workload::from_demands(vec![5]);
+//!
+//! let flow = synthesize_flow(&warehouse, &ts, &workload, 600, &FlowSynthesisOptions::default())?;
+//! let cycles = flow.decompose()?;
+//! let outcome = realize(&warehouse, &ts, &cycles, Some(&workload), 600)?;
+//!
+//! // The realized plan is feasible and services the workload.
+//! let checker = PlanChecker::new(&warehouse);
+//! let stats = checker.check_services(&outcome.plan, &workload)?;
+//! assert!(stats.delivered[0] >= 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod algorithm;
+mod error;
+
+pub use algorithm::{realize, RealizeOutcome};
+pub use error::RealizeError;

@@ -1,0 +1,202 @@
+//! Traffic-system components: disjoint simple paths acting as one-way roads.
+
+use std::fmt;
+
+use wsp_model::{VertexId, Warehouse};
+
+/// Index of a component within a [`TrafficSystem`](crate::TrafficSystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The classification of a component (§IV-A): what its vertices provide
+/// access to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Contains shelf-access vertices; agents pick products up here.
+    ShelvingRow,
+    /// Contains station vertices; agents drop products off here.
+    StationQueue,
+    /// Contains neither; pure connective tissue.
+    Transport,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ComponentKind::ShelvingRow => "shelving row",
+            ComponentKind::StationQueue => "station queue",
+            ComponentKind::Transport => "transport",
+        })
+    }
+}
+
+/// A one-way road: a simple path of floorplan vertices. Agents enter at
+/// [`Component::entry`], advance along [`Component::path`], and leave from
+/// [`Component::exit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    id: ComponentId,
+    kind: ComponentKind,
+    path: Vec<VertexId>,
+}
+
+impl Component {
+    /// Creates a component, deriving its kind from the warehouse: a path
+    /// containing shelf-access vertices is a shelving row, one containing
+    /// stations is a station queue, otherwise a transport.
+    ///
+    /// Kind conflicts (both shelf access and stations) are reported by
+    /// [`TrafficSystemBuilder::build`](crate::TrafficSystemBuilder::build),
+    /// not here.
+    pub(crate) fn classify(id: ComponentId, path: Vec<VertexId>, warehouse: &Warehouse) -> Self {
+        let has_shelf = path.iter().any(|&v| warehouse.is_shelf_access(v));
+        let has_station = path.iter().any(|&v| warehouse.is_station(v));
+        let kind = if has_shelf {
+            ComponentKind::ShelvingRow
+        } else if has_station {
+            ComponentKind::StationQueue
+        } else {
+            ComponentKind::Transport
+        };
+        Component { id, kind, path }
+    }
+
+    /// The component's id.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The component's kind.
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// The vertices of the path, entry first.
+    pub fn path(&self) -> &[VertexId] {
+        &self.path
+    }
+
+    /// Number of vertices `|Cᵢ|`.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Components are never empty (validated at build time).
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// The vertex agents enter at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is empty (cannot happen for built systems).
+    pub fn entry(&self) -> VertexId {
+        *self.path.first().expect("component is non-empty")
+    }
+
+    /// The vertex agents exit from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is empty (cannot happen for built systems).
+    pub fn exit(&self) -> VertexId {
+        *self.path.last().expect("component is non-empty")
+    }
+
+    /// The vertex following `v` on the path (the paper's `NEXT(Cᵢ, u)`), or
+    /// `None` if `v` is the exit or not on the path.
+    pub fn next(&self, v: VertexId) -> Option<VertexId> {
+        let pos = self.path.iter().position(|&u| u == v)?;
+        self.path.get(pos + 1).copied()
+    }
+
+    /// Position of `v` on the path (0 = entry).
+    pub fn position(&self, v: VertexId) -> Option<usize> {
+        self.path.iter().position(|&u| u == v)
+    }
+
+    /// The agent-cycle capacity `⌊|Cᵢ|/2⌋` of Property 4.1.
+    pub fn capacity(&self) -> usize {
+        self.len() / 2
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} cells)", self.id, self.kind, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{Coord, GridMap};
+
+    fn demo_warehouse() -> Warehouse {
+        // y=1: shelf + 2 empty; y=0: empty, station, empty.
+        let grid = GridMap::from_ascii("#..\n.@.").unwrap();
+        Warehouse::from_grid(&grid).unwrap()
+    }
+
+    fn vertex(w: &Warehouse, x: u32, y: u32) -> VertexId {
+        w.graph().vertex_at(Coord::new(x, y)).unwrap()
+    }
+
+    #[test]
+    fn classification_by_content() {
+        let w = demo_warehouse();
+        // (0,0) is adjacent to shelf (0,1): shelf-access vertex.
+        let row = Component::classify(ComponentId(0), vec![vertex(&w, 0, 0)], &w);
+        assert_eq!(row.kind(), ComponentKind::ShelvingRow);
+        let queue = Component::classify(ComponentId(1), vec![vertex(&w, 1, 0)], &w);
+        assert_eq!(queue.kind(), ComponentKind::StationQueue);
+        let transport = Component::classify(ComponentId(2), vec![vertex(&w, 2, 1)], &w);
+        assert_eq!(transport.kind(), ComponentKind::Transport);
+    }
+
+    #[test]
+    fn entry_exit_next() {
+        let w = demo_warehouse();
+        let path = vec![vertex(&w, 2, 0), vertex(&w, 2, 1), vertex(&w, 1, 1)];
+        let c = Component::classify(ComponentId(0), path.clone(), &w);
+        assert_eq!(c.entry(), path[0]);
+        assert_eq!(c.exit(), path[2]);
+        assert_eq!(c.next(path[0]), Some(path[1]));
+        assert_eq!(c.next(path[2]), None);
+        assert_eq!(c.position(path[1]), Some(1));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn capacity_floors() {
+        let w = demo_warehouse();
+        let c1 = Component::classify(ComponentId(0), vec![vertex(&w, 2, 1)], &w);
+        assert_eq!(c1.capacity(), 0);
+        let c4 = Component::classify(
+            ComponentId(1),
+            vec![
+                vertex(&w, 1, 1),
+                vertex(&w, 2, 1),
+                vertex(&w, 2, 0),
+                vertex(&w, 1, 0),
+            ],
+            &w,
+        );
+        assert_eq!(c4.capacity(), 2);
+    }
+}

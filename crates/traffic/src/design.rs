@@ -1,0 +1,245 @@
+//! Topology design helpers: the building blocks map generators use to carve
+//! grids into traffic systems, plus a generic perimeter-loop designer.
+//!
+//! The *co-design* knob of the paper is exactly here: the same warehouse
+//! admits many traffic systems, and which one is chosen changes the capacity
+//! constraints handed to flow synthesis. The paper-scale designers
+//! (fulfillment center, sorting center) live in `wsp-maps`, where the layout
+//! parameters are known; this module provides the shared mechanics.
+
+use wsp_model::{Coord, Warehouse};
+
+use crate::{ComponentId, TrafficError, TrafficSystem, TrafficSystemBuilder};
+
+/// A straight run of grid cells, the basic brick of lane-based designs.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_traffic::LaneSpec;
+///
+/// let lane = LaneSpec::straight((2, 5), (5, 5));
+/// assert_eq!(lane.coords(), &[(2, 5), (3, 5), (4, 5), (5, 5)]);
+/// let down = LaneSpec::straight((1, 3), (1, 1));
+/// assert_eq!(down.coords(), &[(1, 3), (1, 2), (1, 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpec {
+    coords: Vec<(u32, u32)>,
+}
+
+impl LaneSpec {
+    /// A horizontal or vertical run from `from` to `to`, inclusive, in
+    /// travel order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints share neither a row nor a column.
+    pub fn straight(from: (u32, u32), to: (u32, u32)) -> Self {
+        assert!(
+            from.0 == to.0 || from.1 == to.1,
+            "lane endpoints {from:?} and {to:?} are not aligned"
+        );
+        let mut coords = Vec::new();
+        if from.1 == to.1 {
+            let y = from.1;
+            if from.0 <= to.0 {
+                coords.extend((from.0..=to.0).map(|x| (x, y)));
+            } else {
+                coords.extend((to.0..=from.0).rev().map(|x| (x, y)));
+            }
+        } else {
+            let x = from.0;
+            if from.1 <= to.1 {
+                coords.extend((from.1..=to.1).map(|y| (x, y)));
+            } else {
+                coords.extend((to.1..=from.1).rev().map(|y| (x, y)));
+            }
+        }
+        LaneSpec { coords }
+    }
+
+    /// The cells of the lane, in travel order.
+    pub fn coords(&self) -> &[(u32, u32)] {
+        &self.coords
+    }
+
+    /// Appends another lane's cells (e.g. to turn a corner). The first cell
+    /// of `other` must continue the path; duplicates are the caller's
+    /// responsibility and are caught by traffic-system validation.
+    pub fn then(mut self, other: LaneSpec) -> LaneSpec {
+        self.coords.extend(other.coords);
+        self
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the lane has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Designs a single clockwise perimeter loop around a rectangular warehouse,
+/// chopped into components of at most `max_len` cells.
+///
+/// Requires every border cell to be traversable and every shelf-access and
+/// station vertex to lie on the border (otherwise validation fails). Useful
+/// for small demonstration warehouses and as the simplest complete designer.
+///
+/// # Errors
+///
+/// Returns the first [`TrafficError`] if the perimeter design violates the
+/// composition rules (e.g. interior shelf access left uncovered).
+pub fn design_perimeter_loop(
+    warehouse: &Warehouse,
+    max_len: usize,
+) -> Result<TrafficSystem, TrafficError> {
+    let grid = warehouse.grid();
+    let (w, h) = (grid.width(), grid.height());
+    // Clockwise from the bottom-left corner: up, right, down, left.
+    let mut ring: Vec<(u32, u32)> = Vec::new();
+    ring.extend((0..h).map(|y| (0, y)));
+    ring.extend((1..w).map(|x| (x, h - 1)));
+    ring.extend((0..h - 1).rev().map(|y| (w - 1, y)));
+    ring.extend((1..w - 1).rev().map(|x| (x, 0)));
+
+    let max_len = max_len.max(2);
+    let mut builder = TrafficSystemBuilder::new();
+    let mut ids: Vec<ComponentId> = Vec::new();
+    let mut chunk: Vec<(u32, u32)> = Vec::new();
+    // Avoid a trailing 1-cell component (capacity 0): fold a short remainder
+    // into the previous chunk by splitting the ring evenly.
+    let pieces = ring.len().div_ceil(max_len);
+    let target = ring.len().div_ceil(pieces);
+    for &cell in &ring {
+        chunk.push(cell);
+        if chunk.len() == target {
+            ids.push(push_chunk(&mut builder, warehouse, &chunk)?);
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        ids.push(push_chunk(&mut builder, warehouse, &chunk)?);
+    }
+    for i in 0..ids.len() {
+        builder.connect(ids[i], ids[(i + 1) % ids.len()]);
+    }
+    builder.build(warehouse)
+}
+
+fn push_chunk(
+    builder: &mut TrafficSystemBuilder,
+    warehouse: &Warehouse,
+    chunk: &[(u32, u32)],
+) -> Result<ComponentId, TrafficError> {
+    builder
+        .add_component_coords(warehouse, chunk.iter().copied())
+        .map_err(|_| {
+            // A border cell was not traversable: report it as a broken path
+            // on the component about to be created.
+            TrafficError::BrokenPath {
+                component: ComponentId(builder.component_count() as u32),
+                at: 0,
+            }
+        })
+}
+
+/// Returns `true` if every border cell of the warehouse grid is traversable
+/// (the precondition of [`design_perimeter_loop`]).
+pub fn perimeter_is_open(warehouse: &Warehouse) -> bool {
+    let grid = warehouse.grid();
+    let (w, h) = (grid.width(), grid.height());
+    let border = (0..w)
+        .flat_map(|x| [(x, 0), (x, h - 1)])
+        .chain((0..h).flat_map(|y| [(0, y), (w - 1, y)]));
+    border
+        .map(|(x, y)| Coord::new(x, y))
+        .all(|c| grid.get(c).is_some_and(|k| k.is_traversable()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{Direction, GridMap};
+
+    #[test]
+    fn lane_spec_directions() {
+        assert_eq!(
+            LaneSpec::straight((0, 0), (2, 0)).coords(),
+            &[(0, 0), (1, 0), (2, 0)]
+        );
+        assert_eq!(
+            LaneSpec::straight((2, 0), (0, 0)).coords(),
+            &[(2, 0), (1, 0), (0, 0)]
+        );
+        assert_eq!(
+            LaneSpec::straight((0, 2), (0, 0)).coords(),
+            &[(0, 2), (0, 1), (0, 0)]
+        );
+        let single = LaneSpec::straight((3, 3), (3, 3));
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn diagonal_lane_panics() {
+        let _ = LaneSpec::straight((0, 0), (1, 1));
+    }
+
+    #[test]
+    fn then_concatenates_corners() {
+        let l = LaneSpec::straight((0, 0), (2, 0)).then(LaneSpec::straight((2, 1), (2, 2)));
+        assert_eq!(l.coords(), &[(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]);
+    }
+
+    /// 5x4 map with a shelf block in the middle and stations on the border.
+    fn border_warehouse() -> Warehouse {
+        // y=3: .....   y=2: .##..   y=1: .....   y=0: ..@..
+        let grid = GridMap::from_ascii(".....\n.##..\n.....\n..@..").unwrap();
+        Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap()
+    }
+
+    #[test]
+    fn perimeter_loop_fails_with_interior_access() {
+        // Shelf access (0,2) is on the border (covered), but (3,2) is
+        // interior, so the perimeter loop must fail with UncoveredVertex.
+        let w = border_warehouse();
+        let err = design_perimeter_loop(&w, 4).unwrap_err();
+        assert!(matches!(err, TrafficError::UncoveredVertex { .. }));
+    }
+
+    #[test]
+    fn perimeter_loop_succeeds_when_everything_is_on_the_border() {
+        // Shelf at (1,1) of a 3x3 with east/west access on border columns?
+        // access cells: (0,1) and (2,1) — both border. Station (1,0) border.
+        let grid = GridMap::from_ascii("...\n#..\n.@.").unwrap();
+        // Shelf at (0,1): access east only -> (1,1) which is interior of a
+        // 3x3... instead put shelf in the middle: "." rows
+        let _ = grid;
+        let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
+        let w = Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])
+            .unwrap();
+        let ts = design_perimeter_loop(&w, 3).expect("valid perimeter design");
+        assert!(ts.is_strongly_connected());
+        assert!(ts.shelving_rows().count() >= 1);
+        assert_eq!(ts.station_queues().count(), 1);
+        // All components between 2 and 3 cells: capacity >= 1.
+        for c in ts.components() {
+            assert!(c.capacity() >= 1, "{c} has zero capacity");
+        }
+    }
+
+    #[test]
+    fn perimeter_openness_check() {
+        let w = border_warehouse();
+        assert!(perimeter_is_open(&w));
+        let grid = GridMap::from_ascii("#..\n..@\n.#.").unwrap();
+        let closed = Warehouse::from_grid(&grid).unwrap();
+        assert!(!perimeter_is_open(&closed));
+    }
+}

@@ -1,0 +1,148 @@
+//! ASCII rendering of traffic systems in the style of the paper's Figs. 4
+//! and 5: component exits marked `!`, other component cells drawn as arrows
+//! pointing to the next vertex of their component.
+
+use wsp_model::{CellKind, Coord, Warehouse};
+
+use crate::TrafficSystem;
+
+/// Renders a warehouse and its traffic system as ASCII art (top row first).
+///
+/// Legend (matching the paper's figure conventions):
+///
+/// * `#` shelf, `x` obstacle, `@` uncovered station, `.` unused floor;
+/// * `!` the exit of a component (the paper's green exclamation cell);
+/// * `> < ^ v` a component cell, pointing at the next vertex of its path.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{Direction, GridMap, Warehouse};
+/// use wsp_traffic::{design_perimeter_loop, render_traffic_system};
+///
+/// let grid = GridMap::from_ascii("...\n.#.\n.@.")?;
+/// let warehouse =
+///     Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])?;
+/// let ts = design_perimeter_loop(&warehouse, 3)?;
+/// let art = render_traffic_system(&warehouse, &ts);
+/// assert_eq!(art.lines().count(), 3);
+/// assert!(art.contains('!'));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_traffic_system(warehouse: &Warehouse, ts: &TrafficSystem) -> String {
+    let grid = warehouse.grid();
+    let graph = warehouse.graph();
+    let mut out = String::with_capacity((grid.width() as usize + 1) * grid.height() as usize);
+    for y in (0..grid.height()).rev() {
+        for x in 0..grid.width() {
+            let at = Coord::new(x, y);
+            let kind = grid.get(at).expect("in bounds");
+            let ch = match graph.vertex_at(at) {
+                Some(v) => match ts.component_of(v) {
+                    Some(cid) => {
+                        let comp = ts.component(cid);
+                        match comp.next(v) {
+                            None => '!',
+                            Some(next) => {
+                                let nc = graph.coord(next);
+                                if nc.x > at.x {
+                                    '>'
+                                } else if nc.x < at.x {
+                                    '<'
+                                } else if nc.y > at.y {
+                                    '^'
+                                } else {
+                                    'v'
+                                }
+                            }
+                        }
+                    }
+                    None => kind.to_char(),
+                },
+                None => kind.to_char(),
+            };
+            out.push(ch);
+        }
+        if y != 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Summarizes a traffic system: component counts by kind, longest
+/// component, cycle time — the numbers quoted when describing Figs. 4/5.
+pub fn describe_traffic_system(warehouse: &Warehouse, ts: &TrafficSystem) -> String {
+    let shelves = warehouse.shelf_count();
+    format!(
+        "{} cells, {} shelves, {} stations | {} components \
+         ({} shelving rows, {} station queues, {} transports), m = {}, t_c = {}",
+        warehouse.grid().cell_count(),
+        shelves,
+        warehouse.stations().len(),
+        ts.component_count(),
+        ts.shelving_rows().count(),
+        ts.station_queues().count(),
+        ts.transports().count(),
+        ts.max_component_len(),
+        ts.cycle_time(),
+    )
+}
+
+// `CellKind` is used in the doc comment legend; keep the import honest.
+#[allow(unused)]
+fn _legend(kind: CellKind) -> char {
+    kind.to_char()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_model::{Direction, GridMap};
+
+    fn demo() -> (Warehouse, TrafficSystem) {
+        let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
+        let w = Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])
+            .unwrap();
+        let ts = crate::design_perimeter_loop(&w, 3).unwrap();
+        (w, ts)
+    }
+
+    #[test]
+    fn render_marks_shelves_and_exits() {
+        let (w, ts) = demo();
+        let art = render_traffic_system(&w, &ts);
+        assert!(art.contains('#'));
+        assert!(art.contains('!'));
+        // The whole perimeter is covered: no '.' on the border.
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].contains('.'));
+        assert!(!lines[2].contains('.'));
+    }
+
+    #[test]
+    fn render_dimensions_match_grid() {
+        let (w, ts) = demo();
+        let art = render_traffic_system(&w, &ts);
+        for line in art.lines() {
+            assert_eq!(line.chars().count(), w.grid().width() as usize);
+        }
+    }
+
+    #[test]
+    fn exits_count_matches_components() {
+        let (w, ts) = demo();
+        let art = render_traffic_system(&w, &ts);
+        let bangs = art.chars().filter(|&c| c == '!').count();
+        assert_eq!(bangs, ts.component_count());
+    }
+
+    #[test]
+    fn description_mentions_counts() {
+        let (w, ts) = demo();
+        let d = describe_traffic_system(&w, &ts);
+        assert!(d.contains("components"));
+        assert!(d.contains("t_c"));
+    }
+}

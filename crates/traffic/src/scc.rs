@@ -1,0 +1,113 @@
+//! Tarjan's strongly-connected-components algorithm on the traffic-system
+//! graph (iterative, so deep systems cannot overflow the stack).
+
+/// Computes the strongly connected components of a directed graph given as
+/// adjacency lists. Returns one `Vec` of node indices per SCC, in reverse
+/// topological order of the condensation.
+pub(crate) fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Explicit DFS state: (node, child-iteration position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        work.push((start, 0));
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *pos < adj[v].len() {
+                let w = adj[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let sccs = strongly_connected_components(&adj);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 3);
+    }
+
+    #[test]
+    fn chain_is_singleton_sccs() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let sccs = strongly_connected_components(&adj);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // 0 <-> 1, 2 <-> 3, bridge 1 -> 2.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let sccs = strongly_connected_components(&adj);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Vec<Vec<usize>> = Vec::new();
+        assert!(strongly_connected_components(&adj).is_empty());
+    }
+
+    #[test]
+    fn self_loop() {
+        let adj = vec![vec![0]];
+        let sccs = strongly_connected_components(&adj);
+        assert_eq!(sccs.len(), 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node cycle exercises the iterative implementation.
+        let n = 100_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        let sccs = strongly_connected_components(&adj);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+    }
+}

@@ -1,0 +1,88 @@
+//! Baseline comparison: contract-based co-design vs search-based MAPF.
+//!
+//! Mirrors the §V comparison: the baseline (Iterated ECBS / prioritized
+//! planning) is given the same shelf->station itineraries that the
+//! co-design pipeline produces, and its runtime growth with team size is
+//! measured against the pipeline's (which is insensitive to agent count).
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+
+use std::time::Instant;
+
+use wsp_core::{solve, PipelineOptions, WspInstance};
+use wsp_mapf::{InnerSolver, IteratedPlanner, MapfProblem, PrioritizedPlanner};
+use wsp_model::VertexId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let map = wsp_maps::sorting_center()?;
+
+    for units in [20u64, 40, 80] {
+        // Ours: full pipeline.
+        let workload = map.uniform_workload(units);
+        let instance = WspInstance::new(
+            map.warehouse.clone(),
+            map.traffic.clone(),
+            workload,
+            3_600,
+        );
+        let t0 = Instant::now();
+        let report = solve(&instance, &PipelineOptions::default())?;
+        let ours = t0.elapsed();
+
+        // Baseline: extract each agent's visit sequence from our plan and
+        // ask the search-based planner to realize the same itineraries.
+        let starts: Vec<VertexId> = (0..report.outcome.plan.agent_count())
+            .map(|a| report.outcome.plan.state(a, 0).expect("state").at)
+            .collect();
+        let itineraries = itineraries_from_plan(&report);
+        let problem = MapfProblem::new(map.warehouse.graph(), starts, itineraries)
+            .with_max_time(20_000);
+        let planner = IteratedPlanner {
+            inner: InnerSolver::Prioritized(PrioritizedPlanner::default()),
+            max_iterations: 64,
+        };
+        let t1 = Instant::now();
+        let baseline = planner.solve(&problem);
+        let base_elapsed = t1.elapsed();
+
+        println!(
+            "{units:4} units | ours: {} agents in {:.3}s | baseline ({} agents): {}",
+            report.outcome.agents,
+            ours.as_secs_f64(),
+            report.outcome.agents,
+            match baseline {
+                Ok(sol) => format!(
+                    "solved in {:.3}s (makespan {})",
+                    base_elapsed.as_secs_f64(),
+                    sol.makespan()
+                ),
+                Err(e) => format!("gave up after {:.3}s ({e})", base_elapsed.as_secs_f64()),
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Each agent's first few waypoints (pickup/drop-off positions) from the
+/// realized plan.
+fn itineraries_from_plan(report: &wsp_core::PipelineReport) -> Vec<Vec<VertexId>> {
+    let plan = &report.outcome.plan;
+    (0..plan.agent_count())
+        .map(|a| {
+            let mut goals = Vec::new();
+            let traj = plan.trajectory(a);
+            for w in traj.windows(2) {
+                if w[0].carry != w[1].carry {
+                    goals.push(w[1].at);
+                    if goals.len() >= 4 {
+                        break;
+                    }
+                }
+            }
+            if goals.is_empty() {
+                goals.push(traj.last().expect("non-empty").at);
+            }
+            goals
+        })
+        .collect()
+}

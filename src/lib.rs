@@ -1,0 +1,6 @@
+//! Reproduction of "Co-Design of Topology, Scheduling, and Path Planning in Automated Warehouses" (DATE 2023).
+//!
+//! This umbrella crate re-exports the workspace crates; see `wsp-core` for the pipeline.
+
+pub use wsp_core as core;
+pub use wsp_model as model;
