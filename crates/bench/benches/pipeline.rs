@@ -1,0 +1,62 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_core::{solve, PipelineOptions, WspInstance};
+
+/// End-to-end pipeline timing on the evaluation maps: traffic system →
+/// contracts → flows → cycles → realized plan. This is the bench the
+/// flat-graph refactor trajectory is tracked against (BENCH_baseline.json).
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    // Only the sorting center runs the strict integer pipeline end to end
+    // (the fulfillment centers' Table I workloads are benched through the
+    // relaxed paper-mode synthesis in `table1.rs`; their integer solves
+    // take minutes and are not a per-PR regression gate).
+    let rows = [(wsp_maps::sorting_center().expect("sorting builds"), 160u64)];
+    for (map, units) in rows {
+        let name = map.name.replace(' ', "_");
+        group.bench_function(format!("solve-{name}-{units}"), |b| {
+            b.iter(|| {
+                let workload = map.uniform_workload(units);
+                let instance =
+                    WspInstance::new(map.warehouse.clone(), map.traffic.clone(), workload, 3_600);
+                criterion::black_box(solve(&instance, &PipelineOptions::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Realization alone (the per-timestep hot path) on the sorting center:
+/// synthesize once, realize repeatedly over the full horizon.
+fn bench_realize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realize");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let map = wsp_maps::sorting_center().expect("sorting builds");
+    let workload = map.uniform_workload(160);
+    let flow = wsp_flow::synthesize_flow(
+        &map.warehouse,
+        &map.traffic,
+        &workload,
+        3_600,
+        &wsp_flow::FlowSynthesisOptions::default(),
+    )
+    .expect("flow synthesizes");
+    let cycles = flow.decompose().expect("decomposes");
+    group.bench_function("sorting_center-160", |b| {
+        b.iter(|| {
+            criterion::black_box(wsp_realize::realize(
+                &map.warehouse,
+                &map.traffic,
+                &cycles,
+                None,
+                600,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_realize);
+criterion_main!(benches);

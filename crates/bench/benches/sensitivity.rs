@@ -12,10 +12,9 @@ fn bench_sensitivity(c: &mut Criterion) {
     for (map, base) in [(&sorting, 160u64), (&f1, 550u64)] {
         for scale in [1u64, 2, 4] {
             let units = base * scale;
-            group.bench_function(
-                format!("{}-x{scale}", map.name.replace(' ', "_")),
-                |b| b.iter(|| criterion::black_box(run_paper_mode(map, units))),
-            );
+            group.bench_function(format!("{}-x{scale}", map.name.replace(' ', "_")), |b| {
+                b.iter(|| criterion::black_box(run_paper_mode(map, units)))
+            });
         }
     }
     group.finish();

@@ -16,8 +16,7 @@ fn main() {
     println!("{:<8} {:>14} {:>14}", "agents", "prioritized", "ECBS(2)");
     for agents in [2usize, 4, 8, 16, 24] {
         let starts: Vec<VertexId> = vs.iter().take(agents).copied().collect();
-        let goals: Vec<Vec<VertexId>> =
-            vs.iter().rev().take(agents).map(|&g| vec![g]).collect();
+        let goals: Vec<Vec<VertexId>> = vs.iter().rev().take(agents).map(|&g| vec![g]).collect();
         let p = MapfProblem::new(&graph, starts, goals);
 
         let t0 = Instant::now();

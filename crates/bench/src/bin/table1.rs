@@ -9,13 +9,16 @@ fn main() {
     println!("paper mode = real-valued flows, no entry-capacity assumption (the");
     println!("configuration that reproduces the paper's feasibility pattern).\n");
     println!(
-        "{:<16} {:>8} {:>7}  {}",
-        "Map", "Products", "Units", "Paper mode (flow synthesis)"
+        "{:<16} {:>8} {:>7}  Paper mode (flow synthesis)",
+        "Map", "Products", "Units"
     );
     for (map, workloads) in table1_rows() {
         for units in workloads {
             let result = run_paper_mode(&map, units);
-            println!("{:<16} {:>8} {:>7}  {result}", map.name, map.products, units);
+            println!(
+                "{:<16} {:>8} {:>7}  {result}",
+                map.name, map.products, units
+            );
         }
     }
 
@@ -23,7 +26,10 @@ fn main() {
     for (map, workloads) in table1_rows() {
         for units in workloads {
             let result = run_strict_relaxed(&map, units);
-            println!("{:<16} {:>8} {:>7}  {result}", map.name, map.products, units);
+            println!(
+                "{:<16} {:>8} {:>7}  {result}",
+                map.name, map.products, units
+            );
         }
     }
 
@@ -31,7 +37,10 @@ fn main() {
     for (map, workloads) in table1_rows() {
         for units in workloads {
             let result = run_strict_integer(&map, units);
-            println!("{:<16} {:>8} {:>7}  {result}", map.name, map.products, units);
+            println!(
+                "{:<16} {:>8} {:>7}  {result}",
+                map.name, map.products, units
+            );
         }
     }
 }

@@ -94,10 +94,7 @@ impl Predicate {
             &BoundOverrides::none(),
             &SimplexOptions::default(),
         )?;
-        Ok(matches!(
-            out,
-            LpOutcome::Optimal(_) | LpOutcome::Unbounded
-        ))
+        Ok(matches!(out, LpOutcome::Optimal(_) | LpOutcome::Unbounded))
     }
 
     /// Whether `self ⟹ other` over non-negative valuations: every point of

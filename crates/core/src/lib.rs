@@ -237,11 +237,8 @@ mod tests {
 
     fn tiny_instance(demand: u64) -> WspInstance {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(1));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), 10_000).unwrap();

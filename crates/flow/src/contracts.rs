@@ -327,11 +327,8 @@ mod tests {
 
     fn tiny() -> (Warehouse, TrafficSystem) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(2));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), 30).unwrap();
@@ -350,10 +347,7 @@ mod tests {
         // Only the stocked row gets an fin var.
         assert_eq!(vars.fin_entries().count(), 1);
         // Every queue gets an fout var for the demanded product.
-        assert_eq!(
-            vars.fout_entries().count(),
-            ts.station_queues().count()
-        );
+        assert_eq!(vars.fout_entries().count(), ts.station_queues().count());
     }
 
     #[test]

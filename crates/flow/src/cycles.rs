@@ -211,7 +211,10 @@ impl AgentCycleSet {
 
     /// Units delivered per cycle period across all cycles.
     pub fn deliveries_per_period(&self) -> u64 {
-        self.cycles.iter().map(AgentCycle::deliveries_per_period).sum()
+        self.cycles
+            .iter()
+            .map(AgentCycle::deliveries_per_period)
+            .sum()
     }
 
     /// How many times `component` appears across all cycles — the quantity
@@ -306,7 +309,10 @@ mod tests {
 
     #[test]
     fn travel_only_cycle_is_consistent() {
-        let c = AgentCycle::new(vec![step(0, CycleAction::Travel), step(1, CycleAction::Travel)]);
+        let c = AgentCycle::new(vec![
+            step(0, CycleAction::Travel),
+            step(1, CycleAction::Travel),
+        ]);
         assert_eq!(c.carry_inconsistency(), None);
         assert_eq!(c.deliveries_per_period(), 0);
     }

@@ -49,7 +49,10 @@ pub enum FlowError {
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlowError::HorizonTooShort { t_limit, cycle_time } => write!(
+            FlowError::HorizonTooShort {
+                t_limit,
+                cycle_time,
+            } => write!(
                 f,
                 "plan horizon {t_limit} is shorter than one cycle period {cycle_time}"
             ),

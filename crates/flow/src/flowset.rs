@@ -117,7 +117,10 @@ impl AgentFlowSet {
 
     /// The pickup rate `f_in_{i,k}`.
     pub fn pickup(&self, component: ComponentId, product: ProductId) -> u64 {
-        self.pickups.get(&(component, product)).copied().unwrap_or(0)
+        self.pickups
+            .get(&(component, product))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The drop-off rate `f_out_{i,k}`.
@@ -129,7 +132,9 @@ impl AgentFlowSet {
     }
 
     /// All non-zero edge flows as `(from, to, commodity, count)`.
-    pub fn edge_flows(&self) -> impl Iterator<Item = (ComponentId, ComponentId, Commodity, u64)> + '_ {
+    pub fn edge_flows(
+        &self,
+    ) -> impl Iterator<Item = (ComponentId, ComponentId, Commodity, u64)> + '_ {
         self.edges.iter().map(|(&(i, j, k), &n)| (i, j, k, n))
     }
 
@@ -191,11 +196,10 @@ impl AgentFlowSet {
     ) -> Vec<String> {
         let mut violations = Vec::new();
 
-        // Flows only on traffic-system arcs.
-        let arcs: std::collections::HashSet<(ComponentId, ComponentId)> =
-            traffic.arcs().collect();
+        // Flows only on traffic-system arcs (outlet slices are 1-2 long).
         for (i, j, k, n) in self.edge_flows() {
-            if !arcs.contains(&(i, j)) {
+            let is_arc = i.index() < traffic.component_count() && traffic.outlets(i).contains(&j);
+            if !is_arc {
                 violations.push(format!("flow {n}x{k} on non-arc {i}->{j}"));
             }
         }

@@ -189,11 +189,7 @@ fn layered_component_contracts(
     contracts
 }
 
-fn layered_workload_contract(
-    workload: &Workload,
-    vars: &LayeredVars,
-    periods: u64,
-) -> AgContract {
+fn layered_workload_contract(workload: &Workload, vars: &LayeredVars, periods: u64) -> AgContract {
     let mut guarantee = Predicate::top();
     for (p, demand) in workload.iter() {
         let mut expr = LinExpr::new();
@@ -287,11 +283,8 @@ pub fn synthesize_layered(
         .iter()
         .map(|(&arc, &v)| (arc, value(v)))
         .collect();
-    let mut rem_drop: BTreeMap<ComponentId, u64> = vars
-        .dropoffs
-        .iter()
-        .map(|(&c, &v)| (c, value(v)))
-        .collect();
+    let mut rem_drop: BTreeMap<ComponentId, u64> =
+        vars.dropoffs.iter().map(|(&c, &v)| (c, value(v))).collect();
 
     let mut flow = AgentFlowSet::new(cycle_time, periods);
     for (&(i, j), &v) in &vars.unloaded {
@@ -371,7 +364,11 @@ pub(crate) fn relaxed_system(
     let system = AgContract::compose_all("traffic-system", components.iter());
     let full = system.conjoin(&layered_workload_contract(workload, &vars, periods));
     let objective = total_flow(&vars);
-    (crate::relaxed::relax_registry(&vars.registry), full, objective)
+    (
+        crate::relaxed::relax_registry(&vars.registry),
+        full,
+        objective,
+    )
 }
 
 fn total_flow(vars: &LayeredVars) -> LinExpr {
@@ -391,11 +388,8 @@ mod tests {
 
     fn tiny(stock: u64) -> (Warehouse, TrafficSystem) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(1));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), stock).unwrap();
@@ -408,8 +402,7 @@ mod tests {
         let (w, ts) = tiny(100);
         let workload = Workload::from_demands(vec![10]);
         let flow =
-            synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
-                .unwrap();
+            synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default()).unwrap();
         assert!(flow.total_deliveries() >= 10);
         assert!(flow.validate(&w, &ts, &workload).is_empty());
     }
@@ -440,9 +433,8 @@ mod tests {
     fn infeasible_demand_detected() {
         let (w, ts) = tiny(2);
         let workload = Workload::from_demands(vec![500]);
-        let err =
-            synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
-                .unwrap_err();
+        let err = synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
+            .unwrap_err();
         assert!(matches!(err, FlowError::Infeasible { .. }));
     }
 
@@ -460,8 +452,7 @@ mod tests {
         let (w, ts) = tiny(100);
         let workload = Workload::from_demands(vec![30]);
         let flow =
-            synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
-                .unwrap();
+            synthesize_layered(&w, &ts, &workload, 600, &FlowSynthesisOptions::default()).unwrap();
         let cycles = flow.decompose().unwrap();
         for c in cycles.cycles() {
             assert_eq!(c.carry_inconsistency(), None);

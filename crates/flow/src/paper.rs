@@ -66,7 +66,7 @@ pub fn synthesize_paper(
             // Cannot happen: the objective is a non-negative sum.
             return Err(FlowError::Infeasible {
                 detail: "unbounded flow relaxation (encoder bug)".into(),
-            })
+            });
         }
     };
 
@@ -103,11 +103,8 @@ mod tests {
 
     fn tiny(stock: u64) -> (Warehouse, TrafficSystem) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(1));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), stock).unwrap();

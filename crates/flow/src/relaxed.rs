@@ -18,7 +18,7 @@ use wsp_lp::{solve_lp, BoundOverrides, LinExpr, LpOutcome, Rational, Relation, S
 use wsp_model::{Warehouse, Workload};
 use wsp_traffic::TrafficSystem;
 
-use crate::{FlowError, FlowEngine, FlowSynthesisOptions};
+use crate::{FlowEngine, FlowError, FlowSynthesisOptions};
 
 /// Summary of a relaxed (real-valued) synthesis run.
 #[derive(Debug, Clone)]
@@ -58,17 +58,29 @@ pub fn synthesize_flow_relaxed(
     let periods = crate::effective_periods(t_limit, cycle_time, options);
 
     let (registry, contract, objective) = match options.engine {
-        FlowEngine::LayeredIlp => {
-            crate::layered::relaxed_system(warehouse, traffic, workload, periods, !options.skip_capacity)
-        }
-        FlowEngine::PaperIlp => {
-            paper_relaxed_parts(warehouse, traffic, workload, periods, !options.skip_capacity)
-        }
+        FlowEngine::LayeredIlp => crate::layered::relaxed_system(
+            warehouse,
+            traffic,
+            workload,
+            periods,
+            !options.skip_capacity,
+        ),
+        FlowEngine::PaperIlp => paper_relaxed_parts(
+            warehouse,
+            traffic,
+            workload,
+            periods,
+            !options.skip_capacity,
+        ),
     };
     let problem = contract.synthesis_problem(&registry, objective);
     let (variables, constraints) = (problem.var_count(), problem.constraint_count());
 
-    match solve_lp::<f64>(&problem, &BoundOverrides::none(), &SimplexOptions::default())? {
+    match solve_lp::<f64>(
+        &problem,
+        &BoundOverrides::none(),
+        &SimplexOptions::default(),
+    )? {
         LpOutcome::Optimal(sol) => Ok(RelaxedFlowSummary {
             objective: sol.objective,
             cycle_time,
@@ -105,7 +117,9 @@ pub(crate) fn paper_relaxed_parts(
     let components =
         crate::contracts::component_contracts(warehouse, traffic, &vars, periods, enforce_capacity);
     let system = AgContract::compose_all("traffic-system", components.iter());
-    let full = system.conjoin(&crate::contracts::workload_contract(workload, &vars, periods));
+    let full = system.conjoin(&crate::contracts::workload_contract(
+        workload, &vars, periods,
+    ));
     let relaxed_registry = relax_registry(vars.registry());
     (relaxed_registry, full, vars.total_flow_objective())
 }
@@ -132,11 +146,8 @@ mod tests {
 
     fn tiny() -> (Warehouse, TrafficSystem) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(1));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), 1000).unwrap();
@@ -162,14 +173,9 @@ mod tests {
     fn relaxed_paper_engine_agrees_with_layered() {
         let (w, ts) = tiny();
         let workload = Workload::from_demands(vec![10]);
-        let layered = synthesize_flow_relaxed(
-            &w,
-            &ts,
-            &workload,
-            600,
-            &FlowSynthesisOptions::default(),
-        )
-        .unwrap();
+        let layered =
+            synthesize_flow_relaxed(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
+                .unwrap();
         let paper = synthesize_flow_relaxed(
             &w,
             &ts,
@@ -196,14 +202,9 @@ mod tests {
         let (w, ts) = tiny();
         // Demand far beyond stock rate.
         let workload = Workload::from_demands(vec![1_000_000]);
-        let err = synthesize_flow_relaxed(
-            &w,
-            &ts,
-            &workload,
-            600,
-            &FlowSynthesisOptions::default(),
-        )
-        .unwrap_err();
+        let err =
+            synthesize_flow_relaxed(&w, &ts, &workload, 600, &FlowSynthesisOptions::default())
+                .unwrap_err();
         assert!(matches!(err, FlowError::Infeasible { .. }));
     }
 }

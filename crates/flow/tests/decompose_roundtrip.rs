@@ -27,13 +27,14 @@ struct RandomCycle {
 }
 
 fn random_cycles() -> impl Strategy<Value = Vec<RandomCycle>> {
-    let cycle = (0..64usize, 0..64usize, 0..3u32).prop_map(|(pick_choice, drop_choice, product)| {
-        RandomCycle {
-            pick_choice,
-            drop_choice,
-            product,
-        }
-    });
+    let cycle =
+        (0..64usize, 0..64usize, 0..3u32).prop_map(|(pick_choice, drop_choice, product)| {
+            RandomCycle {
+                pick_choice,
+                drop_choice,
+                product,
+            }
+        });
     proptest::collection::vec(cycle, 1..8)
 }
 

@@ -106,7 +106,10 @@ impl std::fmt::Display for IlpError {
         match self {
             IlpError::Lp(e) => write!(f, "lp kernel: {e}"),
             IlpError::LimitWithoutSolution { nodes } => {
-                write!(f, "limit reached after {nodes} nodes with no integer solution")
+                write!(
+                    f,
+                    "limit reached after {nodes} nodes with no integer solution"
+                )
             }
         }
     }
@@ -170,9 +173,7 @@ pub fn solve_ilp(problem: &Problem, options: &IlpOptions) -> Result<IlpOutcome, 
 
     while let Some(bounds) = stack.pop() {
         if nodes >= options.max_nodes
-            || options
-                .time_limit
-                .is_some_and(|lim| start.elapsed() >= lim)
+            || options.time_limit.is_some_and(|lim| start.elapsed() >= lim)
         {
             limit_hit = true;
             break;
@@ -248,9 +249,7 @@ pub fn solve_ilp(problem: &Problem, options: &IlpOptions) -> Result<IlpOutcome, 
                         // Rounding broke exact feasibility: redo this node
                         // with the exact simplex.
                         let exact_node = solve_node_exact_rational(problem, &bounds, options)?;
-                        if let Some((vals, frac)) =
-                            exact_node_candidate(&int_vars, exact_node)
-                        {
+                        if let Some((vals, frac)) = exact_node_candidate(&int_vars, exact_node) {
                             match frac {
                                 None => {
                                     let obj = problem.objective().eval(&vals);
@@ -539,10 +538,7 @@ mod tests {
                 ..IlpOptions::default()
             },
         );
-        assert!(matches!(
-            out,
-            Err(IlpError::LimitWithoutSolution { .. })
-        ));
+        assert!(matches!(out, Err(IlpError::LimitWithoutSolution { .. })));
     }
 
     #[test]

@@ -358,7 +358,12 @@ impl Problem {
         }
         for c in &self.constraints {
             if !c.is_satisfied(values) {
-                out.push(format!("{}: {} (lhs = {})", c.label, c, c.expr.eval(values)));
+                out.push(format!(
+                    "{}: {} (lhs = {})",
+                    c.label,
+                    c,
+                    c.expr.eval(values)
+                ));
             }
         }
         out

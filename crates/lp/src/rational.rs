@@ -237,6 +237,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a / b == a * b^-1 by definition
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -355,7 +356,10 @@ mod tests {
     fn ordering() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
-        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(2, 6).cmp(&Rational::new(1, 3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -319,8 +319,8 @@ impl<S: Scalar> Tableau<S> {
             if cb.is_zero_tol() {
                 continue;
             }
-            for j in 0..self.n_cols {
-                cost[j] = cost[j].clone() - cb.clone() * self.rows[i].coeffs[j].clone();
+            for (cj, rij) in cost.iter_mut().zip(&self.rows[i].coeffs).take(self.n_cols) {
+                *cj = cj.clone() - cb.clone() * rij.clone();
             }
             *cost_rhs = cost_rhs.clone() - cb * self.rows[i].rhs.clone();
         }
@@ -447,8 +447,8 @@ impl<S: Scalar> Tableau<S> {
         while i < self.rows.len() {
             if self.basis[i] >= self.art_start {
                 // Find a non-artificial column with a non-zero entry.
-                let pivot_col = (0..self.art_start)
-                    .find(|&j| !self.rows[i].coeffs[j].is_zero_tol());
+                let pivot_col =
+                    (0..self.art_start).find(|&j| !self.rows[i].coeffs[j].is_zero_tol());
                 match pivot_col {
                     Some(j) => {
                         let mut dummy_cost = vec![S::zero(); self.n_cols];
@@ -504,8 +504,8 @@ mod tests {
     #[test]
     fn optimal_rational_exact() {
         let p = two_var_max();
-        let out = solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap();
+        let out =
+            solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap();
         match out {
             LpOutcome::Optimal(sol) => {
                 assert_eq!(sol.objective, Rational::new(14, 5));
@@ -519,8 +519,7 @@ mod tests {
     #[test]
     fn optimal_f64_matches_exact() {
         let p = two_var_max();
-        let out =
-            solve_lp::<f64>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap();
+        let out = solve_lp::<f64>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap();
         match out {
             LpOutcome::Optimal(sol) => {
                 assert!((sol.objective - 2.8).abs() < 1e-7);
@@ -535,8 +534,8 @@ mod tests {
         let x = p.add_var("x");
         p.add_constraint(LinExpr::var(x), Relation::Ge, r(5), "ge");
         p.add_constraint(LinExpr::var(x), Relation::Le, r(3), "le");
-        let out = solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap();
+        let out =
+            solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap();
         assert_eq!(out, LpOutcome::Infeasible);
     }
 
@@ -545,8 +544,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var("x");
         p.maximize(LinExpr::var(x));
-        let out = solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap();
+        let out =
+            solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap();
         assert_eq!(out, LpOutcome::Unbounded);
     }
 
@@ -565,8 +564,7 @@ mod tests {
         let mut obj = LinExpr::new();
         obj.add_term(x, r(1)).add_term(y, r(1));
         p.minimize(obj);
-        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap()
+        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap()
         {
             LpOutcome::Optimal(sol) => {
                 assert_eq!(sol.values, vec![r(2), r(1)]);
@@ -582,8 +580,7 @@ mod tests {
         let x = p.add_var("x");
         p.set_upper(x, r(7));
         p.maximize(LinExpr::var(x));
-        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap()
+        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap()
         {
             LpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(7)),
             other => panic!("expected optimal, got {other:?}"),
@@ -641,8 +638,7 @@ mod tests {
         obj.add_term(x, r(1)).add_term(y, r(1));
         p.maximize(obj);
         // x = y = 0 is the only feasible point (x, y >= 0 and x*k + y <= 0).
-        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap()
+        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap()
         {
             LpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(0)),
             other => panic!("expected optimal, got {other:?}"),
@@ -658,8 +654,7 @@ mod tests {
         c.add_term(x, r(-1));
         p.add_constraint(c, Relation::Le, r(-2), "negrhs");
         p.minimize(LinExpr::var(x));
-        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap()
+        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap()
         {
             LpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(2)),
             other => panic!("expected optimal, got {other:?}"),
@@ -669,8 +664,7 @@ mod tests {
     #[test]
     fn empty_problem_is_trivially_optimal() {
         let p = Problem::new();
-        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default())
-            .unwrap()
+        match solve_lp::<Rational>(&p, &BoundOverrides::none(), &SimplexOptions::default()).unwrap()
         {
             LpOutcome::Optimal(sol) => {
                 assert!(sol.values.is_empty());

@@ -66,28 +66,26 @@ fn random_bounded_lp() -> impl Strategy<Value = Problem> {
         let rhs = proptest::collection::vec(1i128..=20, nc);
         let obj = proptest::collection::vec(0i128..=5, nv);
         let caps = proptest::collection::vec(1i128..=10, nv);
-        (Just(nv), Just(nc), coeffs, rhs, obj, caps).prop_map(
-            |(nv, nc, coeffs, rhs, obj, caps)| {
-                let mut p = Problem::new();
-                let vars: Vec<VarId> = (0..nv).map(|i| p.add_var(format!("x{i}"))).collect();
+        (Just(nv), Just(nc), coeffs, rhs, obj, caps).prop_map(|(nv, nc, coeffs, rhs, obj, caps)| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..nv).map(|i| p.add_var(format!("x{i}"))).collect();
+            for (i, &v) in vars.iter().enumerate() {
+                p.set_upper(v, Rational::from(caps[i]));
+            }
+            for c in 0..nc {
+                let mut e = LinExpr::new();
                 for (i, &v) in vars.iter().enumerate() {
-                    p.set_upper(v, Rational::from(caps[i]));
+                    e.add_term(v, Rational::from(coeffs[c * nv + i]));
                 }
-                for c in 0..nc {
-                    let mut e = LinExpr::new();
-                    for (i, &v) in vars.iter().enumerate() {
-                        e.add_term(v, Rational::from(coeffs[c * nv + i]));
-                    }
-                    p.add_constraint(e, Relation::Le, Rational::from(rhs[c]), format!("c{c}"));
-                }
-                let mut o = LinExpr::new();
-                for (i, &v) in vars.iter().enumerate() {
-                    o.add_term(v, Rational::from(obj[i]));
-                }
-                p.maximize(o);
-                p
-            },
-        )
+                p.add_constraint(e, Relation::Le, Rational::from(rhs[c]), format!("c{c}"));
+            }
+            let mut o = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                o.add_term(v, Rational::from(obj[i]));
+            }
+            p.maximize(o);
+            p
+        })
     })
 }
 

@@ -1,31 +1,55 @@
 //! Space-time A*: single-agent shortest paths over (vertex, time) with
 //! wait moves, reservations, CBS constraints, and an optional focal layer
 //! for bounded-suboptimal search.
+//!
+//! The search state is stored flat: one dense per-vertex table per reached
+//! time layer (allocated lazily), so the expansion loop touches only array
+//! slots and the CSR neighbour slices of the graph — no hashing.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 use wsp_model::{FloorplanGraph, VertexId};
 
 use crate::ReservationTable;
 
 /// CBS-style hard constraints for one agent.
+///
+/// Stored as sorted vectors (constraint sets are tiny — one entry per CBS
+/// branch on the path from the root), so membership checks in the A*
+/// expansion loop are binary searches over contiguous memory.
 #[derive(Debug, Clone, Default)]
 pub struct Constraints {
-    /// Forbidden (vertex, time) pairs.
-    pub vertex: HashSet<(VertexId, usize)>,
-    /// Forbidden (from, to, departure-time) moves.
-    pub edge: HashSet<(VertexId, VertexId, usize)>,
+    /// Forbidden (time, vertex) pairs, sorted.
+    vertex: Vec<(u32, VertexId)>,
+    /// Forbidden (departure-time, from, to) moves, sorted.
+    edge: Vec<(u32, VertexId, VertexId)>,
 }
 
 impl Constraints {
+    /// Forbids occupying `v` at time `t`.
+    pub fn forbid_vertex(&mut self, v: VertexId, t: usize) {
+        let key = (t as u32, v);
+        if let Err(at) = self.vertex.binary_search(&key) {
+            self.vertex.insert(at, key);
+        }
+    }
+
+    /// Forbids the move `from → to` departing at time `t`.
+    pub fn forbid_edge(&mut self, from: VertexId, to: VertexId, t: usize) {
+        let key = (t as u32, from, to);
+        if let Err(at) = self.edge.binary_search(&key) {
+            self.edge.insert(at, key);
+        }
+    }
+
     /// Whether occupying `v` at `t` is allowed.
     pub fn allows_vertex(&self, v: VertexId, t: usize) -> bool {
-        !self.vertex.contains(&(v, t))
+        self.vertex.binary_search(&(t as u32, v)).is_err()
     }
 
     /// Whether the move `u → v` departing at `t` is allowed.
     pub fn allows_edge(&self, u: VertexId, v: VertexId, t: usize) -> bool {
-        !self.edge.contains(&(u, v, t))
+        self.edge.binary_search(&(t as u32, u, v)).is_err()
     }
 
     /// The latest time at which `v` is constrained (an agent may only
@@ -33,9 +57,9 @@ impl Constraints {
     pub fn latest_vertex_constraint(&self, v: VertexId) -> Option<usize> {
         self.vertex
             .iter()
-            .filter(|&&(cv, _)| cv == v)
-            .map(|&(_, t)| t)
-            .max()
+            .rev()
+            .find(|&&(_, cv)| cv == v)
+            .map(|&(t, _)| t as usize)
     }
 }
 
@@ -93,6 +117,68 @@ pub struct SegmentPath {
     pub f_min: usize,
 }
 
+/// Sentinel for unvisited slots in the dense layer tables.
+const UNVISITED: u32 = wsp_model::NO_INDEX;
+
+/// One time layer of the search: dense per-vertex state. Since every step
+/// costs 1, `g = t` is fixed by the layer; entries only compete on
+/// conflict count.
+#[derive(Debug)]
+struct Layer {
+    /// Fewest conflicts with which (v, t) was reached ([`UNVISITED`]).
+    best: Vec<u32>,
+    /// The predecessor vertex at `t - 1` achieving `best` ([`UNVISITED`]
+    /// for the root).
+    parent: Vec<u32>,
+    /// Whether (v, t) has been expanded.
+    closed: Vec<bool>,
+}
+
+impl Layer {
+    fn new(n: usize) -> Self {
+        Layer {
+            best: vec![UNVISITED; n],
+            parent: vec![UNVISITED; n],
+            closed: vec![false; n],
+        }
+    }
+}
+
+/// Lazily allocated stack of time layers, indexed by `t - start_time`.
+#[derive(Debug)]
+struct LayerTable {
+    n: usize,
+    start_time: usize,
+    layers: Vec<Option<Layer>>,
+}
+
+impl LayerTable {
+    fn new(n: usize, start_time: usize) -> Self {
+        LayerTable {
+            n,
+            start_time,
+            layers: Vec::new(),
+        }
+    }
+
+    fn layer(&mut self, t: usize) -> &mut Layer {
+        let rel = t - self.start_time;
+        if rel >= self.layers.len() {
+            self.layers.resize_with(rel + 1, || None);
+        }
+        self.layers[rel].get_or_insert_with(|| Layer::new(self.n))
+    }
+
+    /// The recorded parent of (v, t), if any (`None` when the layer was
+    /// never allocated or the slot is a root).
+    fn parent_of(&self, v: VertexId, t: usize) -> Option<VertexId> {
+        let rel = t.checked_sub(self.start_time)?;
+        let layer = self.layers.get(rel)?.as_ref()?;
+        let p = layer.parent[v.index()];
+        (p != UNVISITED).then_some(VertexId(p))
+    }
+}
+
 impl SpaceTimeAstar {
     /// Plans one segment.
     ///
@@ -107,18 +193,9 @@ impl SpaceTimeAstar {
             .map(|c| c.latest_vertex_constraint(query.goal).map_or(0, |t| t + 1))
             .unwrap_or(0);
 
-        // Node table: since every step costs 1, g = t is determined by the
-        // key (vertex, time); entries only compete on conflict count.
-        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-        struct Key {
-            v: VertexId,
-            t: usize,
-        }
-        // key -> (fewest conflicts seen, parent achieving it).
-        let mut best: HashMap<Key, (usize, Option<Key>)> = HashMap::new();
-        let mut closed: HashSet<Key> = HashSet::new();
-        // Ordered open set: (f, conflicts, seq, key). BTreeSet gives both
-        // f_min (first element) and a scannable focal range.
+        let mut layers = LayerTable::new(graph.vertex_count(), query.start_time);
+        // Ordered open set: (f, conflicts, seq, vertex, time). BTreeSet
+        // gives both f_min (first element) and a scannable focal range.
         let mut open: BTreeSet<(usize, usize, u64, VertexId, usize)> = BTreeSet::new();
         let mut seq = 0u64;
 
@@ -143,20 +220,8 @@ impl SpaceTimeAstar {
         };
 
         let h0 = heuristic[query.start.index()] as usize;
-        best.insert(
-            Key {
-                v: query.start,
-                t: query.start_time,
-            },
-            (0, None),
-        );
-        open.insert((
-            query.start_time + h0,
-            0,
-            seq,
-            query.start,
-            query.start_time,
-        ));
+        layers.layer(query.start_time).best[query.start.index()] = 0;
+        open.insert((query.start_time + h0, 0, seq, query.start, query.start_time));
         seq += 1;
 
         while !open.is_empty() {
@@ -173,15 +238,15 @@ impl SpaceTimeAstar {
                 .expect("range contains at least the f_min node");
             open.remove(&chosen);
             let (_, conflicts, _, v, t) = chosen;
-            let key = Key { v, t };
-            if closed.contains(&key) {
+            let layer = layers.layer(t);
+            if layer.closed[v.index()] {
                 continue;
             }
             // Stale entry: a cheaper-conflict duplicate was queued later.
-            if best.get(&key).is_some_and(|&(c, _)| c < conflicts) {
+            if (layer.best[v.index()] as usize) < conflicts {
                 continue;
             }
-            closed.insert(key);
+            layer.closed[v.index()] = true;
 
             // Goal test.
             if v == query.goal && t >= min_end {
@@ -192,10 +257,11 @@ impl SpaceTimeAstar {
                 if parkable {
                     // Reconstruct along best-conflict parents.
                     let mut rev = vec![v];
-                    let mut cur = key;
-                    while let Some(&(_, Some(p))) = best.get(&cur) {
-                        rev.push(p.v);
-                        cur = p;
+                    let (mut cv, mut ct) = (v, t);
+                    while let Some(p) = layers.parent_of(cv, ct) {
+                        rev.push(p);
+                        cv = p;
+                        ct -= 1;
                     }
                     rev.reverse();
                     return Some(SegmentPath { path: rev, f_min });
@@ -206,13 +272,9 @@ impl SpaceTimeAstar {
                 continue;
             }
 
-            // Expand: wait + moves.
-            let mut push = |to: VertexId| {
-                let nt = t + 1;
-                let nkey = Key { v: to, t: nt };
-                if closed.contains(&nkey) {
-                    return;
-                }
+            // Expand: wait + moves along the CSR neighbour slice.
+            let nt = t + 1;
+            let mut push = |layers: &mut LayerTable, to: VertexId| {
                 if let Some(rt) = query.reservations {
                     if !rt.vertex_free(to, nt) || !rt.edge_free(v, to, t) {
                         return;
@@ -227,21 +289,22 @@ impl SpaceTimeAstar {
                 if h == u32::MAX {
                     return;
                 }
+                let next = layers.layer(nt);
+                if next.closed[to.index()] {
+                    return;
+                }
                 let f = nt + h as usize;
                 let c = conflicts + count_conflicts(v, to, nt);
-                let improves = match best.get(&nkey) {
-                    Some(&(bc, _)) => c < bc,
-                    None => true,
-                };
-                if improves {
-                    best.insert(nkey, (c, Some(key)));
+                if (c as u32) < next.best[to.index()] {
+                    next.best[to.index()] = c as u32;
+                    next.parent[to.index()] = v.0;
                     open.insert((f, c, seq, to, nt));
                     seq += 1;
                 }
             };
-            push(v); // wait
+            push(&mut layers, v); // wait
             for &n in graph.neighbors(v) {
-                push(n);
+                push(&mut layers, n);
             }
         }
         None
@@ -282,7 +345,7 @@ mod tests {
     fn routes_around_reservations() {
         // A crossing agent sweeps (1,1) -> (1,0) -> (2,0) and parks there.
         let g = graph("...\n...");
-        let mut rt = ReservationTable::new();
+        let mut rt = ReservationTable::new(g.vertex_count());
         rt.reserve_path(&[v(&g, 1, 1), v(&g, 1, 0), v(&g, 2, 0)]);
         let q = PlanQuery {
             start: v(&g, 0, 0),
@@ -307,7 +370,7 @@ mod tests {
     fn cbs_constraints_respected() {
         let g = graph("...");
         let mut cs = Constraints::default();
-        cs.vertex.insert((v(&g, 1, 0), 1));
+        cs.forbid_vertex(v(&g, 1, 0), 1);
         let q = PlanQuery {
             start: v(&g, 0, 0),
             start_time: 0,
@@ -327,7 +390,7 @@ mod tests {
     fn goal_constraint_forces_late_arrival() {
         let g = graph("...");
         let mut cs = Constraints::default();
-        cs.vertex.insert((v(&g, 2, 0), 5));
+        cs.forbid_vertex(v(&g, 2, 0), 5);
         let q = PlanQuery {
             start: v(&g, 0, 0),
             start_time: 0,
@@ -394,5 +457,21 @@ mod tests {
         let seg = SpaceTimeAstar::default().plan(&g, &q).unwrap();
         assert_eq!(seg.path.len(), 2);
         assert_eq!(seg.f_min, 8); // f accounts for the absolute clock
+    }
+
+    #[test]
+    fn constraint_membership_checks() {
+        let g = graph("...");
+        let (a, b) = (v(&g, 0, 0), v(&g, 1, 0));
+        let mut cs = Constraints::default();
+        cs.forbid_vertex(a, 3);
+        cs.forbid_vertex(a, 3); // idempotent
+        cs.forbid_edge(a, b, 2);
+        assert!(!cs.allows_vertex(a, 3));
+        assert!(cs.allows_vertex(a, 2));
+        assert!(!cs.allows_edge(a, b, 2));
+        assert!(cs.allows_edge(b, a, 2));
+        assert_eq!(cs.latest_vertex_constraint(a), Some(3));
+        assert_eq!(cs.latest_vertex_constraint(b), None);
     }
 }

@@ -88,14 +88,14 @@ impl CbsPlanner {
             f_mins: vec![0; n],
             conflicts: 0,
         };
-        for a in 0..n {
+        for (a, &goal) in goals.iter().enumerate() {
             let seg = astar
                 .plan(
                     problem.graph(),
                     &PlanQuery {
                         start: problem.starts()[a],
                         start_time: 0,
-                        goal: goals[a],
+                        goal,
                         reservations: None,
                         constraints: Some(&root.constraints[a]),
                         conflict_paths: Some(&root.paths),
@@ -115,9 +115,7 @@ impl CbsPlanner {
         // Ordered by (lower bound, conflicts, id) for focal scans.
         let mut open: BTreeSet<(usize, usize, u64)> = BTreeSet::new();
         let mut arena: Vec<Node> = Vec::new();
-        let push = |open: &mut BTreeSet<(usize, usize, u64)>,
-                        arena: &mut Vec<Node>,
-                        node: Node| {
+        let push = |open: &mut BTreeSet<(usize, usize, u64)>, arena: &mut Vec<Node>, node: Node| {
             let id = arena.len() as u64;
             open.insert((node.lower_bound(), node.conflicts, id));
             arena.push(node);
@@ -161,13 +159,13 @@ impl CbsPlanner {
                 let mut child = node.clone();
                 match conflict {
                     Conflict::Vertex { t, at, .. } => {
-                        child.constraints[agent].vertex.insert((at, t));
+                        child.constraints[agent].forbid_vertex(at, t);
                     }
                     Conflict::Edge { t, from, to, .. } => {
                         if agent == a {
-                            child.constraints[agent].edge.insert((from, to, t));
+                            child.constraints[agent].forbid_edge(from, to, t);
                         } else {
-                            child.constraints[agent].edge.insert((to, from, t));
+                            child.constraints[agent].forbid_edge(to, from, t);
                         }
                     }
                 }
@@ -305,11 +303,7 @@ mod tests {
     #[should_panic(expected = "single-goal")]
     fn multi_goal_panics() {
         let g = graph("...");
-        let p = MapfProblem::new(
-            &g,
-            vec![v(&g, 0, 0)],
-            vec![vec![v(&g, 1, 0), v(&g, 2, 0)]],
-        );
+        let p = MapfProblem::new(&g, vec![v(&g, 0, 0)], vec![vec![v(&g, 1, 0), v(&g, 2, 0)]]);
         let _ = CbsPlanner::default().solve(&p);
     }
 }

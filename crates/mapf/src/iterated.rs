@@ -164,11 +164,7 @@ mod tests {
     #[test]
     fn iteration_cap_reported() {
         let g = graph("..");
-        let p = MapfProblem::new(
-            &g,
-            vec![v(&g, 0, 0)],
-            vec![vec![v(&g, 1, 0); 50]],
-        );
+        let p = MapfProblem::new(&g, vec![v(&g, 0, 0)], vec![vec![v(&g, 1, 0); 50]]);
         let planner = IteratedPlanner {
             max_iterations: 3,
             ..IteratedPlanner::default()

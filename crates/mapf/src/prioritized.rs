@@ -63,9 +63,8 @@ impl PrioritizedPlanner {
         order: &[usize],
     ) -> Result<MapfSolution, MapfError> {
         let graph = problem.graph();
-        let mut reservations = ReservationTable::new();
-        let mut paths: Vec<Vec<wsp_model::VertexId>> =
-            vec![Vec::new(); problem.agent_count()];
+        let mut reservations = ReservationTable::new(graph.vertex_count());
+        let mut paths: Vec<Vec<wsp_model::VertexId>> = vec![Vec::new(); problem.agent_count()];
 
         for &agent in order {
             let start = problem.starts()[agent];
@@ -87,9 +86,7 @@ impl PrioritizedPlanner {
                 let seg = self
                     .astar
                     .plan(graph, &query)
-                    .ok_or(MapfError::NoSolution {
-                        agent: Some(agent),
-                    })?;
+                    .ok_or(MapfError::NoSolution { agent: Some(agent) })?;
                 // Append without duplicating the junction state.
                 full.extend(seg.path.iter().skip(1).copied());
                 at = goal;
@@ -178,8 +175,7 @@ mod tests {
         let g = graph(".....\n.....\n.....\n.....\n.....");
         let vs: Vec<VertexId> = g.vertices().collect();
         let starts: Vec<VertexId> = vs.iter().take(10).copied().collect();
-        let goals: Vec<Vec<VertexId>> =
-            vs.iter().rev().take(10).map(|&g| vec![g]).collect();
+        let goals: Vec<Vec<VertexId>> = vs.iter().rev().take(10).map(|&g| vec![g]).collect();
         let p = MapfProblem::new(&g, starts, goals);
         let sol = PrioritizedPlanner::default().solve(&p).unwrap();
         assert!(sol.validate(&g).is_empty());

@@ -126,7 +126,11 @@ pub struct MapfSolution {
 impl MapfSolution {
     /// The latest arrival time over all agents (makespan).
     pub fn makespan(&self) -> usize {
-        self.paths.iter().map(|p| p.len().saturating_sub(1)).max().unwrap_or(0)
+        self.paths
+            .iter()
+            .map(|p| p.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum over agents of individual path lengths (sum-of-costs).
@@ -137,7 +141,9 @@ impl MapfSolution {
     /// The vertex of `agent` at time `t` (parking at the path end).
     pub fn position(&self, agent: usize, t: usize) -> VertexId {
         let path = &self.paths[agent];
-        *path.get(t).unwrap_or_else(|| path.last().expect("non-empty path"))
+        *path
+            .get(t)
+            .unwrap_or_else(|| path.last().expect("non-empty path"))
     }
 
     /// Finds all vertex and edge conflicts (empty = valid). Also reports

@@ -1,34 +1,89 @@
 //! Space-time reservation tables shared by the sequential planners.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Rebuilt on flat storage: per-timestep dense bitsets for vertex
+//! occupancy and per-timestep dense move tables for edge-swap checks, both
+//! indexed by [`VertexId`]. Every query is a couple of array loads — no
+//! hashing, no allocation.
 
 use wsp_model::VertexId;
+
+/// Sentinel for "no reservation" in the dense `u32` tables.
+const NONE: u32 = wsp_model::NO_INDEX;
 
 /// Records which (vertex, time) and (edge, time) slots are taken by
 /// already-planned agents, plus permanent "parked" reservations for agents
 /// that have finished.
-#[derive(Debug, Clone, Default)]
+///
+/// The table is sized for a fixed graph: construct it with
+/// [`ReservationTable::new`] passing
+/// [`FloorplanGraph::vertex_count`](wsp_model::FloorplanGraph::vertex_count).
+/// Time buckets grow on demand as paths are reserved.
+#[derive(Debug, Clone)]
 pub struct ReservationTable {
-    vertex: HashSet<(VertexId, usize)>,
-    edge: HashSet<(VertexId, VertexId, usize)>,
-    parked: HashMap<VertexId, usize>,
+    /// Number of vertices (`n`); all dense tables are sized by it.
+    n: usize,
+    /// `u64` words per time bucket in `vertex_bits`.
+    words: usize,
+    /// Bucket `t` spans `vertex_bits[t * words .. (t + 1) * words]`; bit
+    /// `v` set means vertex `v` is reserved at time `t`.
+    vertex_bits: Vec<u64>,
+    /// Bucket `t` spans `move_to[t * n .. (t + 1) * n]`; entry `v` is the
+    /// destination of the move reserved to depart `v` at time `t` (at most
+    /// one, since `v` itself is exclusively reserved at `t`), or [`NONE`].
+    move_to: Vec<u32>,
+    /// `parked_from[v]` is the earliest time `v` is parked on forever, or
+    /// [`NONE`].
+    parked_from: Vec<u32>,
+    /// `last_timed[v]` is `1 +` the latest time with a timed reservation
+    /// on `v` (`0` = none); drives [`ReservationTable::free_forever`].
+    last_timed: Vec<u32>,
+    /// Number of allocated time buckets.
+    horizon: usize,
 }
 
 impl ReservationTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        ReservationTable::default()
+    /// An empty table for a graph of `vertex_count` vertices.
+    pub fn new(vertex_count: usize) -> Self {
+        ReservationTable {
+            n: vertex_count,
+            words: vertex_count.div_ceil(64),
+            vertex_bits: Vec::new(),
+            move_to: Vec::new(),
+            parked_from: vec![NONE; vertex_count],
+            last_timed: vec![0; vertex_count],
+            horizon: 0,
+        }
+    }
+
+    /// The vertex count this table was sized for.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn grow_to(&mut self, t: usize) {
+        if t >= self.horizon {
+            let new_horizon = (t + 1).next_power_of_two();
+            self.vertex_bits.resize(new_horizon * self.words, 0);
+            self.move_to.resize(new_horizon * self.n, NONE);
+            self.horizon = new_horizon;
+        }
+    }
+
+    fn reserve_vertex(&mut self, v: VertexId, t: usize) {
+        self.grow_to(t);
+        self.vertex_bits[t * self.words + v.index() / 64] |= 1u64 << (v.index() % 64);
+        self.last_timed[v.index()] = self.last_timed[v.index()].max(t as u32 + 1);
     }
 
     /// Reserves every slot of a timed path, parking the agent at the final
     /// vertex from its arrival time onward.
     pub fn reserve_path(&mut self, path: &[VertexId]) {
         for (t, &v) in path.iter().enumerate() {
-            self.vertex.insert((v, t));
+            self.reserve_vertex(v, t);
             if t > 0 {
                 let u = path[t - 1];
                 if u != v {
-                    self.edge.insert((u, v, t - 1));
+                    self.move_to[(t - 1) * self.n + u.index()] = v.0;
                 }
             }
         }
@@ -39,40 +94,31 @@ impl ReservationTable {
 
     /// Reserves `v` permanently from time `t` onward.
     pub fn park(&mut self, v: VertexId, t: usize) {
-        match self.parked.get_mut(&v) {
-            Some(existing) => *existing = (*existing).min(t),
-            None => {
-                self.parked.insert(v, t);
-            }
-        }
+        let slot = &mut self.parked_from[v.index()];
+        *slot = (*slot).min(t as u32);
     }
 
     /// Whether vertex `v` is free at time `t`.
     pub fn vertex_free(&self, v: VertexId, t: usize) -> bool {
-        if self.vertex.contains(&(v, t)) {
+        if t < self.horizon
+            && self.vertex_bits[t * self.words + v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+        {
             return false;
         }
-        match self.parked.get(&v) {
-            Some(&from) => t < from,
-            None => true,
-        }
+        // `NONE` is `u32::MAX`, so unparked vertices always pass this test.
+        (t as u32) < self.parked_from[v.index()]
     }
 
     /// Whether the move `u → v` starting at time `t` is free of edge-swap
     /// reservations.
     pub fn edge_free(&self, u: VertexId, v: VertexId, t: usize) -> bool {
-        !self.edge.contains(&(v, u, t))
+        t >= self.horizon || self.move_to[t * self.n + v.index()] != u.0
     }
 
     /// Whether `v` stays free forever from time `t` on (needed to finish a
     /// path there).
     pub fn free_forever(&self, v: VertexId, t: usize) -> bool {
-        if self.parked.contains_key(&v) {
-            return false;
-        }
-        // Any future timed reservation on v blocks parking there.
-        // Timed reservations are finite; scan is bounded by table size.
-        !self.vertex.iter().any(|&(rv, rt)| rv == v && rt >= t)
+        self.parked_from[v.index()] == NONE && self.last_timed[v.index()] <= t as u32
     }
 }
 
@@ -84,9 +130,13 @@ mod tests {
         VertexId(i)
     }
 
+    fn table() -> ReservationTable {
+        ReservationTable::new(16)
+    }
+
     #[test]
     fn path_reservation_blocks_slots() {
-        let mut rt = ReservationTable::new();
+        let mut rt = table();
         rt.reserve_path(&[v(0), v(1), v(2)]);
         assert!(!rt.vertex_free(v(0), 0));
         assert!(!rt.vertex_free(v(1), 1));
@@ -102,7 +152,7 @@ mod tests {
 
     #[test]
     fn parking_takes_earliest_time() {
-        let mut rt = ReservationTable::new();
+        let mut rt = table();
         rt.park(v(5), 10);
         rt.park(v(5), 4);
         assert!(rt.vertex_free(v(5), 3));
@@ -111,12 +161,30 @@ mod tests {
 
     #[test]
     fn free_forever_checks_future() {
-        let mut rt = ReservationTable::new();
+        let mut rt = table();
         rt.reserve_path(&[v(0), v(1)]);
         // v0 is reserved at t=0 only; free forever from t=1.
         assert!(rt.free_forever(v(0), 1));
         assert!(!rt.free_forever(v(0), 0));
         // v1 is parked.
         assert!(!rt.free_forever(v(1), 5));
+    }
+
+    #[test]
+    fn waits_do_not_create_edge_reservations() {
+        let mut rt = table();
+        rt.reserve_path(&[v(3), v(3), v(4)]);
+        // The wait at v3 must not block any swap; the move v3->v4 at t=1
+        // blocks the counter-move v4->v3 at t=1.
+        assert!(rt.edge_free(v(4), v(3), 0));
+        assert!(!rt.edge_free(v(4), v(3), 1));
+    }
+
+    #[test]
+    fn queries_beyond_horizon_are_free() {
+        let mut rt = table();
+        rt.reserve_vertex(v(1), 2);
+        assert!(rt.vertex_free(v(1), 1000));
+        assert!(rt.edge_free(v(0), v(1), 1000));
     }
 }

@@ -1,0 +1,163 @@
+//! Equivalence test: the time-bucketed dense [`ReservationTable`] answers
+//! every query exactly like the original hash-set-based implementation,
+//! over random batches of timed paths.
+
+use std::collections::{HashMap, HashSet};
+
+use wsp_mapf::ReservationTable;
+use wsp_model::VertexId;
+
+/// The pre-refactor reference implementation, verbatim semantics:
+/// tuple-keyed hash sets plus a parked map.
+#[derive(Default)]
+struct NaiveTable {
+    vertex: HashSet<(VertexId, usize)>,
+    edge: HashSet<(VertexId, VertexId, usize)>,
+    parked: HashMap<VertexId, usize>,
+}
+
+impl NaiveTable {
+    fn reserve_path(&mut self, path: &[VertexId]) {
+        for (t, &v) in path.iter().enumerate() {
+            self.vertex.insert((v, t));
+            if t > 0 {
+                let u = path[t - 1];
+                if u != v {
+                    self.edge.insert((u, v, t - 1));
+                }
+            }
+        }
+        if let Some(&last) = path.last() {
+            self.park(last, path.len().saturating_sub(1));
+        }
+    }
+
+    fn park(&mut self, v: VertexId, t: usize) {
+        match self.parked.get_mut(&v) {
+            Some(existing) => *existing = (*existing).min(t),
+            None => {
+                self.parked.insert(v, t);
+            }
+        }
+    }
+
+    fn vertex_free(&self, v: VertexId, t: usize) -> bool {
+        if self.vertex.contains(&(v, t)) {
+            return false;
+        }
+        match self.parked.get(&v) {
+            Some(&from) => t < from,
+            None => true,
+        }
+    }
+
+    fn edge_free(&self, u: VertexId, v: VertexId, t: usize) -> bool {
+        !self.edge.contains(&(v, u, t))
+    }
+
+    fn free_forever(&self, v: VertexId, t: usize) -> bool {
+        if self.parked.contains_key(&v) {
+            return false;
+        }
+        !self.vertex.iter().any(|&(rv, rt)| rv == v && rt >= t)
+    }
+}
+
+/// Deterministic SplitMix64.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random timed path: successive entries either repeat (wait) or move to
+/// a fresh random vertex.
+fn random_path(rng: &mut Rng, n_vertices: u64) -> Vec<VertexId> {
+    let len = 1 + rng.below(12) as usize;
+    let mut path = Vec::with_capacity(len);
+    let mut at = VertexId(rng.below(n_vertices) as u32);
+    path.push(at);
+    for _ in 1..len {
+        if rng.below(4) == 0 {
+            path.push(at); // wait
+        } else {
+            at = VertexId(rng.below(n_vertices) as u32);
+            path.push(at);
+        }
+    }
+    path
+}
+
+#[test]
+fn dense_table_matches_naive_reference_on_random_paths() {
+    let mut rng = Rng(0x5eed);
+    const N: u64 = 24;
+    for case in 0..200 {
+        let mut naive = NaiveTable::default();
+        let mut dense = ReservationTable::new(N as usize);
+
+        // Reserve only mutually conflict-free paths: real planners check
+        // `vertex_free`/`free_forever` before committing a path, and the
+        // dense table's one-departure-per-(vertex, time) edge slot relies
+        // on that exclusivity.
+        let target_paths = 1 + rng.below(4);
+        let mut reserved = 0;
+        let mut attempts = 0;
+        while reserved < target_paths && attempts < 50 {
+            attempts += 1;
+            let path = random_path(&mut rng, N);
+            let slots_free = path
+                .iter()
+                .enumerate()
+                .all(|(t, &v)| naive.vertex_free(v, t));
+            let parkable = naive.free_forever(*path.last().unwrap(), path.len() - 1);
+            if slots_free && parkable {
+                naive.reserve_path(&path);
+                dense.reserve_path(&path);
+                reserved += 1;
+            }
+        }
+        if rng.below(2) == 0 {
+            let v = VertexId(rng.below(N) as u32);
+            let t = rng.below(16) as usize;
+            naive.park(v, t);
+            dense.park(v, t);
+        }
+
+        // Exhaustive query sweep over vertices, pairs, and a time range
+        // past the longest reservation.
+        for t in 0..20usize {
+            for a in 0..N as u32 {
+                let va = VertexId(a);
+                assert_eq!(
+                    dense.vertex_free(va, t),
+                    naive.vertex_free(va, t),
+                    "case {case}: vertex_free({va}, {t})"
+                );
+                assert_eq!(
+                    dense.free_forever(va, t),
+                    naive.free_forever(va, t),
+                    "case {case}: free_forever({va}, {t})"
+                );
+                for b in 0..N as u32 {
+                    let vb = VertexId(b);
+                    assert_eq!(
+                        dense.edge_free(va, vb, t),
+                        naive.edge_free(va, vb, t),
+                        "case {case}: edge_free({va}, {vb}, {t})"
+                    );
+                }
+            }
+        }
+    }
+}

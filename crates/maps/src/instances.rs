@@ -7,8 +7,7 @@
 //! throughput analysis in DESIGN.md).
 
 use wsp_model::{
-    CellKind, Coord, Direction, GridMap, ModelError, ProductCatalog, ProductId, Warehouse,
-    Workload,
+    CellKind, Coord, Direction, GridMap, ModelError, ProductCatalog, ProductId, Warehouse, Workload,
 };
 use wsp_traffic::TrafficSystem;
 

@@ -29,10 +29,10 @@
 //! ```
 
 mod instances;
+mod random;
 mod snake;
 pub mod zoned;
 
-pub use instances::{
-    fulfillment_center_1, fulfillment_center_2, sorting_center, MapInstance,
-};
+pub use instances::{fulfillment_center_1, fulfillment_center_2, sorting_center, MapInstance};
+pub use random::random_block_warehouse;
 pub use snake::SnakeLayout;

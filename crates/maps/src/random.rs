@@ -1,0 +1,255 @@
+//! Randomized scenario generation: parameterized block warehouses and
+//! Zipf-skewed workloads, for stress-testing the pipeline beyond the three
+//! paper instances.
+//!
+//! Both generators are deterministic in their `seed`, so scenarios can be
+//! named in bug reports and benchmarks ("block 5x20 seed 7").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsp_model::{
+    CellKind, Coord, Direction, GridMap, ProductCatalog, ProductId, Warehouse, Workload,
+};
+
+use crate::{MapInstance, SnakeLayout};
+
+/// Stock placed per (shelf cell, product); ample, as on the paper maps.
+const UNITS_PER_SLOT: u64 = 100_000;
+
+/// Builds a randomized Kiva-style block warehouse: `rows` two-row shelf
+/// blocks separated by one-way aisles, `cols` shelf columns per row, with
+/// seed-dependent shelf thinning, station placement, and product count —
+/// co-designed with a snake traffic system exactly like the paper maps.
+///
+/// `rows` is rounded up to odd (the snake's perimeter return needs an even
+/// aisle count) and clamped to at least 1; `cols` is clamped to at least 4.
+///
+/// # Errors
+///
+/// Propagates grid or traffic construction failures (the generated layouts
+/// satisfy the §IV-A composition rules by construction, so failures
+/// indicate a bug rather than an unlucky seed).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_maps::random_block_warehouse;
+///
+/// let map = random_block_warehouse(3, 12, 42)?;
+/// assert!(map.traffic.is_strongly_connected());
+/// assert!(map.shelves > 0);
+/// let workload = map.uniform_workload(50);
+/// assert_eq!(workload.total_units(), 50);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn random_block_warehouse(
+    rows: u32,
+    cols: u32,
+    seed: u64,
+) -> Result<MapInstance, Box<dyn std::error::Error>> {
+    let rows = rows.max(1) | 1; // odd => even aisle count for the snake
+    let cols = cols.max(4);
+    let width = cols + 6; // shelves span x = 3 ..= width - 4
+    let height = 3 * rows + 3;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let aisle_ys: Vec<u32> = (0..=rows).map(|k| 3 * k + 1).collect();
+    let shelf_ys: Vec<u32> = (0..rows).flat_map(|k| [3 * k + 2, 3 * k + 3]).collect();
+    let mut layout = SnakeLayout {
+        width,
+        height,
+        aisle_ys,
+        max_component_len: 65,
+    };
+    // Chop the ring into ~4 components: capacity ⌊len/2⌋ must admit one
+    // loaded flow per demanded product (integer per-period rates), while
+    // the cycle time t_c = 2·max_len still has to leave enough periods in
+    // the horizon — ring/4 balances both on small maps; 65 matches the
+    // paper maps once rings grow past ~260 cells.
+    layout.max_component_len = (layout.ring_cells().len() / 4).clamp(12, 65);
+
+    let mut grid = GridMap::new(width, height)?;
+    // Randomly thinned shelf field: each slot kept with ~7/8 probability,
+    // thinned slots become obstacles (holes in the block, as in real
+    // fulfillment floors).
+    let mut shelf_cells: Vec<Coord> = Vec::new();
+    for &y in &shelf_ys {
+        for x in 3..=width - 4 {
+            let at = Coord::new(x, y);
+            if rng.gen_range(0..8) < 7 {
+                grid.set(at, CellKind::Shelf)?;
+                shelf_cells.push(at);
+            } else {
+                grid.set(at, CellKind::Obstacle)?;
+            }
+        }
+    }
+
+    // 2-4 stations on the perimeter return: right column and bottom row,
+    // which the snake covers with shelf-access-free components.
+    let n_stations = rng.gen_range(2..5) as usize;
+    let mut station_cells: Vec<Coord> = Vec::new();
+    while station_cells.len() < n_stations {
+        let at = if rng.gen_range(0..2) == 0 {
+            Coord::new(width - 1, rng.gen_range(2..height as u64 - 2) as u32)
+        } else {
+            Coord::new(rng.gen_range(3..width as u64 - 3) as u32, 0)
+        };
+        if !station_cells.contains(&at) {
+            station_cells.push(at);
+            grid.set(at, CellKind::Station)?;
+        }
+    }
+
+    let mut warehouse =
+        Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South])?;
+    // Integer flow synthesis needs >= 1 delivery/period per demanded
+    // product, so the catalog must stay small relative to the ring's agent
+    // capacity: scale it with the shelf field instead of the paper maps'
+    // 36-120 products.
+    let max_products = (shelf_cells.len() as u64 / 8).clamp(4, 32);
+    let products = rng.gen_range(4..max_products + 1) as u32;
+    warehouse.set_catalog(ProductCatalog::with_len(products as usize));
+    for (i, &cell) in shelf_cells.iter().enumerate() {
+        let product = ProductId((i as u32) % products);
+        let access = cell
+            .step(Direction::South)
+            .and_then(|c| warehouse.graph().vertex_at(c))
+            .or_else(|| {
+                cell.step(Direction::North)
+                    .and_then(|c| warehouse.graph().vertex_at(c))
+            })
+            .expect("every shelf row sits between aisles by construction");
+        warehouse.stock(access, product, UNITS_PER_SLOT)?;
+    }
+
+    let traffic = layout.build_traffic(&warehouse)?;
+    Ok(MapInstance {
+        name: "Random Block",
+        shelves: warehouse.shelf_count(),
+        warehouse,
+        traffic,
+        products,
+        station_bays: n_stations as u32,
+    })
+}
+
+impl MapInstance {
+    /// A Zipf-skewed workload: `total_units` distributed over the catalog
+    /// with popularity `∝ 1 / rank^exponent`, the product-to-rank
+    /// assignment shuffled by `seed`. `exponent = 0` degenerates to (a
+    /// permutation of) the uniform workload; real order streams are
+    /// typically `0.5 ..= 1.5`.
+    ///
+    /// The result always sums to exactly `total_units` (rounding residue
+    /// goes to the most popular ranks).
+    pub fn zipf_workload(&self, total_units: u64, exponent: f64, seed: u64) -> Workload {
+        let n = self.products as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Shuffle which product gets which popularity rank.
+        let mut rank_to_product: Vec<usize> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        rank_to_product.shuffle(&mut rng);
+
+        let weights: Vec<f64> = (0..n)
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut demands = vec![0u64; n];
+        let mut assigned = 0u64;
+        for (rank, &product) in rank_to_product.iter().enumerate() {
+            let share = ((total_units as f64) * weights[rank] / total_weight).floor() as u64;
+            demands[product] = share;
+            assigned += share;
+        }
+        // Hand the rounding residue to the most popular ranks, one unit
+        // each, so totals are exact.
+        let mut residue = total_units - assigned;
+        let mut rank = 0usize;
+        while residue > 0 {
+            demands[rank_to_product[rank % n]] += 1;
+            residue -= 1;
+            rank += 1;
+        }
+        Workload::from_demands(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_maps_build_valid_traffic_across_seeds() {
+        for seed in 0..6u64 {
+            let map = random_block_warehouse(3, 10, seed).expect("builds");
+            assert!(map.traffic.is_strongly_connected(), "seed {seed}");
+            assert!(map.shelves > 0);
+            assert!((2..=4).contains(&map.station_bays), "seed {seed}");
+            assert!(map.traffic.station_queues().count() >= 1, "seed {seed}");
+            // Every product is stocked (round-robin over >= products cells).
+            for k in 0..map.products {
+                assert!(
+                    map.warehouse.location_matrix().total_units(ProductId(k)) > 0,
+                    "seed {seed}: product {k} unstocked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_maps_are_deterministic_in_the_seed() {
+        let a = random_block_warehouse(3, 8, 9).unwrap();
+        let b = random_block_warehouse(3, 8, 9).unwrap();
+        assert_eq!(a.warehouse.grid().to_ascii(), b.warehouse.grid().to_ascii());
+        assert_eq!(a.products, b.products);
+    }
+
+    #[test]
+    fn rows_normalized_to_snake_compatible_values() {
+        // Even `rows` is rounded up; the traffic must still validate.
+        let map = random_block_warehouse(2, 6, 3).expect("builds");
+        assert!(map.traffic.is_strongly_connected());
+    }
+
+    #[test]
+    fn zipf_workload_totals_are_exact() {
+        let map = random_block_warehouse(3, 10, 1).unwrap();
+        for total in [1u64, 37, 160, 999] {
+            let w = map.zipf_workload(total, 1.0, 5);
+            assert_eq!(w.total_units(), total);
+            assert_eq!(w.len(), map.products as usize);
+        }
+    }
+
+    #[test]
+    fn zipf_workload_is_skewed_and_deterministic() {
+        let map = crate::sorting_center().unwrap();
+        let w1 = map.zipf_workload(3_600, 1.0, 7);
+        let w2 = map.zipf_workload(3_600, 1.0, 7);
+        assert_eq!(w1.iter().collect::<Vec<_>>(), w2.iter().collect::<Vec<_>>());
+        // The hottest product dominates the uniform share; the coldest is
+        // well under it.
+        let uniform_share = 3_600 / map.products as u64;
+        let max = (0..map.products)
+            .map(|k| w1.demand(ProductId(k)))
+            .max()
+            .unwrap();
+        let min = (0..map.products)
+            .map(|k| w1.demand(ProductId(k)))
+            .min()
+            .unwrap();
+        assert!(max > 2 * uniform_share, "max {max} not skewed");
+        assert!(min < uniform_share, "min {min} not skewed");
+    }
+
+    #[test]
+    fn zipf_seed_changes_the_permutation() {
+        let map = crate::sorting_center().unwrap();
+        let a = map.zipf_workload(1_000, 1.2, 1);
+        let b = map.zipf_workload(1_000, 1.2, 2);
+        assert_ne!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert_eq!(a.total_units(), b.total_units());
+    }
+}

@@ -52,7 +52,10 @@ impl SnakeLayout {
     pub fn ring_sections(&self) -> (Vec<(u32, u32)>, usize) {
         let n = self.aisle_ys.len();
         assert!(n >= 2, "snake needs at least two aisles");
-        assert!(n % 2 == 0, "snake perimeter return needs an even aisle count");
+        assert!(
+            n % 2 == 0,
+            "snake perimeter return needs an even aisle count"
+        );
         let a_first = self.aisle_ys[0];
         assert!(a_first >= 1, "first aisle must leave the bottom row free");
         let (lo, hi) = (self.aisle_lo(), self.aisle_hi());
@@ -156,8 +159,8 @@ mod tests {
         // Stations on the perimeter return (right column / bottom row).
         grid.set(Coord::new(11, 4), CellKind::Station).unwrap();
         grid.set(Coord::new(6, 0), CellKind::Station).unwrap();
-        let w = Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South])
-            .unwrap();
+        let w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South]).unwrap();
         (w, layout)
     }
 
@@ -212,6 +215,9 @@ mod tests {
         assert!(perimeter_start > 0 && perimeter_start < ring.len());
         // The perimeter section starts right after the last aisle cell.
         let (lo, _) = (layout.aisle_lo(), 0);
-        assert_eq!(ring[perimeter_start], (lo - 1, *layout.aisle_ys.last().unwrap()));
+        assert_eq!(
+            ring[perimeter_start],
+            (lo - 1, *layout.aisle_ys.last().unwrap())
+        );
     }
 }

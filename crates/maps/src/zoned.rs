@@ -124,7 +124,7 @@ impl ZonedLayout {
         // Adds a run of cells as a chain of <= lmax components; returns
         // (first, last) ids.
         let chain = |b: &mut TrafficSystemBuilder,
-                         cells: &[(u32, u32)]|
+                     cells: &[(u32, u32)]|
          -> Result<(ComponentId, ComponentId), TrafficError> {
             debug_assert!(!cells.is_empty(), "empty lane run");
             let pieces = cells.len().div_ceil(lmax);
@@ -182,8 +182,7 @@ impl ZonedLayout {
                 Some(&next_start) => next_start + 1,
                 None => d,
             };
-            let cells: Vec<(u32, u32)> =
-                (bottom..=top_of_seg).rev().map(|y| (w - 1, y)).collect();
+            let cells: Vec<(u32, u32)> = (bottom..=top_of_seg).rev().map(|y| (w - 1, y)).collect();
             let (first, last) = chain(&mut b, &cells)?;
             if let Some(p) = prev_right {
                 b.connect(p, first);
@@ -243,7 +242,7 @@ impl ZonedLayout {
         let mut exits: Vec<(u32, ComponentId)> = (0..self.strips)
             .map(|s| (self.strip_exit_col(s), strip_ids[s as usize]))
             .collect();
-        exits.sort_unstable_by(|x, y| y.0.cmp(&x.0));
+        exits.sort_unstable_by_key(|x| std::cmp::Reverse(x.0));
         let mut prev_coll: Option<ComponentId> = None;
         for (i, &(xe, strip)) in exits.iter().enumerate() {
             let west_end = match exits.get(i + 1) {
@@ -289,11 +288,8 @@ mod tests {
         for (x, y) in layout.station_cells() {
             grid.set(Coord::new(x, y), CellKind::Station).unwrap();
         }
-        let warehouse = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::North, Direction::South],
-        )
-        .unwrap();
+        let warehouse =
+            Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South]).unwrap();
         (warehouse, layout)
     }
 
@@ -304,7 +300,7 @@ mod tests {
         assert!(ts.is_strongly_connected());
         assert_eq!(ts.station_queues().count(), 2);
         assert!(ts.shelving_rows().count() >= 2); // both aisles touch shelves
-        // Strips are the longest components: m = 2 * strip width.
+                                                  // Strips are the longest components: m = 2 * strip width.
         assert_eq!(ts.max_component_len(), (layout.strip_width() * 2) as usize);
     }
 

@@ -68,10 +68,9 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::RaggedGrid { row, len, expected } => write!(
-                f,
-                "grid row {row} has length {len}, expected {expected}"
-            ),
+            ModelError::RaggedGrid { row, len, expected } => {
+                write!(f, "grid row {row} has length {len}, expected {expected}")
+            }
             ModelError::UnknownCell { ch, at } => {
                 write!(f, "unknown cell character {ch:?} at {at}")
             }

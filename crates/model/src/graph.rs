@@ -1,6 +1,21 @@
 //! The floorplan graph `G := (V, E)` induced by a grid map.
+//!
+//! # Flat-graph invariants
+//!
+//! The graph is stored in flat, index-based form so the planning and
+//! realization hot paths can use dense per-vertex tables instead of hash
+//! maps:
+//!
+//! * **Dense ids** — [`VertexId`]s are `0..vertex_count()`, assigned in
+//!   row-major grid order (`y` major, bottom row first, `x` minor), so any
+//!   per-vertex attribute fits in a `Vec` indexed by [`VertexId::index`].
+//! * **CSR adjacency** — neighbours live in one contiguous `targets`
+//!   buffer sliced by an `offsets` array; each row is sorted ascending,
+//!   which makes [`FloorplanGraph::has_edge`] a binary search and keeps
+//!   [`FloorplanGraph::neighbors`] an allocation-free slice borrow.
+//! * **Dense coord lookup** — [`FloorplanGraph::vertex_at`] indexes a
+//!   `width × height` table; no hashing anywhere in the graph core.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::{Coord, GridMap};
@@ -10,6 +25,7 @@ use crate::{Coord, GridMap};
 /// Vertex ids are dense (`0..vertex_count`) so they can index into flat
 /// per-vertex tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -25,8 +41,17 @@ impl fmt::Display for VertexId {
     }
 }
 
+/// Sentinel marking an empty slot in the dense `u32` tables this
+/// workspace's flat-graph convention indexes by vertex, agent, or
+/// component id (see the module docs); no valid id reaches `u32::MAX`.
+pub const NO_INDEX: u32 = u32::MAX;
+
 /// The undirected floorplan graph of §III: one vertex per traversable
 /// one-agent-wide cell, with an edge between orthogonally adjacent cells.
+///
+/// Stored as a CSR (compressed sparse row) adjacency over dense vertex ids
+/// plus a dense grid-indexed coordinate lookup; see the module docs for the
+/// invariants.
 ///
 /// # Examples
 ///
@@ -43,35 +68,66 @@ impl fmt::Display for VertexId {
 #[derive(Debug, Clone)]
 pub struct FloorplanGraph {
     coords: Vec<Coord>,
-    by_coord: HashMap<Coord, VertexId>,
-    adjacency: Vec<Vec<VertexId>>,
+    /// Grid dimensions backing `grid_to_vertex`.
+    width: u32,
+    height: u32,
+    /// `grid_to_vertex[y * width + x]` is the vertex id at `(x, y)`, or
+    /// [`NO_INDEX`].
+    grid_to_vertex: Vec<u32>,
+    /// CSR row starts: the neighbours of `v` are
+    /// `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending.
+    offsets: Vec<u32>,
+    /// CSR neighbour buffer (`VertexId` is `repr(transparent)` over `u32`).
+    targets: Vec<VertexId>,
 }
 
 impl FloorplanGraph {
     /// Builds the floorplan graph of a grid: traversable cells become
     /// vertices; orthogonally adjacent traversable cells are connected.
     pub fn from_grid(grid: &GridMap) -> Self {
+        let width = grid.width();
+        let height = grid.height();
         let mut coords = Vec::new();
-        let mut by_coord = HashMap::new();
+        let mut grid_to_vertex = vec![NO_INDEX; grid.cell_count()];
         for (at, kind) in grid.iter() {
             if kind.is_traversable() {
-                let id = VertexId(coords.len() as u32);
+                grid_to_vertex[(at.y as usize) * width as usize + at.x as usize] =
+                    coords.len() as u32;
                 coords.push(at);
-                by_coord.insert(at, id);
             }
         }
-        let adjacency = coords
-            .iter()
-            .map(|&at| {
-                at.neighbors()
-                    .filter_map(|n| by_coord.get(&n).copied())
-                    .collect()
-            })
-            .collect();
+
+        let lookup = |at: Coord| -> Option<u32> {
+            (at.x < width && at.y < height)
+                .then(|| grid_to_vertex[(at.y as usize) * width as usize + at.x as usize])
+                .filter(|&id| id != NO_INDEX)
+        };
+
+        // Two passes: count degrees, then fill rows (classic CSR build).
+        let n = coords.len();
+        let mut offsets = vec![0u32; n + 1];
+        for (i, &at) in coords.iter().enumerate() {
+            let degree = at.neighbors().filter_map(lookup).count() as u32;
+            offsets[i + 1] = offsets[i] + degree;
+        }
+        let mut targets = vec![VertexId(NO_INDEX); offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (i, &at) in coords.iter().enumerate() {
+            for neighbor in at.neighbors().filter_map(lookup) {
+                targets[cursor[i] as usize] = VertexId(neighbor);
+                cursor[i] += 1;
+            }
+            // Sorted rows enable binary-searched `has_edge`.
+            targets[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+
         FloorplanGraph {
             coords,
-            by_coord,
-            adjacency,
+            width,
+            height,
+            grid_to_vertex,
+            offsets,
+            targets,
         }
     }
 
@@ -96,28 +152,32 @@ impl FloorplanGraph {
 
     /// The vertex at a coordinate, if that cell is traversable.
     pub fn vertex_at(&self, at: Coord) -> Option<VertexId> {
-        self.by_coord.get(&at).copied()
+        if at.x >= self.width || at.y >= self.height {
+            return None;
+        }
+        let id = self.grid_to_vertex[(at.y as usize) * self.width as usize + at.x as usize];
+        (id != NO_INDEX).then_some(VertexId(id))
     }
 
-    /// The neighbours of `v` (adjacent traversable cells).
+    /// The neighbours of `v` (adjacent traversable cells), as a contiguous
+    /// CSR slice sorted by id.
     ///
     /// # Panics
     ///
     /// Panics if `v` is not a vertex of this graph.
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adjacency[v.index()]
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Whether `a` and `b` are connected by an edge.
     pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
-        self.adjacency
-            .get(a.index())
-            .is_some_and(|adj| adj.contains(&b))
+        a.index() < self.vertex_count() && self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
     }
 
     /// Breadth-first distances (in timesteps) from `source` to every vertex;
@@ -198,6 +258,24 @@ mod tests {
         let g = FloorplanGraph::from_grid(&grid);
         assert_eq!(g.vertex_count(), 5);
         assert!(g.vertex_at(Coord::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn out_of_bounds_lookup_is_none() {
+        let g = open_grid(3, 2);
+        assert!(g.vertex_at(Coord::new(3, 0)).is_none());
+        assert!(g.vertex_at(Coord::new(0, 2)).is_none());
+        assert!(g.vertex_at(Coord::new(99, 99)).is_none());
+    }
+
+    #[test]
+    fn csr_rows_are_sorted() {
+        let grid = GridMap::from_ascii("..#..\n.....\n..@..").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        for v in g.vertices() {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {v} not sorted");
+        }
     }
 
     #[test]

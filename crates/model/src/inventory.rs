@@ -147,7 +147,10 @@ mod tests {
         .collect();
         assert_eq!(inv.total_units(ProductId(0)), 20);
         assert_eq!(inv.total_units(ProductId(1)), 10);
-        assert_eq!(inv.vertices_with(ProductId(0)), vec![VertexId(0), VertexId(1)]);
+        assert_eq!(
+            inv.vertices_with(ProductId(0)),
+            vec![VertexId(0), VertexId(1)]
+        );
     }
 
     #[test]

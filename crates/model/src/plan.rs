@@ -143,10 +143,7 @@ impl Plan {
             for (i, t) in self.trajectories.iter().enumerate() {
                 if t.len() != len {
                     return Err(ModelError::MalformedPlan {
-                        detail: format!(
-                            "agent 0 has {len} states but agent {i} has {}",
-                            t.len()
-                        ),
+                        detail: format!("agent 0 has {len} states but agent {i} has {}", t.len()),
                     });
                 }
             }
@@ -203,6 +200,16 @@ pub enum PlanViolation {
         /// Human-readable description.
         detail: String,
     },
+    /// An agent state references a vertex id outside the warehouse's
+    /// floorplan graph (e.g. a plan built against a different warehouse).
+    UnknownVertex {
+        /// Offending agent.
+        agent: usize,
+        /// Timestep of the first occurrence.
+        t: usize,
+        /// The out-of-range vertex id.
+        vertex: VertexId,
+    },
     /// More units of a product were picked at a vertex than `Λ` stocks there.
     InventoryExceeded {
         /// The shelf-access vertex.
@@ -229,7 +236,16 @@ impl fmt::Display for PlanViolation {
                 write!(f, "agents {a} and {b} swap positions at t={t}")
             }
             PlanViolation::IllegalHandling { agent, t, detail } => {
-                write!(f, "agent {agent} illegal product handling at t={t}: {detail}")
+                write!(
+                    f,
+                    "agent {agent} illegal product handling at t={t}: {detail}"
+                )
+            }
+            PlanViolation::UnknownVertex { agent, t, vertex } => {
+                write!(
+                    f,
+                    "agent {agent} references {vertex} at t={t}, outside the floorplan graph"
+                )
             }
             PlanViolation::InventoryExceeded {
                 at,
@@ -318,6 +334,29 @@ impl<'w> PlanChecker<'w> {
         let horizon = plan.horizon();
         let agents = plan.agent_count();
 
+        // Range guard: the dense per-vertex tables below index by vertex
+        // id, so out-of-range ids (a plan built against another warehouse)
+        // must be rejected up front rather than panic.
+        for a in 0..agents {
+            for t in 0..=horizon {
+                let s = plan.state(a, t).expect("validated shape");
+                if s.at.index() >= graph.vertex_count() {
+                    violations.push(PlanViolation::UnknownVertex {
+                        agent: a,
+                        t,
+                        vertex: s.at,
+                    });
+                    break; // report each agent's first occurrence only
+                }
+            }
+        }
+        if !violations.is_empty() {
+            return Err(Box::new(CheckFailure {
+                violations,
+                malformed: None,
+            }));
+        }
+
         let mut stats = PlanStats {
             delivered: vec![0; self.warehouse.catalog().len()],
             agents,
@@ -327,22 +366,44 @@ impl<'w> PlanChecker<'w> {
         // (vertex, product) -> units picked, for inventory accounting.
         let mut picked: HashMap<(VertexId, ProductId), u64> = HashMap::new();
 
+        // Dense per-vertex scratch tables, allocated once and cleared per
+        // timestep (a memset), matching the flat-graph storage invariants.
+        const NONE: u32 = crate::NO_INDEX;
+        let n_vertices = graph.vertex_count();
+        let mut occupied: Vec<u32> = vec![NONE; n_vertices];
+        // Departure table: at most one agent legally departs a vertex per
+        // step, so a (destination, agent) pair per source vertex suffices
+        // for the swap check. Invalid plans can double-depart a vertex
+        // (which is itself a vertex collision); those spill into the
+        // overflow list so every swap is still found.
+        let mut depart_to: Vec<u32> = vec![NONE; n_vertices];
+        let mut depart_agent: Vec<u32> = vec![NONE; n_vertices];
+        let mut depart_overflow: Vec<(VertexId, VertexId, usize)> = Vec::new();
+
         for t in 0..=horizon {
             // Condition (2a): vertex collisions at time t.
-            let mut occupied: HashMap<VertexId, usize> = HashMap::new();
+            occupied.fill(NONE);
             for a in 0..agents {
                 let s = plan.state(a, t).expect("validated shape");
-                if let Some(&b) = occupied.get(&s.at) {
-                    violations.push(PlanViolation::VertexCollision { a: b, b: a, t, at: s.at });
+                let slot = &mut occupied[s.at.index()];
+                if *slot != NONE {
+                    violations.push(PlanViolation::VertexCollision {
+                        a: *slot as usize,
+                        b: a,
+                        t,
+                        at: s.at,
+                    });
                 } else {
-                    occupied.insert(s.at, a);
+                    *slot = a as u32;
                 }
             }
             if t == horizon {
                 break;
             }
             // Per-agent transition t -> t+1.
-            let mut moves: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+            depart_to.fill(NONE);
+            depart_agent.fill(NONE);
+            depart_overflow.clear();
             for a in 0..agents {
                 let cur = plan.state(a, t).expect("validated shape");
                 let nxt = plan.state(a, t + 1).expect("validated shape");
@@ -358,11 +419,26 @@ impl<'w> PlanChecker<'w> {
                         });
                     }
                     stats.moves += 1;
-                    // Condition (2b): edge swap.
-                    if let Some(&b) = moves.get(&(nxt.at, cur.at)) {
-                        violations.push(PlanViolation::EdgeCollision { a: b, b: a, t });
+                    // Condition (2b): edge swap — an earlier agent departed
+                    // our destination toward our source.
+                    if depart_to[nxt.at.index()] == cur.at.0 {
+                        violations.push(PlanViolation::EdgeCollision {
+                            a: depart_agent[nxt.at.index()] as usize,
+                            b: a,
+                            t,
+                        });
                     }
-                    moves.insert((cur.at, nxt.at), a);
+                    for &(from, to, b) in &depart_overflow {
+                        if from == nxt.at && to == cur.at {
+                            violations.push(PlanViolation::EdgeCollision { a: b, b: a, t });
+                        }
+                    }
+                    if depart_to[cur.at.index()] == NONE {
+                        depart_to[cur.at.index()] = nxt.at.0;
+                        depart_agent[cur.at.index()] = a as u32;
+                    } else {
+                        depart_overflow.push((cur.at, nxt.at, a));
+                    }
                 } else {
                     stats.waits += 1;
                 }
@@ -526,11 +602,41 @@ mod tests {
         let mut plan = Plan::new();
         let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
         // Pick up at (0,2), walk to station (1,0), drop.
-        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 0, 1), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 1, 0), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 1, 0), carry: Carry::Empty });
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 1),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 1, 1),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 1, 0),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 1, 0),
+                carry: Carry::Empty,
+            },
+        );
         let stats = checker.check(&plan).unwrap();
         assert_eq!(stats.delivered, vec![1]);
         assert_eq!(stats.moves, 3);
@@ -551,7 +657,10 @@ mod tests {
         let a = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
         plan.push_state(a, AgentState::idle(v(&w, 2, 2)));
         let err = checker.check(&plan).unwrap_err();
-        assert!(matches!(err.violations[0], PlanViolation::IllegalMove { .. }));
+        assert!(matches!(
+            err.violations[0],
+            PlanViolation::IllegalMove { .. }
+        ));
     }
 
     #[test]
@@ -562,7 +671,10 @@ mod tests {
         plan.add_agent(AgentState::idle(v(&w, 0, 0)));
         plan.add_agent(AgentState::idle(v(&w, 0, 0)));
         let err = checker.check(&plan).unwrap_err();
-        assert!(matches!(err.violations[0], PlanViolation::VertexCollision { .. }));
+        assert!(matches!(
+            err.violations[0],
+            PlanViolation::VertexCollision { .. }
+        ));
     }
 
     #[test]
@@ -582,14 +694,72 @@ mod tests {
     }
 
     #[test]
+    fn edge_swap_found_behind_a_double_departure() {
+        // Agents 0 and 1 both stand on (0,0) (a vertex collision) and
+        // depart to different cells; agent 2 swaps with agent 0. The dense
+        // departure table keeps one slot per vertex — the overflow list
+        // must still surface the swap.
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        let a = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let b = plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let c = plan.add_agent(AgentState::idle(v(&w, 1, 0)));
+        plan.push_state(a, AgentState::idle(v(&w, 1, 0)));
+        plan.push_state(b, AgentState::idle(v(&w, 0, 1)));
+        plan.push_state(c, AgentState::idle(v(&w, 0, 0)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::EdgeCollision { a: 0, b: 2, .. })));
+        // Swap order (1 before 0 in the table) must also be caught: here
+        // agent 0's slot lands in overflow instead.
+        let mut plan2 = Plan::new();
+        let d = plan2.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let e = plan2.add_agent(AgentState::idle(v(&w, 0, 0)));
+        let f = plan2.add_agent(AgentState::idle(v(&w, 0, 1)));
+        plan2.push_state(d, AgentState::idle(v(&w, 1, 0)));
+        plan2.push_state(e, AgentState::idle(v(&w, 0, 1)));
+        plan2.push_state(f, AgentState::idle(v(&w, 0, 0)));
+        let err2 = checker.check(&plan2).unwrap_err();
+        assert!(err2
+            .violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::EdgeCollision { a: 1, b: 2, .. })));
+    }
+
+    #[test]
+    fn out_of_range_vertex_reported_not_panicking() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut plan = Plan::new();
+        plan.add_agent(AgentState::idle(VertexId(9_999)));
+        let err = checker.check(&plan).unwrap_err();
+        assert!(matches!(
+            err.violations[0],
+            PlanViolation::UnknownVertex { agent: 0, .. }
+        ));
+    }
+
+    #[test]
     fn pickup_away_from_shelf_is_illegal() {
         let w = small_warehouse();
         let checker = PlanChecker::new(&w);
         let mut plan = Plan::new();
         let a = plan.add_agent(AgentState::idle(v(&w, 1, 1)));
-        plan.push_state(a, AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) });
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 1, 1),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
         let err = checker.check(&plan).unwrap_err();
-        assert!(matches!(err.violations[0], PlanViolation::IllegalHandling { .. }));
+        assert!(matches!(
+            err.violations[0],
+            PlanViolation::IllegalHandling { .. }
+        ));
     }
 
     #[test]
@@ -598,10 +768,25 @@ mod tests {
         let checker = PlanChecker::new(&w);
         let mut plan = Plan::new();
         let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
-        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Empty });
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Empty,
+            },
+        );
         let err = checker.check(&plan).unwrap_err();
-        assert!(matches!(err.violations[0], PlanViolation::IllegalHandling { .. }));
+        assert!(matches!(
+            err.violations[0],
+            PlanViolation::IllegalHandling { .. }
+        ));
     }
 
     #[test]
@@ -618,8 +803,20 @@ mod tests {
         let checker = PlanChecker::new(&w);
         let mut plan = Plan::new();
         let a = plan.add_agent(AgentState::idle(v(&w, 0, 2)));
-        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) });
-        plan.push_state(a, AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(1)) });
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(0)),
+            },
+        );
+        plan.push_state(
+            a,
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(1)),
+            },
+        );
         let err = checker.check(&plan).unwrap_err();
         assert!(err
             .violations
@@ -643,15 +840,42 @@ mod tests {
         // Pick, drop at station, come back, pick again: 2 picks > 1 stocked.
         let station = v(&w, 1, 0);
         let path = [
-            AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) },
-            AgentState { at: v(&w, 0, 1), carry: Carry::Product(ProductId(0)) },
-            AgentState { at: v(&w, 1, 1), carry: Carry::Product(ProductId(0)) },
-            AgentState { at: station, carry: Carry::Product(ProductId(0)) },
-            AgentState { at: station, carry: Carry::Empty },
-            AgentState { at: v(&w, 1, 1), carry: Carry::Empty },
-            AgentState { at: v(&w, 0, 1), carry: Carry::Empty },
-            AgentState { at: v(&w, 0, 2), carry: Carry::Empty },
-            AgentState { at: v(&w, 0, 2), carry: Carry::Product(ProductId(0)) },
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(0)),
+            },
+            AgentState {
+                at: v(&w, 0, 1),
+                carry: Carry::Product(ProductId(0)),
+            },
+            AgentState {
+                at: v(&w, 1, 1),
+                carry: Carry::Product(ProductId(0)),
+            },
+            AgentState {
+                at: station,
+                carry: Carry::Product(ProductId(0)),
+            },
+            AgentState {
+                at: station,
+                carry: Carry::Empty,
+            },
+            AgentState {
+                at: v(&w, 1, 1),
+                carry: Carry::Empty,
+            },
+            AgentState {
+                at: v(&w, 0, 1),
+                carry: Carry::Empty,
+            },
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Empty,
+            },
+            AgentState {
+                at: v(&w, 0, 2),
+                carry: Carry::Product(ProductId(0)),
+            },
         ];
         for s in path {
             plan.push_state(a, s);

@@ -134,7 +134,10 @@ mod tests {
     fn ids_iterate_in_order() {
         let c = ProductCatalog::with_len(4);
         let ids: Vec<_> = c.ids().collect();
-        assert_eq!(ids, vec![ProductId(0), ProductId(1), ProductId(2), ProductId(3)]);
+        assert_eq!(
+            ids,
+            vec![ProductId(0), ProductId(1), ProductId(2), ProductId(3)]
+        );
     }
 
     #[test]

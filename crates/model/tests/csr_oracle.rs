@@ -1,0 +1,98 @@
+//! Property test: the CSR adjacency of [`FloorplanGraph`] is set-equal to
+//! a naive grid-adjacency oracle on random grids, and the dense coordinate
+//! lookup agrees with a linear scan.
+
+use std::collections::{HashMap, HashSet};
+
+use wsp_model::{CellKind, Coord, FloorplanGraph, GridMap};
+
+/// Deterministic SplitMix64 so failures reproduce from the case index.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_grid(rng: &mut Rng) -> GridMap {
+    let width = 1 + rng.below(12) as u32;
+    let height = 1 + rng.below(12) as u32;
+    let mut grid = GridMap::new(width, height).unwrap();
+    for y in 0..height {
+        for x in 0..width {
+            let kind = match rng.below(10) {
+                0..=5 => CellKind::Empty,
+                6 | 7 => CellKind::Shelf,
+                8 => CellKind::Obstacle,
+                _ => CellKind::Station,
+            };
+            grid.set(Coord::new(x, y), kind).unwrap();
+        }
+    }
+    grid
+}
+
+/// The obvious O(cells) oracle: hash-map coord lookup, neighbour sets from
+/// `Coord::neighbors` filtered by traversability.
+fn oracle_adjacency(grid: &GridMap) -> (HashMap<Coord, u32>, Vec<HashSet<Coord>>) {
+    let mut by_coord = HashMap::new();
+    let mut coords = Vec::new();
+    for (at, kind) in grid.iter() {
+        if kind.is_traversable() {
+            by_coord.insert(at, coords.len() as u32);
+            coords.push(at);
+        }
+    }
+    let adjacency = coords
+        .iter()
+        .map(|&at| {
+            at.neighbors()
+                .filter(|n| by_coord.contains_key(n))
+                .collect()
+        })
+        .collect();
+    (by_coord, adjacency)
+}
+
+#[test]
+fn csr_neighbors_match_oracle_on_random_grids() {
+    let mut rng = Rng(0xc0ffee);
+    for case in 0..300 {
+        let grid = random_grid(&mut rng);
+        let graph = FloorplanGraph::from_grid(&grid);
+        let (by_coord, oracle) = oracle_adjacency(&grid);
+
+        assert_eq!(graph.vertex_count(), by_coord.len(), "case {case}");
+        for v in graph.vertices() {
+            let at = graph.coord(v);
+            // Dense lookup agrees both ways.
+            assert_eq!(graph.vertex_at(at), Some(v), "case {case}: lookup {at}");
+            let expected = &oracle[by_coord[&at] as usize];
+            let got: HashSet<Coord> = graph.neighbors(v).iter().map(|&n| graph.coord(n)).collect();
+            assert_eq!(&got, expected, "case {case}: neighbours of {at}");
+            // CSR rows are sorted and duplicate-free.
+            assert!(
+                graph.neighbors(v).windows(2).all(|w| w[0] < w[1]),
+                "case {case}: row of {at} unsorted"
+            );
+        }
+        // Non-vertices report None.
+        for (at, kind) in grid.iter() {
+            if !kind.is_traversable() {
+                assert_eq!(graph.vertex_at(at), None, "case {case}: phantom at {at}");
+            }
+        }
+        // Edge count is half the (symmetric) adjacency mass.
+        let mass: usize = oracle.iter().map(HashSet::len).sum();
+        assert_eq!(graph.edge_count(), mass / 2, "case {case}");
+    }
+}

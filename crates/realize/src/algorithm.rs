@@ -1,7 +1,5 @@
 //! The component-timestep realization algorithm (Algorithm 1).
 
-use std::collections::{HashMap, HashSet};
-
 use wsp_flow::{AgentCycleSet, CycleAction};
 use wsp_model::{AgentState, Carry, Plan, ProductId, VertexId, Warehouse, Workload};
 use wsp_traffic::{ComponentId, TrafficSystem};
@@ -63,20 +61,20 @@ pub fn realize(
     let n_products = warehouse.catalog().len();
 
     // ---- Initial placement: entry-side cells of each component. ----
-    // Residents per component, as (cycle, step) pairs.
-    let mut residents_init: HashMap<ComponentId, Vec<(usize, usize)>> = HashMap::new();
+    // Residents per component, as (cycle, step) pairs, in a dense table
+    // indexed by component id (ids were validated above).
+    let n_components = traffic.component_count();
+    let mut residents_init: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_components];
     for (ci, cycle) in cycles.cycles().iter().enumerate() {
         for (si, step) in cycle.steps().iter().enumerate() {
-            residents_init.entry(step.component).or_default().push((ci, si));
+            residents_init[step.component.index()].push((ci, si));
         }
     }
 
     let mut agents: Vec<AgentRt> = Vec::with_capacity(cycles.total_agents());
     let mut plan = Plan::new();
     for comp in traffic.components() {
-        let Some(list) = residents_init.get(&comp.id()) else {
-            continue;
-        };
+        let list = &residents_init[comp.id().index()];
         for (j, &(ci, si)) in list.iter().enumerate() {
             // Capacity was validated, so j < |Cᵢ| always holds.
             let pos = comp.path()[j];
@@ -101,6 +99,21 @@ pub fn realize(
     let step_component = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].component;
     let step_action = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].action;
 
+    // ---- Per-timestep scratch tables, allocated once. ----
+    // Dense per-vertex tables (occupancy, claims, vacations) and dense
+    // per-agent/per-component lists; clearing them each step is a memset,
+    // so the t-loop body performs no allocation after the first period.
+    const NO_AGENT: u32 = wsp_model::NO_INDEX;
+    let n_vertices = warehouse.graph().vertex_count();
+    let mut occupant: Vec<u32> = vec![NO_AGENT; n_vertices];
+    let mut claimed: Vec<bool> = vec![false; n_vertices];
+    let mut vacated: Vec<bool> = vec![false; n_vertices];
+    let mut by_component: Vec<Vec<usize>> = vec![Vec::new(); n_components];
+    // (agent, new_pos, hopped)
+    let mut moves: Vec<(usize, VertexId, bool)> = Vec::with_capacity(n_agents);
+    // Per-agent hop flag for this step (diagnostics).
+    let mut move_hopped: Vec<bool> = vec![false; n_agents];
+
     let mut executed = 0usize;
     for t in 0..t_limit {
         if workload.is_some_and(|w| w.is_satisfied_by(&delivered)) {
@@ -110,27 +123,32 @@ pub fn realize(
         let period_start = ((t / tc) * tc) as i64;
 
         // Occupancy and per-component resident lists at time t.
-        let mut occupant: HashMap<VertexId, usize> = HashMap::with_capacity(n_agents);
-        let mut by_component: HashMap<ComponentId, Vec<usize>> = HashMap::new();
+        occupant.fill(NO_AGENT);
+        for list in &mut by_component {
+            list.clear();
+        }
         for (idx, a) in agents.iter().enumerate() {
-            occupant.insert(a.pos, idx);
-            by_component.entry(step_component(a)).or_default().push(idx);
+            occupant[a.pos.index()] = idx as u32;
+            by_component[step_component(a).index()].push(idx);
         }
 
         // Movement decisions.
-        let mut claimed: HashSet<VertexId> = HashSet::with_capacity(n_agents);
-        let mut vacated: HashSet<VertexId> = HashSet::with_capacity(n_agents);
-        // (agent, new_pos, hopped)
-        let mut moves: Vec<(usize, VertexId, bool)> = Vec::with_capacity(n_agents);
+        claimed.fill(false);
+        vacated.fill(false);
+        moves.clear();
 
         for comp in traffic.components() {
-            let Some(list) = by_component.get_mut(&comp.id()) else {
+            let list = &mut by_component[comp.id().index()];
+            if list.is_empty() {
                 continue;
-            };
+            }
             // Exit-first order: agents closest to the exit move first so
             // followers can step into freshly vacated cells.
             list.sort_by_key(|&idx| {
-                std::cmp::Reverse(comp.position(agents[idx].pos).expect("agent on its component"))
+                std::cmp::Reverse(
+                    comp.position(agents[idx].pos)
+                        .expect("agent on its component"),
+                )
             });
             for &idx in list.iter() {
                 let a = &agents[idx];
@@ -143,38 +161,34 @@ pub fn realize(
                     let next_step = (a.step + 1) % cycle.steps().len();
                     let next_comp = traffic.component(cycle.steps()[next_step].component);
                     let entry = next_comp.entry();
-                    if !claimed.contains(&entry) && !occupant.contains_key(&entry) {
-                        claimed.insert(entry);
-                        vacated.insert(a.pos);
+                    if !claimed[entry.index()] && occupant[entry.index()] == NO_AGENT {
+                        claimed[entry.index()] = true;
+                        vacated[a.pos.index()] = true;
                         moves.push((idx, entry, true));
                         continue;
                     }
                 }
                 // Internal move along the component path.
                 if let Some(v) = comp.next(a.pos) {
-                    let blocked = claimed.contains(&v)
-                        || (occupant.contains_key(&v) && !vacated.contains(&v));
+                    let blocked = claimed[v.index()]
+                        || (occupant[v.index()] != NO_AGENT && !vacated[v.index()]);
                     if !blocked {
-                        claimed.insert(v);
-                        vacated.insert(a.pos);
+                        claimed[v.index()] = true;
+                        vacated[a.pos.index()] = true;
                         moves.push((idx, v, false));
                         continue;
                     }
                 }
                 // Stay put; the cell remains occupied for followers.
-                claimed.insert(a.pos);
+                claimed[a.pos.index()] = true;
             }
         }
 
         // Apply actions (evaluated at the *time-t* position, recorded in
         // the t+1 state, matching feasibility condition (3)) and movement.
-        let mut hops: Vec<usize> = Vec::new();
-        let mut moved_set: HashMap<usize, (VertexId, bool)> = HashMap::with_capacity(moves.len());
-        for (idx, v, hopped) in moves {
-            moved_set.insert(idx, (v, hopped));
-            if hopped {
-                hops.push(idx);
-            }
+        move_hopped.fill(false);
+        for &(idx, _, hopped) in &moves {
+            move_hopped[idx] = hopped;
         }
 
         for idx in 0..n_agents {
@@ -199,14 +213,15 @@ pub fn realize(
             }
             // First-revolution diagnostics: hopping out of a pickup step
             // still empty-handed.
-            if let Some(&(_, true)) = moved_set.get(&idx) {
-                if matches!(action, CycleAction::Pickup(_)) && agents[idx].carry.is_none() {
-                    pickup_misses += 1;
-                }
+            if move_hopped[idx]
+                && matches!(action, CycleAction::Pickup(_))
+                && agents[idx].carry.is_none()
+            {
+                pickup_misses += 1;
             }
         }
 
-        for (&idx, &(v, hopped)) in &moved_set {
+        for &(idx, v, hopped) in &moves {
             agents[idx].pos = v;
             if hopped {
                 let cycle = &cycles.cycles()[agents[idx].cycle];
@@ -248,7 +263,9 @@ pub fn realize(
 
 /// Validates the Property 4.1 preconditions and cycle well-formedness.
 fn validate_cycles(traffic: &TrafficSystem, cycles: &AgentCycleSet) -> Result<(), RealizeError> {
-    let arcs: HashSet<(ComponentId, ComponentId)> = traffic.arcs().collect();
+    // An arc (a, b) exists iff b is among a's outlets (small slices).
+    let has_arc =
+        |from: ComponentId, to: ComponentId| -> bool { traffic.outlets(from).contains(&to) };
     for cycle in cycles.cycles() {
         if let Some(detail) = cycle.carry_inconsistency() {
             return Err(RealizeError::InconsistentCycle { detail });
@@ -261,13 +278,13 @@ fn validate_cycles(traffic: &TrafficSystem, cycles: &AgentCycleSet) -> Result<()
                 });
             }
             let next = steps[(i + 1) % steps.len()].component;
-            if s.component == next && steps.len() == 1 && !arcs.contains(&(s.component, next)) {
+            if s.component == next && steps.len() == 1 && !has_arc(s.component, next) {
                 return Err(RealizeError::MissingArc {
                     from: s.component,
                     to: next,
                 });
             }
-            if s.component != next && !arcs.contains(&(s.component, next)) {
+            if s.component != next && !has_arc(s.component, next) {
                 return Err(RealizeError::MissingArc {
                     from: s.component,
                     to: next,
@@ -299,11 +316,8 @@ mod tests {
         demand: u64,
     ) -> (Warehouse, TrafficSystem, AgentCycleSet, Workload) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let mut w = Warehouse::from_grid_with_access(
-            &grid,
-            &[Direction::East, Direction::West],
-        )
-        .unwrap();
+        let mut w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         w.set_catalog(ProductCatalog::with_len(1));
         let s = w.shelf_access()[0];
         w.stock(s, ProductId(0), stock).unwrap();
@@ -459,14 +473,8 @@ mod tests {
         let per_period = cycles.deliveries_per_period();
         // After a one-revolution warmup, each period delivers `per_period`
         // units; allow the warmup to cost up to two revolutions' worth.
-        let revolution_periods = cycles
-            .cycles()
-            .iter()
-            .map(|c| c.len())
-            .max()
-            .unwrap_or(1) as u64;
-        let expected_min =
-            per_period * (periods as u64).saturating_sub(2 * revolution_periods);
+        let revolution_periods = cycles.cycles().iter().map(|c| c.len()).max().unwrap_or(1) as u64;
+        let expected_min = per_period * (periods as u64).saturating_sub(2 * revolution_periods);
         assert!(
             out.delivered.iter().sum::<u64>() >= expected_min,
             "delivered {} < expected {expected_min}",

@@ -64,7 +64,10 @@ impl fmt::Display for RealizeError {
                 write!(f, "inconsistent agent cycle: {detail}")
             }
             RealizeError::MissingArc { from, to } => {
-                write!(f, "cycle moves {from} -> {to}, which is not a traffic-system arc")
+                write!(
+                    f,
+                    "cycle moves {from} -> {to}, which is not a traffic-system arc"
+                )
             }
             RealizeError::PickupMissed { component, t } => write!(
                 f,

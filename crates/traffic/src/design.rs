@@ -222,8 +222,8 @@ mod tests {
         // 3x3... instead put shelf in the middle: "." rows
         let _ = grid;
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let w = Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])
-            .unwrap();
+        let w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         let ts = design_perimeter_loop(&w, 3).expect("valid perimeter design");
         assert!(ts.is_strongly_connected());
         assert!(ts.shelving_rows().count() >= 1);

@@ -102,8 +102,8 @@ mod tests {
 
     fn demo() -> (Warehouse, TrafficSystem) {
         let grid = GridMap::from_ascii("...\n.#.\n.@.").unwrap();
-        let w = Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])
-            .unwrap();
+        let w =
+            Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West]).unwrap();
         let ts = crate::design_perimeter_loop(&w, 3).unwrap();
         (w, ts)
     }

@@ -1,12 +1,14 @@
 //! Traffic systems: validated compositions of components.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use wsp_model::{VertexId, Warehouse};
 
 use crate::component::{Component, ComponentId, ComponentKind};
 use crate::scc::strongly_connected_components;
+
+/// Sentinel for "no owning component" in the dense owner tables.
+const NO_COMPONENT: u32 = wsp_model::NO_INDEX;
 
 /// Ways a traffic-system design can violate the composition rules of §IV-A.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +24,14 @@ pub enum TrafficError {
         /// The offending component.
         component: ComponentId,
         /// The repeated vertex.
+        vertex: VertexId,
+    },
+    /// A component references a vertex id outside the warehouse's
+    /// floorplan graph (e.g. built against a different warehouse).
+    UnknownVertex {
+        /// The offending component.
+        component: ComponentId,
+        /// The out-of-range vertex id.
         vertex: VertexId,
     },
     /// A vertex belongs to two components (components must be disjoint).
@@ -90,6 +100,12 @@ impl fmt::Display for TrafficError {
             TrafficError::RepeatedVertex { component, vertex } => {
                 write!(f, "{component} visits {vertex} twice")
             }
+            TrafficError::UnknownVertex { component, vertex } => {
+                write!(
+                    f,
+                    "{component} references {vertex}, outside the floorplan graph"
+                )
+            }
             TrafficError::VertexShared {
                 vertex,
                 first,
@@ -105,7 +121,11 @@ impl fmt::Display for TrafficError {
             TrafficError::UncoveredVertex { vertex, is_station } => write!(
                 f,
                 "{} vertex {vertex} is not covered by any component",
-                if *is_station { "station" } else { "shelf-access" }
+                if *is_station {
+                    "station"
+                } else {
+                    "shelf-access"
+                }
             ),
             TrafficError::BadDegree {
                 component,
@@ -115,10 +135,9 @@ impl fmt::Display for TrafficError {
                 f,
                 "{component} has {inlets} inlets and {outlets} outlets (each must be 1 or 2)"
             ),
-            TrafficError::MissingEdge { from, to } => write!(
-                f,
-                "no floorplan edge from exit of {from} to entry of {to}"
-            ),
+            TrafficError::MissingEdge { from, to } => {
+                write!(f, "no floorplan edge from exit of {from} to entry of {to}")
+            }
             TrafficError::NotStronglyConnected { scc_count } => write!(
                 f,
                 "traffic-system graph has {scc_count} strongly connected components (need 1)"
@@ -172,13 +191,14 @@ impl TrafficSystemBuilder {
         let mut path = Vec::new();
         for (x, y) in coords {
             let at = wsp_model::Coord::new(x, y);
-            let v = warehouse.graph().vertex_at(at).ok_or(
-                wsp_model::ModelError::OutOfBounds {
+            let v = warehouse
+                .graph()
+                .vertex_at(at)
+                .ok_or(wsp_model::ModelError::OutOfBounds {
                     at,
                     width: grid.width(),
                     height: grid.height(),
-                },
-            )?;
+                })?;
             path.push(v);
         }
         Ok(self.add_component(path))
@@ -222,31 +242,35 @@ impl TrafficSystemBuilder {
         let graph = warehouse.graph();
         let n = self.paths.len();
 
-        // Rule: simple, disjoint, adjacent paths.
-        let mut owner: HashMap<VertexId, ComponentId> = HashMap::new();
+        // Rule: simple, disjoint, adjacent paths. The owner table is the
+        // dense per-vertex component map the built system ships with; it
+        // doubles as the duplicate detector here.
+        let mut owner: Vec<u32> = vec![NO_COMPONENT; graph.vertex_count()];
         for (i, path) in self.paths.iter().enumerate() {
             let id = ComponentId(i as u32);
             if path.is_empty() {
                 errors.push(TrafficError::EmptyComponent { component: id });
                 continue;
             }
-            let mut seen = std::collections::HashSet::new();
             for &v in path {
-                if !seen.insert(v) {
-                    errors.push(TrafficError::RepeatedVertex {
+                if v.index() >= owner.len() {
+                    errors.push(TrafficError::UnknownVertex {
                         component: id,
                         vertex: v,
                     });
+                    continue;
                 }
-                match owner.get(&v) {
-                    Some(&prev) if prev != id => errors.push(TrafficError::VertexShared {
+                match owner[v.index()] {
+                    NO_COMPONENT => owner[v.index()] = id.0,
+                    prev if prev == id.0 => errors.push(TrafficError::RepeatedVertex {
+                        component: id,
                         vertex: v,
-                        first: prev,
+                    }),
+                    prev => errors.push(TrafficError::VertexShared {
+                        vertex: v,
+                        first: ComponentId(prev),
                         second: id,
                     }),
-                    _ => {
-                        owner.insert(v, id);
-                    }
                 }
             }
             for (k, w) in path.windows(2).enumerate() {
@@ -267,7 +291,7 @@ impl TrafficSystemBuilder {
 
         // Rule: coverage of every shelf-access and station vertex.
         for &v in warehouse.shelf_access() {
-            if !owner.contains_key(&v) {
+            if owner[v.index()] == NO_COMPONENT {
                 errors.push(TrafficError::UncoveredVertex {
                     vertex: v,
                     is_station: false,
@@ -275,7 +299,7 @@ impl TrafficSystemBuilder {
             }
         }
         for &v in warehouse.stations() {
-            if !owner.contains_key(&v) {
+            if owner[v.index()] == NO_COMPONENT {
                 errors.push(TrafficError::UncoveredVertex {
                     vertex: v,
                     is_station: true,
@@ -368,7 +392,9 @@ pub struct TrafficSystem {
     components: Vec<Component>,
     inlets: Vec<Vec<ComponentId>>,
     outlets: Vec<Vec<ComponentId>>,
-    owner: HashMap<VertexId, ComponentId>,
+    /// Dense per-vertex owner table, sized by the floorplan graph's
+    /// `vertex_count()`; [`NO_COMPONENT`] marks unused vertices.
+    owner: Vec<u32>,
 }
 
 impl TrafficSystem {
@@ -411,11 +437,9 @@ impl TrafficSystem {
 
     /// All arcs `(Cᵢ, Cⱼ)` of the traffic-system graph `Gₛ`.
     pub fn arcs(&self) -> impl Iterator<Item = (ComponentId, ComponentId)> + '_ {
-        self.components.iter().flat_map(move |c| {
-            self.outlets(c.id())
-                .iter()
-                .map(move |&to| (c.id(), to))
-        })
+        self.components
+            .iter()
+            .flat_map(move |c| self.outlets(c.id()).iter().map(move |&to| (c.id(), to)))
     }
 
     /// Number of arcs `|Eₛ|`.
@@ -426,12 +450,19 @@ impl TrafficSystem {
     /// The component owning a vertex, if any (vertices outside every
     /// component are the paper's *unused vertices*).
     pub fn component_of(&self, v: VertexId) -> Option<ComponentId> {
-        self.owner.get(&v).copied()
+        match self.owner.get(v.index()) {
+            Some(&id) if id != NO_COMPONENT => Some(ComponentId(id)),
+            _ => None,
+        }
     }
 
     /// The length `m` of the longest component.
     pub fn max_component_len(&self) -> usize {
-        self.components.iter().map(Component::len).max().unwrap_or(0)
+        self.components
+            .iter()
+            .map(Component::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The realization cycle time `t_c = 2m` of Property 4.1.
@@ -476,24 +507,24 @@ impl TrafficSystem {
     /// (inclusive), or `None` if `to` is unreachable (cannot happen for
     /// built systems, which are strongly connected).
     pub fn component_path(&self, from: ComponentId, to: ComponentId) -> Option<Vec<ComponentId>> {
-        let mut prev: HashMap<ComponentId, ComponentId> = HashMap::new();
+        let mut prev: Vec<u32> = vec![NO_COMPONENT; self.components.len()];
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(from);
-        prev.insert(from, from);
+        prev[from.index()] = from.0;
         while let Some(c) = queue.pop_front() {
             if c == to {
                 let mut path = vec![to];
                 let mut cur = to;
                 while cur != from {
-                    cur = prev[&cur];
+                    cur = ComponentId(prev[cur.index()]);
                     path.push(cur);
                 }
                 path.reverse();
                 return Some(path);
             }
             for &n in self.outlets(c) {
-                if !prev.contains_key(&n) {
-                    prev.insert(n, c);
+                if prev[n.index()] == NO_COMPONENT {
+                    prev[n.index()] = c.0;
                     queue.push_back(n);
                 }
             }
@@ -503,7 +534,7 @@ impl TrafficSystem {
 
     /// Total number of vertices covered by components.
     pub fn covered_vertex_count(&self) -> usize {
-        self.owner.len()
+        self.owner.iter().filter(|&&id| id != NO_COMPONENT).count()
     }
 }
 
@@ -583,17 +614,27 @@ mod tests {
         let w = demo();
         let mut b = TrafficSystemBuilder::new();
         // A loop that misses the (3,2) access cell and the station.
-        let lane = b.add_component_coords(&w, [(0, 1), (1, 1), (1, 2)]).unwrap();
+        let lane = b
+            .add_component_coords(&w, [(0, 1), (1, 1), (1, 2)])
+            .unwrap();
         let back = b.add_component_coords(&w, [(0, 2)]).unwrap();
         b.connect(lane, back); // (1,2) -> (0,2)
         b.connect(back, lane); // (0,2) -> (0,1)
         let errs = b.validate_all(&w);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, TrafficError::UncoveredVertex { is_station: false, .. })));
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, TrafficError::UncoveredVertex { is_station: true, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            TrafficError::UncoveredVertex {
+                is_station: false,
+                ..
+            }
+        )));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            TrafficError::UncoveredVertex {
+                is_station: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -629,7 +670,9 @@ mod tests {
     fn repeated_vertex_detected() {
         let w = demo();
         let mut b = TrafficSystemBuilder::new();
-        let a = b.add_component_coords(&w, [(0, 0), (1, 0), (0, 0)]).unwrap();
+        let a = b
+            .add_component_coords(&w, [(0, 0), (1, 0), (0, 0)])
+            .unwrap();
         b.connect(a, a);
         let errs = b.validate_all(&w);
         assert!(errs
@@ -685,6 +728,20 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, TrafficError::BadDegree { .. })));
+    }
+
+    #[test]
+    fn out_of_range_vertex_reported_not_panicking() {
+        let w = demo();
+        let mut b = TrafficSystemBuilder::new();
+        // A vertex id far outside the demo warehouse's graph (e.g. built
+        // against a different warehouse).
+        let a = b.add_component(vec![VertexId(9_999)]);
+        b.connect(a, a);
+        let errs = b.validate_all(&w);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TrafficError::UnknownVertex { .. })));
     }
 
     #[test]

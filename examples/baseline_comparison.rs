@@ -19,12 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for units in [20u64, 40, 80] {
         // Ours: full pipeline.
         let workload = map.uniform_workload(units);
-        let instance = WspInstance::new(
-            map.warehouse.clone(),
-            map.traffic.clone(),
-            workload,
-            3_600,
-        );
+        let instance =
+            WspInstance::new(map.warehouse.clone(), map.traffic.clone(), workload, 3_600);
         let t0 = Instant::now();
         let report = solve(&instance, &PipelineOptions::default())?;
         let ours = t0.elapsed();
@@ -35,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|a| report.outcome.plan.state(a, 0).expect("state").at)
             .collect();
         let itineraries = itineraries_from_plan(&report);
-        let problem = MapfProblem::new(map.warehouse.graph(), starts, itineraries)
-            .with_max_time(20_000);
+        let problem =
+            MapfProblem::new(map.warehouse.graph(), starts, itineraries).with_max_time(20_000);
         let planner = IteratedPlanner {
             inner: InnerSolver::Prioritized(PrioritizedPlanner::default()),
             max_iterations: 64,

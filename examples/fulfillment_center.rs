@@ -22,13 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..FlowSynthesisOptions::default()
         };
         let t0 = std::time::Instant::now();
-        let summary = synthesize_flow_relaxed(
-            &map.warehouse,
-            &map.traffic,
-            &workload,
-            3_600,
-            &options,
-        )?;
+        let summary =
+            synthesize_flow_relaxed(&map.warehouse, &map.traffic, &workload, 3_600, &options)?;
         println!(
             "{} units: min total flow {:.2} per period (q_c = {}) in {:.3}s",
             units,

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Co-design step: carve the floorplan into one-way road components.
     let traffic = design_perimeter_loop(&warehouse, 4)?;
-    println!("Traffic system ({} components, t_c = {}):", traffic.component_count(), traffic.cycle_time());
+    println!(
+        "Traffic system ({} components, t_c = {}):",
+        traffic.component_count(),
+        traffic.cycle_time()
+    );
     println!("{}\n", render_traffic_system(&warehouse, &traffic));
 
     // Problem 3.1: service 25 units within 1200 timesteps.

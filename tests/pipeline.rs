@@ -3,9 +3,7 @@
 //! cross-validation through the shared plan checker.
 
 use wsp_core::{solve, PipelineOptions, WspInstance};
-use wsp_flow::{
-    synthesize_flow, synthesize_flow_relaxed, FlowEngine, FlowSynthesisOptions,
-};
+use wsp_flow::{synthesize_flow, synthesize_flow_relaxed, FlowEngine, FlowSynthesisOptions};
 use wsp_mapf::{InnerSolver, IteratedPlanner, MapfProblem, PrioritizedPlanner};
 use wsp_model::{PlanChecker, VertexId};
 
@@ -98,7 +96,10 @@ fn capacity_bound_is_the_feasibility_boundary() {
             ..FlowSynthesisOptions::default()
         },
     );
-    assert!(paper_mode.is_ok(), "paper mode should solve: {paper_mode:?}");
+    assert!(
+        paper_mode.is_ok(),
+        "paper mode should solve: {paper_mode:?}"
+    );
 }
 
 #[test]
@@ -108,12 +109,7 @@ fn baseline_realizes_pipeline_itineraries_on_small_instance() {
     // machinery (conflict validation).
     let map = wsp_maps::sorting_center().expect("map builds");
     let workload = map.uniform_workload(10);
-    let instance = WspInstance::new(
-        map.warehouse.clone(),
-        map.traffic.clone(),
-        workload,
-        3_600,
-    );
+    let instance = WspInstance::new(map.warehouse.clone(), map.traffic.clone(), workload, 3_600);
     let report = solve(&instance, &PipelineOptions::default()).expect("pipeline solves");
 
     // First waypoint of a small agent subset — the full team is exactly
