@@ -1,0 +1,35 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_bench::{scaling_planner, scaling_scenario};
+use wsp_mapf::MapfProblem;
+
+/// Scale sweep for the MAPF stack (tracked in BENCH_scaling.json): a
+/// cross-warehouse prioritized solve on `scaled_warehouse` instances from
+/// ~10k to ~100k vertices. The adaptive reservation table and the
+/// frontier-sized A* layer maps keep both memory and time sublinear in
+/// `horizon × vertices`; regenerate the JSON with
+/// `cargo run --release -p wsp-bench --bin scaling`.
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    // (rows, cols) -> ~rows × cols vertices; pitch 3, 8 agents.
+    for (rows, cols) in [(31u32, 320u32), (71, 700), (101, 1000)] {
+        let scenario = scaling_scenario(rows, cols, 8, 7);
+        let vertices = scenario.map.warehouse.graph().vertex_count();
+        let planner = scaling_planner(&scenario.map);
+        group.bench_function(format!("prioritized-{vertices}v-8a"), |b| {
+            b.iter(|| {
+                let p = MapfProblem::new(
+                    scenario.map.warehouse.graph(),
+                    scenario.starts.clone(),
+                    scenario.goals.clone(),
+                );
+                criterion::black_box(planner.solve(&p).expect("solvable"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The scale experiment as a standalone harness: sweeps `scaled_warehouse`
+//! sizes from ~10k to ~200k vertices, solves a cross-warehouse prioritized
+//! MAPF instance on each, and prints one JSON entry per size with the
+//! solve time and the reservation-table memory (actual adaptive bytes vs
+//! the dense O(horizon × vertices) baseline). `BENCH_scaling.json` is
+//! regenerated from this output; see docs/BENCHMARKS.md.
+
+use std::time::Instant;
+
+use wsp_bench::{scaling_planner, scaling_scenario};
+use wsp_mapf::MapfProblem;
+
+fn main() {
+    // Optional override: `scaling <rows> <cols> [agents] [seed]` probes a
+    // single configuration instead of the default sweep.
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let agents = args.get(2).copied().unwrap_or(8) as usize;
+    let seed = args.get(3).copied().unwrap_or(7);
+    let sizes: Vec<(u32, u32)> = match args[..] {
+        [rows, cols, ..] => vec![(rows as u32, cols as u32)],
+        [] => vec![(31, 320), (71, 700), (101, 1000), (141, 1400)],
+        [_] => panic!("usage: scaling [<rows> <cols> [agents] [seed]]"),
+    };
+    println!("[");
+    for (i, &(rows, cols)) in sizes.iter().enumerate() {
+        let scenario = scaling_scenario(rows, cols, agents, seed);
+        let graph = scenario.map.warehouse.graph();
+        let vertices = graph.vertex_count();
+        let planner = scaling_planner(&scenario.map);
+
+        let t0 = Instant::now();
+        let p = MapfProblem::new(graph, scenario.starts.clone(), scenario.goals.clone());
+        let (solution, table) = planner.solve_with_table(&p).expect("solvable");
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(
+            solution.validate(graph).is_empty(),
+            "solution has conflicts at {vertices} vertices"
+        );
+
+        let sparse = table.memory_bytes();
+        let dense = table.dense_equivalent_bytes();
+        let makespan = solution.makespan();
+        println!(
+            "  {{\"bench\": \"scaling/prioritized-{vertices}v-{agents}a\", \
+             \"rows\": {rows}, \"cols\": {cols}, \"vertices\": {vertices}, \
+             \"agents\": {agents}, \"makespan\": {makespan}, \
+             \"solve_s\": {seconds:.6}, \
+             \"reservation_table_bytes\": {sparse}, \
+             \"dense_equivalent_bytes\": {dense}, \
+             \"dense_over_sparse\": {:.1}}}{}",
+            dense as f64 / sparse as f64,
+            if i + 1 == sizes.len() { "" } else { "," },
+        );
+    }
+    println!("]");
+}

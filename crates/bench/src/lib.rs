@@ -1,8 +1,18 @@
-//! Shared harness support for regenerating the paper's tables and figures.
+//! Benchmark harness shared by the criterion benches (`benches/`) and the
+//! standalone table/figure binaries (`src/bin/`): the Table I instance
+//! list, timed single-row runners for the paper-mode / strict / integer
+//! solver configurations, and the scaling-scenario builder behind
+//! `benches/scaling.rs` and `BENCH_scaling.json`. Sits on top of every
+//! other crate in the workspace; results are tracked per PR in
+//! `BENCH_baseline.json` and `BENCH_scaling.json` (see docs/BENCHMARKS.md).
+
+#![warn(missing_docs)]
 
 use wsp_core::{PipelineOptions, WspInstance};
 use wsp_flow::{synthesize_flow_relaxed, FlowError, FlowSynthesisOptions, RelaxedFlowSummary};
+use wsp_mapf::{PrioritizedPlanner, SpaceTimeAstar};
 use wsp_maps::MapInstance;
+use wsp_model::VertexId;
 
 /// The paper's plan-length limit for every Table I instance.
 pub const T_LIMIT: usize = 3_600;
@@ -116,5 +126,60 @@ pub fn run_strict_integer(map: &MapInstance, units: u64) -> RowResult {
         },
         Err(wsp_core::PipelineError::Flow(FlowError::Infeasible { .. })) => RowResult::Infeasible,
         Err(e) => RowResult::Failed(e.to_string()),
+    }
+}
+
+/// A MAPF scaling scenario on a generated [`wsp_maps::scaled_warehouse`]:
+/// the map plus team starts and single-goal itineraries.
+#[derive(Debug)]
+pub struct ScalingScenario {
+    /// The generated instance.
+    pub map: MapInstance,
+    /// One start vertex per agent.
+    pub starts: Vec<VertexId>,
+    /// One single-goal itinerary per agent.
+    pub goals: Vec<Vec<VertexId>>,
+}
+
+/// Builds the scaling scenario benched in `benches/scaling.rs`: a
+/// `scaled_warehouse(rows, cols, 3, seed)` instance with `agents` agents
+/// spread over the map, each routed to a shelf-access vertex a quarter of
+/// the floor away in the same rotational direction — long co-directional
+/// hauls, the flow shape the co-designed traffic systems produce. (Routing
+/// half the team along the *reverse* corridors instead creates head-on
+/// meetings in one-agent-wide aisles, an adversarial regime that measures
+/// conflict resolution rather than scale; that belongs to the CBS benches.)
+///
+/// # Panics
+///
+/// Panics if the generated map fails to build (a generator bug, not an
+/// unlucky seed) or has fewer shelf-access vertices than `2 × agents`.
+pub fn scaling_scenario(rows: u32, cols: u32, agents: usize, seed: u64) -> ScalingScenario {
+    let map = wsp_maps::scaled_warehouse(rows, cols, 3, seed).expect("scaled map builds");
+    let access = map.warehouse.shelf_access();
+    assert!(agents > 0, "team needs at least one agent");
+    assert!(access.len() >= 2 * agents, "map too small for team");
+    // Row-major stride: starts spread bottom to top; every goal is a
+    // quarter of the list ahead, plus half a stride so no goal coincides
+    // with another agent's start cell.
+    let stride = access.len() / agents;
+    let starts: Vec<VertexId> = (0..agents).map(|i| access[i * stride]).collect();
+    let goals: Vec<Vec<VertexId>> = (0..agents)
+        .map(|i| vec![access[(i * stride + access.len() / 4 + stride / 2) % access.len()]])
+        .collect();
+    ScalingScenario { map, starts, goals }
+}
+
+/// A prioritized planner whose per-segment search horizon is sized to the
+/// map (cross-map hauls on 100k-vertex floors are far longer than the
+/// paper-scale default of 512 steps).
+pub fn scaling_planner(map: &MapInstance) -> PrioritizedPlanner {
+    let grid = map.warehouse.grid();
+    PrioritizedPlanner {
+        astar: SpaceTimeAstar {
+            max_time: 4 * (grid.width() + grid.height()) as usize,
+            ..SpaceTimeAstar::default()
+        },
+        ..PrioritizedPlanner::default()
     }
 }

@@ -36,6 +36,8 @@
 //! assert!(contract.is_consistent(&reg).unwrap());
 //! ```
 
+#![warn(missing_docs)]
+
 mod contract;
 mod predicate;
 mod registry;

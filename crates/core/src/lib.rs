@@ -22,6 +22,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

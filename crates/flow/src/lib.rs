@@ -45,6 +45,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod contracts;
 mod cycles;
 mod decompose;

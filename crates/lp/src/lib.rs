@@ -31,6 +31,8 @@
 //! # Ok::<(), wsp_lp::IlpError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod ilp;
 mod problem;
 mod rational;

@@ -2,9 +2,11 @@
 //! wait moves, reservations, CBS constraints, and an optional focal layer
 //! for bounded-suboptimal search.
 //!
-//! The search state is stored flat: one dense per-vertex table per reached
-//! time layer (allocated lazily), so the expansion loop touches only array
-//! slots and the CSR neighbour slices of the graph — no hashing.
+//! The search state is stored flat: one open-addressed, frontier-sized
+//! layer map per reached time layer (see [`LayerMap`]), so the expansion
+//! loop touches only array slots and the CSR neighbour slices of the graph
+//! — no hasher, and memory proportional to the states actually reached
+//! rather than to `horizon × vertices`.
 
 use std::collections::BTreeSet;
 
@@ -117,64 +119,137 @@ pub struct SegmentPath {
     pub f_min: usize,
 }
 
-/// Sentinel for unvisited slots in the dense layer tables.
+/// Sentinel for unvisited/empty slots in the layer maps.
 const UNVISITED: u32 = wsp_model::NO_INDEX;
 
-/// One time layer of the search: dense per-vertex state. Since every step
-/// costs 1, `g = t` is fixed by the layer; entries only compete on
-/// conflict count.
-#[derive(Debug)]
-struct Layer {
-    /// Fewest conflicts with which (v, t) was reached ([`UNVISITED`]).
+/// One time layer of the search, stored as an open-addressed table sized by
+/// the layer's *frontier* rather than by the whole graph. Slots are indexed
+/// straight off the dense [`VertexId`] bits (a Fibonacci scramble plus
+/// linear probing) — no hasher, no per-vertex allocation, O(reached) memory
+/// per layer instead of the former O(vertex_count) dense rows, which is
+/// what keeps space-time A* viable on ~100k-vertex maps.
+///
+/// Since every step costs 1, `g = t` is fixed by the layer; entries only
+/// compete on conflict count.
+#[derive(Debug, Default)]
+struct LayerMap {
+    /// Vertex id per slot ([`UNVISITED`] = empty). Length is a power of 2.
+    keys: Vec<u32>,
+    /// Fewest conflicts with which (v, t) was reached.
     best: Vec<u32>,
     /// The predecessor vertex at `t - 1` achieving `best` ([`UNVISITED`]
     /// for the root).
     parent: Vec<u32>,
     /// Whether (v, t) has been expanded.
     closed: Vec<bool>,
+    /// Occupied slots.
+    len: usize,
 }
 
-impl Layer {
-    fn new(n: usize) -> Self {
-        Layer {
-            best: vec![UNVISITED; n],
-            parent: vec![UNVISITED; n],
-            closed: vec![false; n],
+impl LayerMap {
+    /// Smallest allocated capacity (slots); must be a power of 2.
+    const MIN_CAPACITY: usize = 64;
+
+    /// The slot holding `key`, or the empty slot where it belongs.
+    fn probe(&self, key: u32) -> usize {
+        let mask = self.keys.len() - 1;
+        // Fibonacci scramble: spreads consecutive grid ids across slots
+        // using only index arithmetic on the id.
+        let mut at = (key.wrapping_mul(0x9e37_79b9) as usize) & mask;
+        while self.keys[at] != UNVISITED && self.keys[at] != key {
+            at = (at + 1) & mask;
+        }
+        at
+    }
+
+    /// The slot of `key`, if present.
+    fn find(&self, key: u32) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let at = self.probe(key);
+        (self.keys[at] == key).then_some(at)
+    }
+
+    /// The slot of `key`, inserting an unvisited entry if absent. Keeps the
+    /// load factor at or below 1/2.
+    fn entry(&mut self, key: u32) -> usize {
+        if self.keys.is_empty() {
+            self.grow();
+        }
+        let mut at = self.probe(key);
+        if self.keys[at] == key {
+            return at;
+        }
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+            at = self.probe(key);
+        }
+        self.keys[at] = key;
+        self.best[at] = UNVISITED;
+        self.parent[at] = UNVISITED;
+        self.closed[at] = false;
+        self.len += 1;
+        at
+    }
+
+    fn grow(&mut self) {
+        let capacity = (self.keys.len() * 2).max(Self::MIN_CAPACITY);
+        let old = std::mem::replace(
+            self,
+            LayerMap {
+                keys: vec![UNVISITED; capacity],
+                best: vec![UNVISITED; capacity],
+                parent: vec![UNVISITED; capacity],
+                closed: vec![false; capacity],
+                len: 0,
+            },
+        );
+        for (slot, &key) in old.keys.iter().enumerate() {
+            if key == UNVISITED {
+                continue;
+            }
+            let at = self.probe(key);
+            self.keys[at] = key;
+            self.best[at] = old.best[slot];
+            self.parent[at] = old.parent[slot];
+            self.closed[at] = old.closed[slot];
+            self.len += 1;
         }
     }
 }
 
-/// Lazily allocated stack of time layers, indexed by `t - start_time`.
+/// Lazily grown stack of time layers, indexed by `t - start_time`. Empty
+/// layers own no heap memory.
 #[derive(Debug)]
 struct LayerTable {
-    n: usize,
     start_time: usize,
-    layers: Vec<Option<Layer>>,
+    layers: Vec<LayerMap>,
 }
 
 impl LayerTable {
-    fn new(n: usize, start_time: usize) -> Self {
+    fn new(start_time: usize) -> Self {
         LayerTable {
-            n,
             start_time,
             layers: Vec::new(),
         }
     }
 
-    fn layer(&mut self, t: usize) -> &mut Layer {
+    fn layer(&mut self, t: usize) -> &mut LayerMap {
         let rel = t - self.start_time;
         if rel >= self.layers.len() {
-            self.layers.resize_with(rel + 1, || None);
+            self.layers.resize_with(rel + 1, LayerMap::default);
         }
-        self.layers[rel].get_or_insert_with(|| Layer::new(self.n))
+        &mut self.layers[rel]
     }
 
     /// The recorded parent of (v, t), if any (`None` when the layer was
-    /// never allocated or the slot is a root).
+    /// never reached or the slot is a root).
     fn parent_of(&self, v: VertexId, t: usize) -> Option<VertexId> {
         let rel = t.checked_sub(self.start_time)?;
-        let layer = self.layers.get(rel)?.as_ref()?;
-        let p = layer.parent[v.index()];
+        let layer = self.layers.get(rel)?;
+        let at = layer.find(v.0)?;
+        let p = layer.parent[at];
         (p != UNVISITED).then_some(VertexId(p))
     }
 }
@@ -192,12 +267,28 @@ impl SpaceTimeAstar {
             .constraints
             .map(|c| c.latest_vertex_constraint(query.goal).map_or(0, |t| t + 1))
             .unwrap_or(0);
+        // Deadline lift for park-at-goal queries: the agent cannot finish
+        // before the goal is free forever, so every state's f is at least
+        // that time (max of two consistent heuristics stays consistent). A
+        // permanently parked goal has no plan at all.
+        let earliest_park = match (query.require_parkable, query.reservations) {
+            (true, Some(rt)) => rt.earliest_free_forever(query.goal)?,
+            _ => 0,
+        };
 
-        let mut layers = LayerTable::new(graph.vertex_count(), query.start_time);
-        // Ordered open set: (f, conflicts, seq, vertex, time). BTreeSet
-        // gives both f_min (first element) and a scannable focal range.
+        let mut layers = LayerTable::new(query.start_time);
+        // Ordered open set: (f, conflicts, depth_seq, vertex, time).
+        // BTreeSet gives both f_min (first element) and a scannable focal
+        // range. `depth_seq` breaks f/conflict ties toward *larger t*
+        // (deeper states first — admissible for any tie-break among equal
+        // f): warehouse floors are corridor mazes whose equal-f bands can
+        // hold tens of thousands of states, and depth-first tie-breaking
+        // walks one shortest path through the band instead of flooding it.
         let mut open: BTreeSet<(usize, usize, u64, VertexId, usize)> = BTreeSet::new();
         let mut seq = 0u64;
+        let depth_seq = |t: usize, seq: u64| {
+            ((self.max_time + 1).saturating_sub(t) as u64) << 32 | (seq & 0xFFFF_FFFF)
+        };
 
         let count_conflicts = |u: VertexId, v: VertexId, t_arrive: usize| -> usize {
             let Some(paths) = query.conflict_paths else {
@@ -220,8 +311,16 @@ impl SpaceTimeAstar {
         };
 
         let h0 = heuristic[query.start.index()] as usize;
-        layers.layer(query.start_time).best[query.start.index()] = 0;
-        open.insert((query.start_time + h0, 0, seq, query.start, query.start_time));
+        let root_layer = layers.layer(query.start_time);
+        let root_slot = root_layer.entry(query.start.0);
+        root_layer.best[root_slot] = 0;
+        open.insert((
+            (query.start_time + h0).max(earliest_park),
+            0,
+            depth_seq(query.start_time, seq),
+            query.start,
+            query.start_time,
+        ));
         seq += 1;
 
         while !open.is_empty() {
@@ -239,14 +338,15 @@ impl SpaceTimeAstar {
             open.remove(&chosen);
             let (_, conflicts, _, v, t) = chosen;
             let layer = layers.layer(t);
-            if layer.closed[v.index()] {
+            let slot = layer.entry(v.0);
+            if layer.closed[slot] {
                 continue;
             }
             // Stale entry: a cheaper-conflict duplicate was queued later.
-            if (layer.best[v.index()] as usize) < conflicts {
+            if (layer.best[slot] as usize) < conflicts {
                 continue;
             }
-            layer.closed[v.index()] = true;
+            layer.closed[slot] = true;
 
             // Goal test.
             if v == query.goal && t >= min_end {
@@ -290,15 +390,16 @@ impl SpaceTimeAstar {
                     return;
                 }
                 let next = layers.layer(nt);
-                if next.closed[to.index()] {
+                let slot = next.entry(to.0);
+                if next.closed[slot] {
                     return;
                 }
-                let f = nt + h as usize;
+                let f = (nt + h as usize).max(earliest_park);
                 let c = conflicts + count_conflicts(v, to, nt);
-                if (c as u32) < next.best[to.index()] {
-                    next.best[to.index()] = c as u32;
-                    next.parent[to.index()] = v.0;
-                    open.insert((f, c, seq, to, nt));
+                if (c as u32) < next.best[slot] {
+                    next.best[slot] = c as u32;
+                    next.parent[slot] = v.0;
+                    open.insert((f, c, depth_seq(nt, seq), to, nt));
                     seq += 1;
                 }
             };

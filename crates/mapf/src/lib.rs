@@ -38,6 +38,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod astar;
 mod cbs;
 mod iterated;
@@ -50,4 +52,4 @@ pub use cbs::CbsPlanner;
 pub use iterated::{InnerSolver, IteratedPlanner};
 pub use prioritized::PrioritizedPlanner;
 pub use problem::{Conflict, MapfError, MapfProblem, MapfSolution};
-pub use reservation::ReservationTable;
+pub use reservation::{ReservationTable, StoragePolicy};

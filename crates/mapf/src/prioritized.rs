@@ -40,6 +40,22 @@ impl PrioritizedPlanner {
     /// Returns [`MapfError::NoSolution`] if every attempted priority
     /// ordering fails.
     pub fn solve(&self, problem: &MapfProblem<'_>) -> Result<MapfSolution, MapfError> {
+        self.solve_with_table(problem).map(|(solution, _)| solution)
+    }
+
+    /// Solves the instance and also returns the reservation table of the
+    /// successful priority ordering, for memory diagnostics (the scaling
+    /// benches record [`ReservationTable::memory_bytes`] against
+    /// [`ReservationTable::dense_equivalent_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapfError::NoSolution`] if every attempted priority
+    /// ordering fails.
+    pub fn solve_with_table(
+        &self,
+        problem: &MapfProblem<'_>,
+    ) -> Result<(MapfSolution, ReservationTable), MapfError> {
         let n = problem.agent_count();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -50,7 +66,7 @@ impl PrioritizedPlanner {
                 order.shuffle(&mut rng);
             }
             match self.try_order(problem, &order) {
-                Ok(solution) => return Ok(solution),
+                Ok(out) => return Ok(out),
                 Err(e) => last_failure = e,
             }
         }
@@ -61,7 +77,7 @@ impl PrioritizedPlanner {
         &self,
         problem: &MapfProblem<'_>,
         order: &[usize],
-    ) -> Result<MapfSolution, MapfError> {
+    ) -> Result<(MapfSolution, ReservationTable), MapfError> {
         let graph = problem.graph();
         let mut reservations = ReservationTable::new(graph.vertex_count());
         let mut paths: Vec<Vec<wsp_model::VertexId>> = vec![Vec::new(); problem.agent_count()];
@@ -98,7 +114,7 @@ impl PrioritizedPlanner {
             reservations.reserve_path(&full);
             paths[agent] = full;
         }
-        Ok(MapfSolution { paths })
+        Ok((MapfSolution { paths }, reservations))
     }
 }
 

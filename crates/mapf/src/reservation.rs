@@ -1,14 +1,128 @@
 //! Space-time reservation tables shared by the sequential planners.
 //!
-//! Rebuilt on flat storage: per-timestep dense bitsets for vertex
-//! occupancy and per-timestep dense move tables for edge-swap checks, both
-//! indexed by [`VertexId`]. Every query is a couple of array loads — no
-//! hashing, no allocation.
+//! Storage is *adaptive per time bucket* so memory stays proportional to
+//! the number of reservations actually made, not to `horizon × vertices`:
+//! each bucket starts as a sorted slot list (one entry per reserved vertex,
+//! carrying its departure, so occupancy and edge-swap lookups share one
+//! binary search) and is promoted to the PR 1 dense layout — occupancy
+//! bitset plus per-vertex departure row, O(1) queries — only once its
+//! occupancy crosses the ~1.5% density threshold where tens of agents
+//! sharing a timestep justify the per-vertex cost. Paper-scale maps, where
+//! agent teams crowd a few hundred vertices, promote almost immediately
+//! and keep PR 1's speed; 100k-vertex maps with a handful of agents stay
+//! sparse and never pay O(horizon × vertices) memory. See
+//! [`ReservationTable::memory_bytes`] /
+//! [`ReservationTable::dense_equivalent_bytes`] and the `scaling` bench.
 
 use wsp_model::VertexId;
 
-/// Sentinel for "no reservation" in the dense `u32` tables.
+/// Sentinel for "no reservation" in the `u32` slot tables.
 const NONE: u32 = wsp_model::NO_INDEX;
+
+/// How a [`ReservationTable`] stores each time bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoragePolicy {
+    /// Sparse slot lists, promoted per bucket to a dense bitset once the
+    /// bucket's occupancy crosses the density threshold (the default).
+    #[default]
+    Adaptive,
+    /// Never promote: pure sorted-list buckets regardless of density
+    /// (reference backend for the equivalence property tests).
+    ForceSparse,
+    /// Dense bitsets from the first reservation in every bucket — the PR 1
+    /// occupancy layout (reference backend for the equivalence property
+    /// tests and the memory-regression baseline).
+    ForceDense,
+}
+
+/// One reserved vertex in a sparse bucket (or one departure in a move
+/// list): the vertex and the destination of the move reserved to depart it
+/// this step, or [`NONE`].
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    vertex: u32,
+    move_to: u32,
+}
+
+/// One time bucket of reservations.
+#[derive(Debug, Clone)]
+enum Bucket {
+    /// Sorted by `vertex`; binary-searched occupancy and departure lookups.
+    Sparse(Vec<Slot>),
+    /// The PR 1 dense layout: occupancy bitset plus a per-vertex departure
+    /// row, both O(1) to query — paid for only in buckets whose occupancy
+    /// crossed the density threshold.
+    Dense { bits: Vec<u64>, move_to: Vec<u32> },
+}
+
+impl Bucket {
+    fn contains(&self, v: u32) -> bool {
+        match self {
+            Bucket::Sparse(slots) => slots.binary_search_by_key(&v, |s| s.vertex).is_ok(),
+            Bucket::Dense { bits, .. } => bits[(v / 64) as usize] & (1u64 << (v % 64)) != 0,
+        }
+    }
+
+    /// The destination reserved to depart `v` this step, or [`NONE`].
+    fn move_from(&self, v: u32) -> u32 {
+        match self {
+            Bucket::Sparse(slots) => match slots.binary_search_by_key(&v, |s| s.vertex) {
+                Ok(at) => slots[at].move_to,
+                Err(_) => NONE,
+            },
+            Bucket::Dense { move_to, .. } => move_to[v as usize],
+        }
+    }
+
+    fn insert_vertex(&mut self, v: u32) {
+        match self {
+            Bucket::Sparse(slots) => {
+                if let Err(at) = slots.binary_search_by_key(&v, |s| s.vertex) {
+                    slots.insert(
+                        at,
+                        Slot {
+                            vertex: v,
+                            move_to: NONE,
+                        },
+                    );
+                }
+            }
+            Bucket::Dense { bits, .. } => {
+                bits[(v / 64) as usize] |= 1u64 << (v % 64);
+            }
+        }
+    }
+
+    /// Records the departure `from → to`. `from` must already be reserved
+    /// in this bucket ([`ReservationTable::reserve_path`] reserves every
+    /// vertex before recording its departure) — a sparse slot insert here
+    /// would create an occupancy the dense backend doesn't have.
+    fn set_move(&mut self, from: u32, to: u32) {
+        match self {
+            Bucket::Sparse(slots) => match slots.binary_search_by_key(&from, |s| s.vertex) {
+                Ok(at) => slots[at].move_to = to,
+                Err(_) => unreachable!("set_move on unreserved vertex v{from}"),
+            },
+            Bucket::Dense { move_to, .. } => move_to[from as usize] = to,
+        }
+    }
+
+    /// Occupied-slot count of a sparse bucket (promotion trigger).
+    fn sparse_len(&self) -> Option<usize> {
+        match self {
+            Bucket::Sparse(slots) => Some(slots.len()),
+            Bucket::Dense { .. } => None,
+        }
+    }
+
+    /// Heap bytes owned by this bucket.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Bucket::Sparse(slots) => slots.capacity() * std::mem::size_of::<Slot>(),
+            Bucket::Dense { bits, move_to } => bits.capacity() * 8 + move_to.capacity() * 4,
+        }
+    }
+}
 
 /// Records which (vertex, time) and (edge, time) slots are taken by
 /// already-planned agents, plus permanent "parked" reservations for agents
@@ -17,41 +131,73 @@ const NONE: u32 = wsp_model::NO_INDEX;
 /// The table is sized for a fixed graph: construct it with
 /// [`ReservationTable::new`] passing
 /// [`FloorplanGraph::vertex_count`](wsp_model::FloorplanGraph::vertex_count).
-/// Time buckets grow on demand as paths are reserved.
+/// Time buckets grow on demand as paths are reserved, and each bucket's
+/// storage adapts to its occupancy (see [`StoragePolicy`]).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_mapf::ReservationTable;
+/// use wsp_model::VertexId;
+///
+/// let mut rt = ReservationTable::new(100_000);
+/// rt.reserve_path(&[VertexId(7), VertexId(8), VertexId(8), VertexId(9)]);
+/// assert!(!rt.vertex_free(VertexId(8), 1)); // occupied while passing
+/// assert!(rt.vertex_free(VertexId(8), 5)); // freed afterwards
+/// assert!(!rt.vertex_free(VertexId(9), 100)); // parked at the goal forever
+/// assert!(!rt.edge_free(VertexId(9), VertexId(8), 2)); // no counter-swap
+///
+/// // Sparse buckets: a 512-step path costs slots, not 512 dense
+/// // 100k-entry rows (which would be ~200 MB).
+/// let long: Vec<VertexId> = (0..512).map(VertexId).collect();
+/// rt.reserve_path(&long);
+/// assert!(rt.memory_bytes() < rt.dense_equivalent_bytes() / 100);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ReservationTable {
-    /// Number of vertices (`n`); all dense tables are sized by it.
+    /// Number of vertices (`n`); the per-vertex parked tables and the dense
+    /// bitsets (where promoted) are sized by it.
     n: usize,
-    /// `u64` words per time bucket in `vertex_bits`.
+    /// `u64` words per dense occupancy bitset.
     words: usize,
-    /// Bucket `t` spans `vertex_bits[t * words .. (t + 1) * words]`; bit
-    /// `v` set means vertex `v` is reserved at time `t`.
-    vertex_bits: Vec<u64>,
-    /// Bucket `t` spans `move_to[t * n .. (t + 1) * n]`; entry `v` is the
-    /// destination of the move reserved to depart `v` at time `t` (at most
-    /// one, since `v` itself is exclusively reserved at `t`), or [`NONE`].
-    move_to: Vec<u32>,
+    /// Bucket storage policy.
+    policy: StoragePolicy,
+    /// Sparse occupancy above which an Adaptive bucket is promoted to a
+    /// bitset (chosen so the bitset is no larger than the slot list).
+    promote_at: usize,
+    /// One bucket per reserved timestep, indexed by `t`.
+    buckets: Vec<Bucket>,
     /// `parked_from[v]` is the earliest time `v` is parked on forever, or
     /// [`NONE`].
     parked_from: Vec<u32>,
     /// `last_timed[v]` is `1 +` the latest time with a timed reservation
     /// on `v` (`0` = none); drives [`ReservationTable::free_forever`].
     last_timed: Vec<u32>,
-    /// Number of allocated time buckets.
-    horizon: usize,
 }
 
 impl ReservationTable {
-    /// An empty table for a graph of `vertex_count` vertices.
+    /// An empty adaptive table for a graph of `vertex_count` vertices.
     pub fn new(vertex_count: usize) -> Self {
+        Self::with_policy(vertex_count, StoragePolicy::default())
+    }
+
+    /// An empty table with an explicit bucket storage policy.
+    pub fn with_policy(vertex_count: usize, policy: StoragePolicy) -> Self {
+        let words = vertex_count.div_ceil(64);
         ReservationTable {
             n: vertex_count,
-            words: vertex_count.div_ceil(64),
-            vertex_bits: Vec::new(),
-            move_to: Vec::new(),
+            words,
+            policy,
+            // Promote at ~1.5% occupancy (n/64 slots): the dense layout
+            // costs `4.125n` bytes per bucket, so paying it only when tens
+            // of agents share one timestep keeps memory proportional to
+            // actual occupancy while the paper-scale maps — where dozens of
+            // agents crowd a few hundred vertices — retain PR 1's O(1)
+            // query speed. The floor of 4 keeps tiny test graphs honest.
+            promote_at: words.max(4),
+            buckets: Vec::new(),
             parked_from: vec![NONE; vertex_count],
             last_timed: vec![0; vertex_count],
-            horizon: 0,
         }
     }
 
@@ -60,18 +206,68 @@ impl ReservationTable {
         self.n
     }
 
-    fn grow_to(&mut self, t: usize) {
-        if t >= self.horizon {
-            let new_horizon = (t + 1).next_power_of_two();
-            self.vertex_bits.resize(new_horizon * self.words, 0);
-            self.move_to.resize(new_horizon * self.n, NONE);
-            self.horizon = new_horizon;
+    /// The bucket storage policy.
+    pub fn policy(&self) -> StoragePolicy {
+        self.policy
+    }
+
+    /// Number of allocated time buckets (1 + the latest reserved timestep).
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn empty_bucket(&self) -> Bucket {
+        match self.policy {
+            StoragePolicy::ForceDense => Bucket::Dense {
+                bits: vec![0; self.words],
+                move_to: vec![NONE; self.n],
+            },
+            _ => Bucket::Sparse(Vec::new()),
+        }
+    }
+
+    fn bucket_mut(&mut self, t: usize) -> &mut Bucket {
+        if t >= self.buckets.len() {
+            let template = self.empty_bucket();
+            self.buckets.resize_with(t + 1, || template.clone());
+        }
+        &mut self.buckets[t]
+    }
+
+    /// Promotes bucket `t` to a bitset if adaptive and past the threshold.
+    fn maybe_promote(&mut self, t: usize) {
+        if self.policy != StoragePolicy::Adaptive {
+            return;
+        }
+        let Some(len) = self.buckets[t].sparse_len() else {
+            return;
+        };
+        if len < self.promote_at {
+            return;
+        }
+        let Bucket::Sparse(slots) = std::mem::replace(
+            &mut self.buckets[t],
+            Bucket::Dense {
+                bits: vec![0; self.words],
+                move_to: vec![NONE; self.n],
+            },
+        ) else {
+            unreachable!("sparse_len returned Some");
+        };
+        let Bucket::Dense { bits, move_to } = &mut self.buckets[t] else {
+            unreachable!("just installed");
+        };
+        for slot in slots {
+            bits[(slot.vertex / 64) as usize] |= 1u64 << (slot.vertex % 64);
+            if slot.move_to != NONE {
+                move_to[slot.vertex as usize] = slot.move_to;
+            }
         }
     }
 
     fn reserve_vertex(&mut self, v: VertexId, t: usize) {
-        self.grow_to(t);
-        self.vertex_bits[t * self.words + v.index() / 64] |= 1u64 << (v.index() % 64);
+        self.bucket_mut(t).insert_vertex(v.0);
+        self.maybe_promote(t);
         self.last_timed[v.index()] = self.last_timed[v.index()].max(t as u32 + 1);
     }
 
@@ -83,7 +279,7 @@ impl ReservationTable {
             if t > 0 {
                 let u = path[t - 1];
                 if u != v {
-                    self.move_to[(t - 1) * self.n + u.index()] = v.0;
+                    self.buckets[t - 1].set_move(u.0, v.0);
                 }
             }
         }
@@ -100,9 +296,7 @@ impl ReservationTable {
 
     /// Whether vertex `v` is free at time `t`.
     pub fn vertex_free(&self, v: VertexId, t: usize) -> bool {
-        if t < self.horizon
-            && self.vertex_bits[t * self.words + v.index() / 64] & (1u64 << (v.index() % 64)) != 0
-        {
+        if t < self.buckets.len() && self.buckets[t].contains(v.0) {
             return false;
         }
         // `NONE` is `u32::MAX`, so unparked vertices always pass this test.
@@ -112,13 +306,41 @@ impl ReservationTable {
     /// Whether the move `u → v` starting at time `t` is free of edge-swap
     /// reservations.
     pub fn edge_free(&self, u: VertexId, v: VertexId, t: usize) -> bool {
-        t >= self.horizon || self.move_to[t * self.n + v.index()] != u.0
+        t >= self.buckets.len() || self.buckets[t].move_from(v.0) != u.0
     }
 
     /// Whether `v` stays free forever from time `t` on (needed to finish a
     /// path there).
     pub fn free_forever(&self, v: VertexId, t: usize) -> bool {
         self.parked_from[v.index()] == NONE && self.last_timed[v.index()] <= t as u32
+    }
+
+    /// The earliest time from which `v` is free forever, or `None` if `v`
+    /// is parked on permanently. Space-time A* folds this into its
+    /// heuristic for park-at-goal queries: no admissible plan can finish
+    /// before this time, so lifting `f` to it prunes the whole
+    /// wait-out-the-traffic search band.
+    pub fn earliest_free_forever(&self, v: VertexId) -> Option<usize> {
+        (self.parked_from[v.index()] == NONE).then(|| self.last_timed[v.index()] as usize)
+    }
+
+    /// Approximate heap bytes currently held by the table (buckets plus the
+    /// two per-vertex parked tables). Monotone in the reservations made, so
+    /// the value after a solve is the solve's peak.
+    pub fn memory_bytes(&self) -> usize {
+        let buckets: usize = self.buckets.iter().map(Bucket::heap_bytes).sum();
+        buckets
+            + self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self.parked_from.capacity() * 4
+            + self.last_timed.capacity() * 4
+    }
+
+    /// Bytes the PR 1 dense layout (per-`t` occupancy bitset plus per-`t`
+    /// `u32` move table, both sized by `vertex_count`) would hold at this
+    /// table's current horizon — the O(horizon × vertices) baseline the
+    /// scaling benches compare against.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        self.buckets.len() * (self.words * 8 + self.n * 4) + self.n * 8
     }
 }
 
@@ -183,8 +405,91 @@ mod tests {
     #[test]
     fn queries_beyond_horizon_are_free() {
         let mut rt = table();
-        rt.reserve_vertex(v(1), 2);
-        assert!(rt.vertex_free(v(1), 1000));
-        assert!(rt.edge_free(v(0), v(1), 1000));
+        rt.reserve_path(&[v(0), v(1)]);
+        assert!(rt.vertex_free(v(3), 1000));
+        assert!(rt.edge_free(v(0), v(3), 1000));
+    }
+
+    #[test]
+    fn adaptive_buckets_promote_past_the_density_threshold() {
+        let n = 4096usize;
+        let mut rt = ReservationTable::new(n);
+        assert_eq!(rt.promote_at, 64); // n / 64
+                                       // Reserve one dense wave at t=0: every vertex of the first rows.
+        for i in 0..200u32 {
+            rt.reserve_vertex(v(i), 0);
+        }
+        assert!(matches!(rt.buckets[0], Bucket::Dense { .. }));
+        // A lone reservation at t=1 stays sparse.
+        rt.reserve_vertex(v(0), 1);
+        assert!(matches!(rt.buckets[1], Bucket::Sparse(_)));
+        // Queries agree across representations.
+        for i in 0..210u32 {
+            assert_eq!(rt.vertex_free(v(i), 0), i >= 200);
+        }
+    }
+
+    #[test]
+    fn promotion_preserves_pending_moves() {
+        let n = 4096usize;
+        let mut rt = ReservationTable::new(n);
+        // A long path at increasing vertices creates moves in bucket t for
+        // each t; then flood bucket 0 past the threshold.
+        rt.reserve_path(&[v(10), v(11), v(12)]);
+        for i in 100..200u32 {
+            rt.reserve_vertex(v(i), 0);
+        }
+        assert!(matches!(rt.buckets[0], Bucket::Dense { .. }));
+        // The v10 -> v11 move at t=0 survived the promotion.
+        assert!(!rt.edge_free(v(11), v(10), 0));
+        assert!(rt.edge_free(v(10), v(11), 0));
+    }
+
+    #[test]
+    fn forced_backends_answer_identically_on_a_fixed_scenario() {
+        let paths: [&[VertexId]; 3] = [
+            &[v(0), v(1), v(2), v(3)],
+            &[v(8), v(8), v(9)],
+            &[v(12), v(13)],
+        ];
+        let mut tables = [
+            ReservationTable::with_policy(16, StoragePolicy::Adaptive),
+            ReservationTable::with_policy(16, StoragePolicy::ForceSparse),
+            ReservationTable::with_policy(16, StoragePolicy::ForceDense),
+        ];
+        for table in &mut tables {
+            for path in paths {
+                table.reserve_path(path);
+            }
+        }
+        let [a, s, d] = &tables;
+        for t in 0..8 {
+            for x in 0..16u32 {
+                assert_eq!(a.vertex_free(v(x), t), s.vertex_free(v(x), t));
+                assert_eq!(a.vertex_free(v(x), t), d.vertex_free(v(x), t));
+                assert_eq!(a.free_forever(v(x), t), s.free_forever(v(x), t));
+                assert_eq!(a.free_forever(v(x), t), d.free_forever(v(x), t));
+                for y in 0..16u32 {
+                    assert_eq!(a.edge_free(v(x), v(y), t), s.edge_free(v(x), v(y), t));
+                    assert_eq!(a.edge_free(v(x), v(y), t), d.edge_free(v(x), v(y), t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_memory_is_sublinear_in_horizon_times_vertices() {
+        let n = 100_000usize;
+        let mut rt = ReservationTable::new(n);
+        // One 256-step path: the dense layout would hold 256 buckets of
+        // ~412 KB each; the sparse table holds 256 one-slot buckets.
+        let path: Vec<VertexId> = (0..256u32).map(v).collect();
+        rt.reserve_path(&path);
+        assert!(
+            rt.memory_bytes() < rt.dense_equivalent_bytes() / 10,
+            "sparse {} vs dense-equivalent {}",
+            rt.memory_bytes(),
+            rt.dense_equivalent_bytes()
+        );
     }
 }

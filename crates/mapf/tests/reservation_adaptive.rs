@@ -1,0 +1,162 @@
+//! Property tests for the adaptive reservation storage: the sparse,
+//! dense, and adaptive bucket backends must answer every
+//! `vertex_free`/`edge_free`/`free_forever` query identically over random
+//! reservation sequences, and the adaptive table must stay within a memory
+//! budget the dense O(horizon × vertices) layout would blow through.
+
+use proptest::prelude::*;
+
+use wsp_mapf::{ReservationTable, StoragePolicy};
+use wsp_model::VertexId;
+
+/// Vertex universe for the agreement properties: small enough that random
+/// buckets cross the promotion threshold, large enough to exercise every
+/// bitset word boundary.
+const N: u32 = 200;
+
+/// A random timed path over `N` vertices: successive entries either repeat
+/// (wait) or move to a fresh random vertex.
+fn path_strategy() -> impl Strategy<Value = Vec<VertexId>> {
+    proptest::collection::vec((0u32..N, 0u32..4), 1..24).prop_map(|steps| {
+        let mut path = Vec::with_capacity(steps.len());
+        let mut at = VertexId(steps[0].0);
+        path.push(at);
+        for &(v, wait) in &steps[1..] {
+            if wait == 0 {
+                path.push(at); // wait in place
+            } else {
+                at = VertexId(v);
+                path.push(at);
+            }
+        }
+        path
+    })
+}
+
+/// Applies the same reservation sequence to every backend.
+fn build_tables(paths: &[Vec<VertexId>], parks: &[(u32, u32)]) -> [ReservationTable; 3] {
+    let mut tables = [
+        ReservationTable::with_policy(N as usize, StoragePolicy::Adaptive),
+        ReservationTable::with_policy(N as usize, StoragePolicy::ForceSparse),
+        ReservationTable::with_policy(N as usize, StoragePolicy::ForceDense),
+    ];
+    for table in &mut tables {
+        for path in paths {
+            table.reserve_path(path);
+        }
+        for &(v, t) in parks {
+            table.park(VertexId(v), t as usize);
+        }
+    }
+    tables
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backends_agree_on_vertex_and_parking_queries(
+        paths in proptest::collection::vec(path_strategy(), 1..8),
+        parks in proptest::collection::vec((0u32..N, 0u32..32), 0..4),
+    ) {
+        let [adaptive, sparse, dense] = build_tables(&paths, &parks);
+        let max_t = paths.iter().map(Vec::len).max().unwrap_or(0) + 4;
+        for t in 0..max_t {
+            for v in 0..N {
+                let at = VertexId(v);
+                let expect = sparse.vertex_free(at, t);
+                prop_assert_eq!(adaptive.vertex_free(at, t), expect,
+                    "adaptive vertex_free({}, {})", v, t);
+                prop_assert_eq!(dense.vertex_free(at, t), expect,
+                    "dense vertex_free({}, {})", v, t);
+                let expect = sparse.free_forever(at, t);
+                prop_assert_eq!(adaptive.free_forever(at, t), expect,
+                    "adaptive free_forever({}, {})", v, t);
+                prop_assert_eq!(dense.free_forever(at, t), expect,
+                    "dense free_forever({}, {})", v, t);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_edge_queries(
+        paths in proptest::collection::vec(path_strategy(), 1..6),
+        probes in proptest::collection::vec((0u32..N, 0u32..N, 0u32..28), 64..256),
+    ) {
+        let [adaptive, sparse, dense] = build_tables(&paths, &[]);
+        // Probe every move actually reserved (the interesting cases) ...
+        for path in &paths {
+            for (t, pair) in path.windows(2).enumerate() {
+                let (u, v) = (pair[0], pair[1]);
+                let expect = sparse.edge_free(v, u, t);
+                prop_assert_eq!(adaptive.edge_free(v, u, t), expect);
+                prop_assert_eq!(dense.edge_free(v, u, t), expect);
+            }
+        }
+        // ... plus a spread of random probes.
+        for &(u, v, t) in &probes {
+            let (u, v, t) = (VertexId(u), VertexId(v), t as usize);
+            let expect = sparse.edge_free(u, v, t);
+            prop_assert_eq!(adaptive.edge_free(u, v, t), expect,
+                "edge_free({}, {}, {})", u, v, t);
+            prop_assert_eq!(dense.edge_free(u, v, t), expect,
+                "edge_free({}, {}, {})", u, v, t);
+        }
+    }
+
+    #[test]
+    fn reserving_never_frees_a_slot(
+        first in path_strategy(),
+        second in path_strategy(),
+    ) {
+        let mut table = ReservationTable::new(N as usize);
+        table.reserve_path(&first);
+        let max_t = first.len() + second.len() + 2;
+        let before: Vec<bool> = (0..max_t)
+            .flat_map(|t| (0..N).map(move |v| (v, t)))
+            .map(|(v, t)| table.vertex_free(VertexId(v), t))
+            .collect();
+        table.reserve_path(&second);
+        let after: Vec<bool> = (0..max_t)
+            .flat_map(|t| (0..N).map(move |v| (v, t)))
+            .map(|(v, t)| table.vertex_free(VertexId(v), t))
+            .collect();
+        for (slot, (&b, &a)) in before.iter().zip(after.iter()).enumerate() {
+            // free -> reserved is allowed; reserved -> free is not.
+            prop_assert!(b || !a, "slot {} was reserved, then freed", slot);
+        }
+    }
+}
+
+/// Regression guard for the scale tentpole: at a 120k-vertex map size, a
+/// prioritized-planning-shaped reservation load (a few hundred long paths)
+/// must fit comfortably in a budget the PR 1 dense layout exceeds by more
+/// than an order of magnitude.
+#[test]
+fn adaptive_table_stays_within_memory_budget_at_scale() {
+    const VERTICES: usize = 120_000;
+    const BUDGET: usize = 16 << 20; // 16 MiB
+
+    let mut table = ReservationTable::new(VERTICES);
+    let mut at = 0u32;
+    for agent in 0..200u32 {
+        // A 600-step walk wrapping through the id space, like an aisle run.
+        let path: Vec<VertexId> = (0..600u32)
+            .map(|i| VertexId((at + i) % VERTICES as u32))
+            .collect();
+        table.reserve_path(&path);
+        at = at.wrapping_add(agent * 601 % VERTICES as u32);
+    }
+
+    assert!(
+        table.memory_bytes() < BUDGET,
+        "adaptive table uses {} bytes, budget {}",
+        table.memory_bytes(),
+        BUDGET
+    );
+    assert!(
+        table.dense_equivalent_bytes() > 10 * BUDGET,
+        "dense layout would use {} bytes — not a meaningful regression guard",
+        table.dense_equivalent_bytes()
+    );
+}

@@ -1,6 +1,9 @@
-//! Equivalence test: the time-bucketed dense [`ReservationTable`] answers
-//! every query exactly like the original hash-set-based implementation,
-//! over random batches of timed paths.
+//! Equivalence test: the adaptive sparse/dense [`ReservationTable`]
+//! answers every query exactly like the original (pre-PR 1) hash-set-based
+//! implementation, over random batches of timed paths. Together with
+//! `reservation_adaptive.rs` (which cross-checks the sparse, dense, and
+//! adaptive backends against each other) this pins the storage rebuild to
+//! PR 1's semantics.
 
 use std::collections::{HashMap, HashSet};
 

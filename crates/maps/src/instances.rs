@@ -7,7 +7,7 @@
 //! throughput analysis in DESIGN.md).
 
 use wsp_model::{
-    CellKind, Coord, Direction, GridMap, ModelError, ProductCatalog, ProductId, Warehouse, Workload,
+    CellKind, Coord, Direction, GridMap, ProductCatalog, ProductId, Warehouse, Workload,
 };
 use wsp_traffic::TrafficSystem;
 
@@ -55,7 +55,7 @@ impl MapInstance {
     }
 }
 
-/// Builds "Fulfillment 1": the real Kiva-style map of [10] — 560 shelves,
+/// Builds "Fulfillment 1": the real Kiva-style map of \[10\] — 560 shelves,
 /// 4 station bays, 55 products, 47×23 = 1081 cells (paper: 1071; see
 /// EXPERIMENTS.md for the deviation analysis).
 ///
@@ -77,7 +77,7 @@ pub fn fulfillment_center_1() -> Result<MapInstance, Box<dyn std::error::Error>>
     })
 }
 
-/// Builds "Fulfillment 2": the synthetic map based on [10] — 240 shelves,
+/// Builds "Fulfillment 2": the synthetic map based on \[10\] — 240 shelves,
 /// 1 station bay (two service cells; see DESIGN.md §station throughput),
 /// 120 products, 61×13 = 793 cells (paper-exact).
 ///
@@ -148,7 +148,12 @@ fn build_fulfillment(p: FulfillmentParams) -> Result<MapInstance, Box<dyn std::e
     let mut warehouse =
         Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South])?;
     warehouse.set_catalog(ProductCatalog::with_len(p.products as usize));
-    stock_round_robin(&mut warehouse, &shelf_cells, p.products)?;
+    crate::util::stock_round_robin(
+        &mut warehouse,
+        &shelf_cells,
+        p.products,
+        FULFILLMENT_UNITS_PER_SLOT,
+    )?;
 
     let traffic = layout.build_traffic(&warehouse)?;
     Ok(MapInstance {
@@ -161,28 +166,7 @@ fn build_fulfillment(p: FulfillmentParams) -> Result<MapInstance, Box<dyn std::e
     })
 }
 
-/// Assigns product `k = i mod products` to the `i`-th shelf cell and stocks
-/// its canonical access vertex (the southern aisle if traversable, else the
-/// northern one).
-fn stock_round_robin(
-    warehouse: &mut Warehouse,
-    shelf_cells: &[Coord],
-    products: u32,
-) -> Result<(), ModelError> {
-    for (i, &cell) in shelf_cells.iter().enumerate() {
-        let product = ProductId((i as u32) % products);
-        let south = cell.step(Direction::South);
-        let north = cell.step(Direction::North);
-        let access = south
-            .and_then(|c| warehouse.graph().vertex_at(c))
-            .or_else(|| north.and_then(|c| warehouse.graph().vertex_at(c)))
-            .expect("every shelf has an adjacent aisle by construction");
-        warehouse.stock(access, product, FULFILLMENT_UNITS_PER_SLOT)?;
-    }
-    Ok(())
-}
-
-/// Builds the sorting center of [11]: 29×14 = 406 cells (paper-exact),
+/// Builds the sorting center of \[11\]: 29×14 = 406 cells (paper-exact),
 /// 36 chutes (matching Table I's 36 unique products; the §V prose says 32 —
 /// see EXPERIMENTS.md), 4 bins.
 ///

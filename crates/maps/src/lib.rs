@@ -28,11 +28,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod instances;
 mod random;
+mod scaled;
 mod snake;
+mod util;
 pub mod zoned;
 
 pub use instances::{fulfillment_center_1, fulfillment_center_2, sorting_center, MapInstance};
 pub use random::random_block_warehouse;
+pub use scaled::scaled_warehouse;
 pub use snake::SnakeLayout;

@@ -7,10 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wsp_model::{
-    CellKind, Coord, Direction, GridMap, ProductCatalog, ProductId, Warehouse, Workload,
-};
+use wsp_model::{CellKind, Coord, Direction, GridMap, ProductCatalog, Warehouse, Workload};
 
+use crate::util::{place_perimeter_stations, stock_round_robin};
 use crate::{MapInstance, SnakeLayout};
 
 /// Stock placed per (shelf cell, product); ample, as on the paper maps.
@@ -85,21 +84,9 @@ pub fn random_block_warehouse(
         }
     }
 
-    // 2-4 stations on the perimeter return: right column and bottom row,
-    // which the snake covers with shelf-access-free components.
+    // 2-4 stations on the perimeter return.
     let n_stations = rng.gen_range(2..5) as usize;
-    let mut station_cells: Vec<Coord> = Vec::new();
-    while station_cells.len() < n_stations {
-        let at = if rng.gen_range(0..2) == 0 {
-            Coord::new(width - 1, rng.gen_range(2..height as u64 - 2) as u32)
-        } else {
-            Coord::new(rng.gen_range(3..width as u64 - 3) as u32, 0)
-        };
-        if !station_cells.contains(&at) {
-            station_cells.push(at);
-            grid.set(at, CellKind::Station)?;
-        }
-    }
+    place_perimeter_stations(&mut grid, &mut rng, n_stations)?;
 
     let mut warehouse =
         Warehouse::from_grid_with_access(&grid, &[Direction::North, Direction::South])?;
@@ -110,18 +97,7 @@ pub fn random_block_warehouse(
     let max_products = (shelf_cells.len() as u64 / 8).clamp(4, 32);
     let products = rng.gen_range(4..max_products + 1) as u32;
     warehouse.set_catalog(ProductCatalog::with_len(products as usize));
-    for (i, &cell) in shelf_cells.iter().enumerate() {
-        let product = ProductId((i as u32) % products);
-        let access = cell
-            .step(Direction::South)
-            .and_then(|c| warehouse.graph().vertex_at(c))
-            .or_else(|| {
-                cell.step(Direction::North)
-                    .and_then(|c| warehouse.graph().vertex_at(c))
-            })
-            .expect("every shelf row sits between aisles by construction");
-        warehouse.stock(access, product, UNITS_PER_SLOT)?;
-    }
+    stock_round_robin(&mut warehouse, &shelf_cells, products, UNITS_PER_SLOT)?;
 
     let traffic = layout.build_traffic(&warehouse)?;
     Ok(MapInstance {
@@ -179,6 +155,7 @@ impl MapInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsp_model::ProductId;
 
     #[test]
     fn random_maps_build_valid_traffic_across_seeds() {

@@ -28,6 +28,8 @@
 //! # Ok::<(), wsp_model::ModelError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod coord;
 mod error;
 mod graph;
@@ -43,7 +45,7 @@ pub use error::ModelError;
 pub use graph::{FloorplanGraph, VertexId, NO_INDEX};
 pub use grid::{CellKind, GridMap};
 pub use inventory::LocationMatrix;
-pub use plan::{AgentState, Carry, Plan, PlanChecker, PlanStats, PlanViolation};
+pub use plan::{AgentState, Carry, CheckFailure, Plan, PlanChecker, PlanStats, PlanViolation};
 pub use product::{ProductCatalog, ProductId};
 pub use warehouse::Warehouse;
 pub use workload::Workload;

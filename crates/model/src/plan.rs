@@ -367,10 +367,14 @@ impl<'w> PlanChecker<'w> {
         let mut picked: HashMap<(VertexId, ProductId), u64> = HashMap::new();
 
         // Dense per-vertex scratch tables, allocated once and cleared per
-        // timestep (a memset), matching the flat-graph storage invariants.
+        // timestep through occupancy-sized touched lists (only the ≤ agents
+        // entries written last step are reset, so the per-timestep cost is
+        // O(agents), independent of the vertex count), matching the
+        // flat-graph storage invariants.
         const NONE: u32 = crate::NO_INDEX;
         let n_vertices = graph.vertex_count();
         let mut occupied: Vec<u32> = vec![NONE; n_vertices];
+        let mut occupied_cells: Vec<u32> = Vec::with_capacity(agents);
         // Departure table: at most one agent legally departs a vertex per
         // step, so a (destination, agent) pair per source vertex suffices
         // for the swap check. Invalid plans can double-depart a vertex
@@ -378,11 +382,14 @@ impl<'w> PlanChecker<'w> {
         // overflow list so every swap is still found.
         let mut depart_to: Vec<u32> = vec![NONE; n_vertices];
         let mut depart_agent: Vec<u32> = vec![NONE; n_vertices];
+        let mut depart_cells: Vec<u32> = Vec::with_capacity(agents);
         let mut depart_overflow: Vec<(VertexId, VertexId, usize)> = Vec::new();
 
         for t in 0..=horizon {
             // Condition (2a): vertex collisions at time t.
-            occupied.fill(NONE);
+            for cell in occupied_cells.drain(..) {
+                occupied[cell as usize] = NONE;
+            }
             for a in 0..agents {
                 let s = plan.state(a, t).expect("validated shape");
                 let slot = &mut occupied[s.at.index()];
@@ -395,14 +402,17 @@ impl<'w> PlanChecker<'w> {
                     });
                 } else {
                     *slot = a as u32;
+                    occupied_cells.push(s.at.0);
                 }
             }
             if t == horizon {
                 break;
             }
             // Per-agent transition t -> t+1.
-            depart_to.fill(NONE);
-            depart_agent.fill(NONE);
+            for cell in depart_cells.drain(..) {
+                depart_to[cell as usize] = NONE;
+                depart_agent[cell as usize] = NONE;
+            }
             depart_overflow.clear();
             for a in 0..agents {
                 let cur = plan.state(a, t).expect("validated shape");
@@ -436,6 +446,7 @@ impl<'w> PlanChecker<'w> {
                     if depart_to[cur.at.index()] == NONE {
                         depart_to[cur.at.index()] = nxt.at.0;
                         depart_agent[cur.at.index()] = a as u32;
+                        depart_cells.push(cur.at.0);
                     } else {
                         depart_overflow.push((cur.at, nxt.at, a));
                     }
@@ -515,9 +526,11 @@ impl<'w> PlanChecker<'w> {
     ///
     /// # Errors
     ///
-    /// Returns violations, or a synthetic
-    /// [`PlanViolation::IllegalHandling`]-free failure listing the shortfall
-    /// in `CheckFailure::violations` being empty and `shortfall` non-empty.
+    /// Returns the feasibility violations found by [`PlanChecker::check`],
+    /// if any. If the plan is feasible but leaves demand unserviced, the
+    /// returned [`CheckFailure`] has an empty `violations` list and a
+    /// [`ModelError::MalformedPlan`] in `malformed` describing the
+    /// per-product shortfall.
     pub fn check_services(
         &self,
         plan: &Plan,

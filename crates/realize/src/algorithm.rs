@@ -100,14 +100,21 @@ pub fn realize(
     let step_action = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].action;
 
     // ---- Per-timestep scratch tables, allocated once. ----
-    // Dense per-vertex tables (occupancy, claims, vacations) and dense
-    // per-agent/per-component lists; clearing them each step is a memset,
-    // so the t-loop body performs no allocation after the first period.
+    // The per-vertex tables (occupancy, claims, vacations) are dense for
+    // O(1) indexing, but they are *cleared through occupancy-sized touched
+    // lists* rather than per-step memsets: only the ≤ agents entries
+    // written last step are reset, so the t-loop body is O(agents +
+    // components) per step — independent of the vertex count, which keeps
+    // realization viable on ~100k-vertex maps — and allocation-free after
+    // the first period.
     const NO_AGENT: u32 = wsp_model::NO_INDEX;
     let n_vertices = warehouse.graph().vertex_count();
     let mut occupant: Vec<u32> = vec![NO_AGENT; n_vertices];
     let mut claimed: Vec<bool> = vec![false; n_vertices];
     let mut vacated: Vec<bool> = vec![false; n_vertices];
+    // Entries of `occupant` / `claimed` / `vacated` written this step.
+    let mut occupied_cells: Vec<u32> = Vec::with_capacity(n_agents);
+    let mut touched_cells: Vec<u32> = Vec::with_capacity(2 * n_agents);
     let mut by_component: Vec<Vec<usize>> = vec![Vec::new(); n_components];
     // (agent, new_pos, hopped)
     let mut moves: Vec<(usize, VertexId, bool)> = Vec::with_capacity(n_agents);
@@ -122,19 +129,25 @@ pub fn realize(
         executed = t + 1;
         let period_start = ((t / tc) * tc) as i64;
 
-        // Occupancy and per-component resident lists at time t.
-        occupant.fill(NO_AGENT);
+        // Occupancy and per-component resident lists at time t (clearing
+        // only last step's entries).
+        for cell in occupied_cells.drain(..) {
+            occupant[cell as usize] = NO_AGENT;
+        }
         for list in &mut by_component {
             list.clear();
         }
         for (idx, a) in agents.iter().enumerate() {
             occupant[a.pos.index()] = idx as u32;
+            occupied_cells.push(a.pos.0);
             by_component[step_component(a).index()].push(idx);
         }
 
         // Movement decisions.
-        claimed.fill(false);
-        vacated.fill(false);
+        for cell in touched_cells.drain(..) {
+            claimed[cell as usize] = false;
+            vacated[cell as usize] = false;
+        }
         moves.clear();
 
         for comp in traffic.components() {
@@ -164,6 +177,8 @@ pub fn realize(
                     if !claimed[entry.index()] && occupant[entry.index()] == NO_AGENT {
                         claimed[entry.index()] = true;
                         vacated[a.pos.index()] = true;
+                        touched_cells.push(entry.0);
+                        touched_cells.push(a.pos.0);
                         moves.push((idx, entry, true));
                         continue;
                     }
@@ -175,12 +190,15 @@ pub fn realize(
                     if !blocked {
                         claimed[v.index()] = true;
                         vacated[a.pos.index()] = true;
+                        touched_cells.push(v.0);
+                        touched_cells.push(a.pos.0);
                         moves.push((idx, v, false));
                         continue;
                     }
                 }
                 // Stay put; the cell remains occupied for followers.
                 claimed[a.pos.index()] = true;
+                touched_cells.push(a.pos.0);
             }
         }
 

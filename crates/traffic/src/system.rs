@@ -387,6 +387,22 @@ impl TrafficSystemBuilder {
 ///
 /// Produced by [`TrafficSystemBuilder::build`]; all §IV-A composition rules
 /// hold by construction.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_model::{Direction, GridMap, Warehouse};
+/// use wsp_traffic::design_perimeter_loop;
+///
+/// let grid = GridMap::from_ascii("...\n.#.\n.@.")?;
+/// let warehouse =
+///     Warehouse::from_grid_with_access(&grid, &[Direction::East, Direction::West])?;
+/// let ts = design_perimeter_loop(&warehouse, 3)?;
+/// assert!(ts.is_strongly_connected());
+/// assert!(ts.station_queues().count() >= 1);
+/// assert_eq!(ts.cycle_time(), 2 * ts.max_component_len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct TrafficSystem {
     components: Vec<Component>,

@@ -2,5 +2,7 @@
 //!
 //! This umbrella crate re-exports the workspace crates; see `wsp-core` for the pipeline.
 
+#![warn(missing_docs)]
+
 pub use wsp_core as core;
 pub use wsp_model as model;

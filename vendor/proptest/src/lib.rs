@@ -196,7 +196,7 @@ pub mod collection {
         }
     }
 
-    /// An inclusive length range for [`vec`].
+    /// An inclusive length range for [`vec()`](vec()).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -228,7 +228,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
