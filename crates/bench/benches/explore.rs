@@ -1,0 +1,31 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_explore::{evaluate_batch, sorting_center_sweep, ExploreOptions};
+
+/// Batch-evaluation throughput of the design-space explorer: the default
+/// 20-candidate sorting-center sweep at 1, 2, 4, and all available worker
+/// threads (BENCH_explore.json records candidates/sec per point; on a
+/// single-core container the points collapse to queue-overhead parity).
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    let candidates = sorting_center_sweep();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points = vec![1usize, 2, 4];
+    if !points.contains(&cores) {
+        points.push(cores);
+    }
+    for threads in points {
+        let options = ExploreOptions {
+            threads: Some(threads),
+            ..ExploreOptions::default()
+        };
+        group.bench_function(format!("sweep20-{threads}t"), |b| {
+            b.iter(|| criterion::black_box(evaluate_batch(&candidates, &options)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

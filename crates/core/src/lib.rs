@@ -7,6 +7,15 @@
 //! conditions (1)–(3) of §III and workload servicing — by the
 //! [`wsp_model::PlanChecker`], which shares no code with the planner.
 //!
+//! Underneath, the methodology is a staged engine ([`Pipeline`], module
+//! [`pipeline`]): explicit `FlowArtifact → CycleArtifact →
+//! RealizedArtifact → VerifiedReport` stages, each resumable from its
+//! predecessor's artifact, sharing preallocated scratch tables so batch
+//! evaluation over many candidate designs (`wsp-explore`) is
+//! allocation-light and embarrassingly parallel (one `Pipeline` per
+//! worker thread; every shared input is `Send + Sync`, enforced at
+//! compile time).
+//!
 //! # Examples
 //!
 //! ```
@@ -24,14 +33,17 @@
 
 #![warn(missing_docs)]
 
-use std::fmt;
-use std::time::{Duration, Instant};
+pub mod pipeline;
 
-use wsp_flow::{synthesize_flow, AgentCycleSet, AgentFlowSet, FlowError, FlowSynthesisOptions};
+use std::fmt;
+use std::time::Duration;
+
+use wsp_flow::{AgentCycleSet, AgentFlowSet, FlowError, FlowSynthesisOptions};
 use wsp_model::{PlanStats, Warehouse, Workload};
-use wsp_realize::{realize, RealizeError, RealizeOutcome};
+use wsp_realize::{RealizeError, RealizeOutcome};
 use wsp_traffic::TrafficSystem;
 
+pub use pipeline::{CycleArtifact, FlowArtifact, Pipeline, RealizedArtifact, VerifiedReport};
 pub use wsp_flow::{synthesize_flow_relaxed, FlowEngine, RelaxedFlowSummary};
 
 /// A warehouse servicing problem instance (Problem 3.1) together with its
@@ -76,7 +88,7 @@ pub struct PipelineOptions {
 }
 
 /// Wall-clock duration of each pipeline phase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseTimings {
     /// Contract compilation + flow synthesis (the paper's reported time).
     pub flow_synthesis: Duration,
@@ -96,7 +108,11 @@ impl PhaseTimings {
 }
 
 /// Everything the pipeline produced, all independently verified.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full report including the wall-clock
+/// [`PhaseTimings`]; for run-to-run reproducibility comparisons, compare
+/// [`objective`](PipelineReport::objective) and the artifacts instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineReport {
     /// The synthesized agent flow set (validated against §IV-D exactly).
     pub flow: AgentFlowSet,
@@ -125,6 +141,17 @@ impl PipelineReport {
             self.timings.realization.as_secs_f64(),
             self.timings.verification.as_secs_f64(),
         )
+    }
+
+    /// The minimization objective pair `(agents, makespan)` used to score
+    /// a design: the team size the plan employs and the timestep of the
+    /// last needed delivery (falling back to the executed horizon for
+    /// plans without deliveries). `wsp-explore`'s Pareto scorer and the
+    /// benches both rank candidates with this helper, so the scoring
+    /// expression lives in exactly one place.
+    pub fn objective(&self) -> (usize, usize) {
+        let makespan = self.stats.last_delivery.unwrap_or(self.outcome.timesteps);
+        (self.outcome.agents, makespan)
     }
 }
 
@@ -184,51 +211,7 @@ pub fn solve(
     instance: &WspInstance,
     options: &PipelineOptions,
 ) -> Result<PipelineReport, PipelineError> {
-    let mut timings = PhaseTimings::default();
-
-    let t0 = Instant::now();
-    let flow = synthesize_flow(
-        &instance.warehouse,
-        &instance.traffic,
-        &instance.workload,
-        instance.t_limit,
-        &options.flow,
-    )?;
-    timings.flow_synthesis = t0.elapsed();
-
-    let t1 = Instant::now();
-    let cycles = flow.decompose()?;
-    timings.decomposition = t1.elapsed();
-
-    let t2 = Instant::now();
-    let workload_stop = if options.realize_full_horizon {
-        None
-    } else {
-        Some(&instance.workload)
-    };
-    let outcome = realize(
-        &instance.warehouse,
-        &instance.traffic,
-        &cycles,
-        workload_stop,
-        instance.t_limit,
-    )?;
-    timings.realization = t2.elapsed();
-
-    let t3 = Instant::now();
-    let checker = wsp_model::PlanChecker::new(&instance.warehouse);
-    let stats = checker
-        .check_services(&outcome.plan, &instance.workload)
-        .map_err(|e| PipelineError::Verification(e.to_string()))?;
-    timings.verification = t3.elapsed();
-
-    Ok(PipelineReport {
-        flow,
-        cycles,
-        outcome,
-        stats,
-        timings,
-    })
+    Pipeline::new().run(instance, options)
 }
 
 #[cfg(test)]

@@ -1,0 +1,373 @@
+//! The work-queue parallel batch evaluator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use wsp_core::{PhaseTimings, Pipeline, PipelineError, PipelineOptions, WspInstance};
+use wsp_flow::FlowError;
+
+use crate::pareto::{pareto_front, Objective};
+use crate::DesignCandidate;
+
+/// Batch-evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Worker-thread override. `None` falls back to the `WSP_THREADS`
+    /// environment variable, then to
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+    /// Total workload units per candidate (spread uniformly over the
+    /// candidate's products).
+    pub units: u64,
+    /// Plan-length limit `T` per candidate.
+    pub t_limit: usize,
+    /// Pipeline configuration forwarded to every evaluation.
+    pub pipeline: PipelineOptions,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            threads: None,
+            units: 160,
+            t_limit: 3_600,
+            pipeline: PipelineOptions::default(),
+        }
+    }
+}
+
+/// The deterministic portion of one candidate's evaluation — everything
+/// here is byte-identical run to run and thread count to thread count
+/// (wall-clock timings live in [`CandidateReport::timings`] instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateEval {
+    /// Agents the realized plan employs.
+    pub agents: usize,
+    /// Timestep of the last needed delivery.
+    pub makespan: usize,
+    /// Total units delivered.
+    pub delivered: u64,
+    /// Number of agent cycles in the decomposition.
+    pub cycles: usize,
+    /// ILP-size proxy for flow-synthesis cost
+    /// ([`wsp_flow::AgentFlowSet::synthesis_cost`]).
+    pub synthesis_cost: u64,
+}
+
+impl CandidateEval {
+    /// The candidate's position in objective space.
+    pub fn objective(&self) -> Objective {
+        Objective {
+            agents: self.agents as u64,
+            makespan: self.makespan as u64,
+            synthesis_cost: self.synthesis_cost,
+        }
+    }
+}
+
+/// How one candidate's evaluation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateOutcome {
+    /// Solved and verified.
+    Solved(CandidateEval),
+    /// The workload is provably infeasible on this design (a legitimate
+    /// exploration result, not an error).
+    Infeasible(String),
+    /// The candidate failed to build or the pipeline failed elsewhere.
+    Failed(String),
+}
+
+impl CandidateOutcome {
+    /// The evaluation, if the candidate solved.
+    pub fn eval(&self) -> Option<&CandidateEval> {
+        match self {
+            CandidateOutcome::Solved(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One candidate's full result: the deterministic outcome plus wall-clock
+/// phase timings (absent when the pipeline never ran to completion).
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// The evaluated candidate.
+    pub candidate: DesignCandidate,
+    /// The deterministic outcome.
+    pub outcome: CandidateOutcome,
+    /// Wall-clock per-phase timings of the successful run, if any.
+    pub timings: Option<PhaseTimings>,
+}
+
+/// The batch result: per-candidate reports in candidate order, the Pareto
+/// front, and run metadata.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// One report per input candidate, in input order.
+    pub reports: Vec<CandidateReport>,
+    /// Indices (into `reports`) of the solved candidates on the Pareto
+    /// front over (agents, makespan, synthesis cost), ascending.
+    pub front: Vec<usize>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl ExploreOutcome {
+    /// A byte-reproducible digest of the deterministic results: candidate
+    /// labels, outcomes, and the Pareto front — everything except
+    /// wall-clock state. Two runs over the same candidates must produce
+    /// identical fingerprints at any thread count; the determinism tests
+    /// compare exactly this.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.reports {
+            let _ = writeln!(out, "{}: {:?}", r.candidate.label(), r.outcome);
+        }
+        let _ = writeln!(out, "front: {:?}", self.front);
+        out
+    }
+
+    /// The report of the best solved candidate: the front member with the
+    /// lexicographically smallest (agents, makespan, synthesis cost).
+    pub fn best(&self) -> Option<&CandidateReport> {
+        self.front
+            .iter()
+            .map(|&i| &self.reports[i])
+            .min_by_key(|r| {
+                let o = r.outcome.eval().expect("front members solved").objective();
+                (o.agents, o.makespan, o.synthesis_cost)
+            })
+    }
+}
+
+/// Resolves the worker-thread count: explicit override, then the
+/// `WSP_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]; always at least 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("WSP_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Evaluates one candidate through the full staged pipeline, reusing the
+/// caller's [`Pipeline`] scratch.
+pub fn evaluate_candidate(
+    pipeline: &mut Pipeline,
+    candidate: &DesignCandidate,
+    options: &ExploreOptions,
+) -> CandidateReport {
+    let map = match candidate.build() {
+        Ok(map) => map,
+        Err(e) => {
+            return CandidateReport {
+                candidate: candidate.clone(),
+                outcome: CandidateOutcome::Failed(e),
+                timings: None,
+            }
+        }
+    };
+    let workload = map.uniform_workload(options.units);
+    let instance = WspInstance::new(map.warehouse, map.traffic, workload, options.t_limit);
+    match pipeline.run(&instance, &options.pipeline) {
+        Ok(report) => {
+            let (agents, makespan) = report.objective();
+            let eval = CandidateEval {
+                agents,
+                makespan,
+                delivered: report.stats.total_delivered(),
+                cycles: report.cycles.cycles().len(),
+                synthesis_cost: report.flow.synthesis_cost(),
+            };
+            CandidateReport {
+                candidate: candidate.clone(),
+                outcome: CandidateOutcome::Solved(eval),
+                timings: Some(report.timings),
+            }
+        }
+        Err(PipelineError::Flow(FlowError::Infeasible { detail })) => CandidateReport {
+            candidate: candidate.clone(),
+            outcome: CandidateOutcome::Infeasible(detail),
+            timings: None,
+        },
+        Err(e) => CandidateReport {
+            candidate: candidate.clone(),
+            outcome: CandidateOutcome::Failed(e.to_string()),
+            timings: None,
+        },
+    }
+}
+
+/// Evaluates a batch of candidates on a work-queue of scoped worker
+/// threads and scores the Pareto front.
+///
+/// Each worker owns one [`Pipeline`] (realization/verification scratch is
+/// reused across the candidates it pulls) and claims work off a shared
+/// atomic counter, so an expensive candidate never stalls the rest of the
+/// batch behind it. Results land in their candidate's slot, keeping the
+/// output a pure function of the input regardless of completion order or
+/// thread count.
+pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) -> ExploreOutcome {
+    let t0 = Instant::now();
+    let n = candidates.len();
+    let threads = resolve_threads(options.threads).min(n.max(1));
+
+    let mut slots: Vec<Option<CandidateReport>> = Vec::new();
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            workers.push(scope.spawn(move || {
+                let mut pipeline = Pipeline::new();
+                let mut produced: Vec<(usize, CandidateReport)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    produced.push((
+                        i,
+                        evaluate_candidate(&mut pipeline, &candidates[i], options),
+                    ));
+                }
+                produced
+            }));
+        }
+        for worker in workers {
+            for (i, report) in worker.join().expect("explore worker panicked") {
+                slots[i] = Some(report);
+            }
+        }
+    });
+
+    let reports: Vec<CandidateReport> = slots
+        .into_iter()
+        .map(|s| s.expect("every candidate evaluated"))
+        .collect();
+
+    // Pareto front over the solved candidates, mapped back to report
+    // indices (in ascending order, as `pareto_front` preserves it).
+    let solved: Vec<(usize, Objective)> = reports
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.outcome.eval().map(|e| (i, e.objective())))
+        .collect();
+    let objectives: Vec<Objective> = solved.iter().map(|&(_, o)| o).collect();
+    let front: Vec<usize> = pareto_front(&objectives)
+        .into_iter()
+        .map(|k| solved[k].0)
+        .collect();
+
+    ExploreOutcome {
+        reports,
+        front,
+        threads,
+        wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_maps::SortingCenterParams;
+
+    fn tiny_candidates() -> Vec<DesignCandidate> {
+        [2u32, 4]
+            .into_iter()
+            .map(|stations| {
+                DesignCandidate::new(SortingCenterParams {
+                    chute_rows: 3,
+                    chute_cols: 4,
+                    stations,
+                    ..SortingCenterParams::paper()
+                })
+            })
+            .collect()
+    }
+
+    fn tiny_options(threads: usize) -> ExploreOptions {
+        ExploreOptions {
+            threads: Some(threads),
+            units: 24,
+            t_limit: 1_200,
+            ..ExploreOptions::default()
+        }
+    }
+
+    #[test]
+    fn batch_solves_and_scores_a_front() {
+        let outcome = evaluate_batch(&tiny_candidates(), &tiny_options(2));
+        assert_eq!(outcome.reports.len(), 2);
+        assert!(!outcome.front.is_empty());
+        for &i in &outcome.front {
+            let eval = outcome.reports[i].outcome.eval().expect("front solved");
+            assert!(eval.delivered >= 24);
+            assert!(eval.synthesis_cost > 0);
+            assert!(outcome.reports[i].timings.is_some());
+        }
+        let best = outcome.best().expect("has a best");
+        assert!(best.outcome.eval().is_some());
+    }
+
+    #[test]
+    fn failed_candidates_keep_their_slot() {
+        let mut candidates = tiny_candidates();
+        candidates.insert(
+            1,
+            DesignCandidate::new(SortingCenterParams {
+                chute_rows: 2, // even: rejected by validate()
+                ..SortingCenterParams::paper()
+            }),
+        );
+        let outcome = evaluate_batch(&candidates, &tiny_options(2));
+        assert_eq!(outcome.reports.len(), 3);
+        assert!(matches!(
+            outcome.reports[1].outcome,
+            CandidateOutcome::Failed(_)
+        ));
+        assert!(!outcome.front.contains(&1));
+    }
+
+    #[test]
+    fn impossible_workloads_report_infeasible() {
+        let candidates = tiny_candidates();
+        let options = ExploreOptions {
+            units: 50_000_000, // far beyond any station's per-period rate
+            ..tiny_options(1)
+        };
+        let outcome = evaluate_batch(&candidates, &options);
+        for r in &outcome.reports {
+            assert!(matches!(r.outcome, CandidateOutcome::Infeasible(_)));
+        }
+        assert!(outcome.front.is_empty());
+        assert!(outcome.best().is_none());
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_then_env() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let outcome = evaluate_batch(&[], &tiny_options(4));
+        assert!(outcome.reports.is_empty());
+        assert!(outcome.front.is_empty());
+        assert!(outcome.fingerprint().contains("front: []"));
+    }
+}

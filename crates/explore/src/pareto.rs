@@ -1,0 +1,79 @@
+//! The Pareto scorer over candidate objectives.
+
+/// The three minimized axes of a candidate design, all deterministic:
+/// team size, effective makespan, and the ILP-size proxy for
+/// flow-synthesis cost (see [`wsp_flow::AgentFlowSet::synthesis_cost`] —
+/// wall-clock synthesis time is reported alongside but never scored, so
+/// fronts are byte-reproducible across runs and thread counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Objective {
+    /// Agents the realized plan employs (smaller is better).
+    pub agents: u64,
+    /// Timestep of the last needed delivery (smaller is better).
+    pub makespan: u64,
+    /// `variables + constraints` of the synthesis ILP (smaller is better).
+    pub synthesis_cost: u64,
+}
+
+impl Objective {
+    /// Whether `self` Pareto-dominates `other`: no worse on every axis and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &Objective) -> bool {
+        let no_worse = self.agents <= other.agents
+            && self.makespan <= other.makespan
+            && self.synthesis_cost <= other.synthesis_cost;
+        no_worse && self != other
+    }
+}
+
+/// Indices of the non-dominated objectives, in ascending input order.
+/// Ties (identical objective vectors) all stay on the front, so the result
+/// is a pure function of the input — independent of evaluation order.
+pub fn pareto_front(objectives: &[Objective]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .any(|other| other.dominates(&objectives[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(agents: u64, makespan: u64, cost: u64) -> Objective {
+        Objective {
+            agents,
+            makespan,
+            synthesis_cost: cost,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(o(1, 10, 5).dominates(&o(2, 10, 5)));
+        assert!(o(1, 9, 5).dominates(&o(1, 10, 5)));
+        assert!(!o(1, 10, 5).dominates(&o(1, 10, 5))); // equal: no dominance
+        assert!(!o(1, 11, 5).dominates(&o(2, 10, 5))); // trade-off
+    }
+
+    #[test]
+    fn front_keeps_trade_offs_and_ties() {
+        let objs = [
+            o(2, 100, 50), // dominated by [3]
+            o(1, 200, 50), // front: fewest agents
+            o(3, 50, 50),  // front: fastest
+            o(2, 99, 50),  // front: dominates [0]
+            o(2, 99, 50),  // tie with [3]: also on the front
+        ];
+        assert_eq!(pareto_front(&objs), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_fronts() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[o(5, 5, 5)]), vec![0]);
+    }
+}

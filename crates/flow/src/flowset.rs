@@ -53,6 +53,9 @@ pub struct AgentFlowSet {
     edges: BTreeMap<(ComponentId, ComponentId, Commodity), u64>,
     pickups: BTreeMap<(ComponentId, ProductId), u64>,
     dropoffs: BTreeMap<(ComponentId, ProductId), u64>,
+    /// ILP dimensions of the synthesis problem that produced this set
+    /// (variables, constraints); `(0, 0)` for hand-built sets.
+    problem_size: (usize, usize),
 }
 
 impl AgentFlowSet {
@@ -65,12 +68,34 @@ impl AgentFlowSet {
             edges: BTreeMap::new(),
             pickups: BTreeMap::new(),
             dropoffs: BTreeMap::new(),
+            problem_size: (0, 0),
         }
     }
 
     /// The cycle time `t_c` (timesteps per cycle period).
     pub fn cycle_time(&self) -> usize {
         self.cycle_time
+    }
+
+    /// Records the ILP dimensions of the synthesis problem this set was
+    /// decoded from (called by the synthesis engines).
+    pub fn set_problem_size(&mut self, variables: usize, constraints: usize) {
+        self.problem_size = (variables, constraints);
+    }
+
+    /// The `(variables, constraints)` dimensions of the synthesis ILP, or
+    /// `(0, 0)` for hand-built sets.
+    pub fn problem_size(&self) -> (usize, usize) {
+        self.problem_size
+    }
+
+    /// A deterministic, machine-independent proxy for flow-synthesis cost:
+    /// `variables + constraints` of the synthesis ILP. Unlike wall-clock
+    /// time this is identical run to run (and thread count to thread
+    /// count), which is what lets `wsp-explore` rank candidate designs on
+    /// synthesis cost while keeping Pareto fronts byte-reproducible.
+    pub fn synthesis_cost(&self) -> u64 {
+        (self.problem_size.0 + self.problem_size.1) as u64
     }
 
     /// The number of cycle periods `q_c` executable within the plan horizon.

@@ -247,6 +247,7 @@ pub fn synthesize_layered(
         total_flow(&vars)
     };
     let problem = full.synthesis_problem(&vars.registry, objective);
+    let problem_dims = (problem.var_count(), problem.constraint_count());
 
     let outcome = solve_ilp(&problem, &options.ilp).map_err(|e| match e {
         wsp_lp::IlpError::Lp(lp) => FlowError::Solver { source: lp },
@@ -287,6 +288,7 @@ pub fn synthesize_layered(
         vars.dropoffs.iter().map(|(&c, &v)| (c, value(v))).collect();
 
     let mut flow = AgentFlowSet::new(cycle_time, periods);
+    flow.set_problem_size(problem_dims.0, problem_dims.1);
     for (&(i, j), &v) in &vars.unloaded {
         flow.add_edge_flow(i, j, Commodity::Unloaded, value(v));
     }

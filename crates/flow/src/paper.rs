@@ -45,6 +45,7 @@ pub fn synthesize_paper(
         vars.total_flow_objective()
     };
     let problem = full.synthesis_problem(vars.registry(), objective);
+    let problem_dims = (problem.var_count(), problem.constraint_count());
 
     let outcome = solve_ilp(&problem, &options.ilp).map_err(|e| match e {
         wsp_lp::IlpError::Lp(lp) => FlowError::Solver { source: lp },
@@ -72,6 +73,7 @@ pub fn synthesize_paper(
 
     // Read the model back into a flow set.
     let mut flow = AgentFlowSet::new(cycle_time, periods);
+    flow.set_problem_size(problem_dims.0, problem_dims.1);
     let value = |v: wsp_lp::VarId| -> u64 {
         let q = solution.values[v.index()];
         debug_assert!(q.is_integer() && !q.is_negative());

@@ -122,6 +122,26 @@ pub struct SegmentPath {
 /// Sentinel for unvisited/empty slots in the layer maps.
 const UNVISITED: u32 = wsp_model::NO_INDEX;
 
+/// Reusable scratch for [`SpaceTimeAstar`]: the BFS heuristic field (an
+/// O(vertices) buffer recomputed per segment) and the per-time-layer maps,
+/// kept across searches so multi-segment and multi-agent planning loops
+/// (prioritized planning runs one search per itinerary leg per agent) stop
+/// allocating per segment. The prioritized planner threads one scratch
+/// through every search of a solve automatically; callers driving
+/// [`SpaceTimeAstar::plan_with_scratch`] directly get the same benefit.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    heuristic: Vec<u32>,
+    layers: Vec<LayerMap>,
+}
+
+impl SearchScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
 /// One time layer of the search, stored as an open-addressed table sized by
 /// the layer's *frontier* rather than by the whole graph. Slots are indexed
 /// straight off the dense [`VertexId`] bits (a Fibonacci scramble plus
@@ -193,6 +213,20 @@ impl LayerMap {
         at
     }
 
+    /// Empties the map while keeping its allocation (for scratch reuse);
+    /// `best`/`parent`/`closed` need no wipe — [`entry`](Self::entry)
+    /// initializes them on insertion. A no-op on already-empty maps, so
+    /// the per-search reset sweep pays a table wipe only for the layers
+    /// the *previous* search actually populated (not for every layer the
+    /// deepest search of the scratch's lifetime ever reached).
+    fn reset(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        self.keys.fill(UNVISITED);
+        self.len = 0;
+    }
+
     fn grow(&mut self) {
         let capacity = (self.keys.len() * 2).max(Self::MIN_CAPACITY);
         let old = std::mem::replace(
@@ -219,22 +253,15 @@ impl LayerMap {
     }
 }
 
-/// Lazily grown stack of time layers, indexed by `t - start_time`. Empty
-/// layers own no heap memory.
+/// Lazily grown stack of time layers, indexed by `t - start_time`, borrowed
+/// from a [`SearchScratch`]. Unreached layers own no heap memory.
 #[derive(Debug)]
-struct LayerTable {
+struct LayerTable<'s> {
     start_time: usize,
-    layers: Vec<LayerMap>,
+    layers: &'s mut Vec<LayerMap>,
 }
 
-impl LayerTable {
-    fn new(start_time: usize) -> Self {
-        LayerTable {
-            start_time,
-            layers: Vec::new(),
-        }
-    }
-
+impl LayerTable<'_> {
     fn layer(&mut self, t: usize) -> &mut LayerMap {
         let rel = t - self.start_time;
         if rel >= self.layers.len() {
@@ -259,7 +286,20 @@ impl SpaceTimeAstar {
     ///
     /// Returns `None` if no path exists within `max_time`.
     pub fn plan(&self, graph: &FloorplanGraph, query: &PlanQuery<'_>) -> Option<SegmentPath> {
-        let heuristic = graph.bfs_distances(query.goal);
+        self.plan_with_scratch(graph, query, &mut SearchScratch::new())
+    }
+
+    /// [`plan`](Self::plan) reusing caller-owned [`SearchScratch`] buffers,
+    /// the allocation-light entry point for planners that run many segment
+    /// searches over the same graph.
+    pub fn plan_with_scratch(
+        &self,
+        graph: &FloorplanGraph,
+        query: &PlanQuery<'_>,
+        scratch: &mut SearchScratch,
+    ) -> Option<SegmentPath> {
+        let SearchScratch { heuristic, layers } = scratch;
+        graph.bfs_distances_into(query.goal, heuristic);
         if heuristic[query.start.index()] == u32::MAX {
             return None;
         }
@@ -276,7 +316,13 @@ impl SpaceTimeAstar {
             _ => 0,
         };
 
-        let mut layers = LayerTable::new(query.start_time);
+        for layer in layers.iter_mut() {
+            layer.reset();
+        }
+        let mut layers = LayerTable {
+            start_time: query.start_time,
+            layers,
+        };
         // Ordered open set: (f, conflicts, depth_seq, vertex, time).
         // BTreeSet gives both f_min (first element) and a scannable focal
         // range. `depth_seq` breaks f/conflict ties toward *larger t*

@@ -81,6 +81,9 @@ impl CbsPlanner {
             focal_weight: self.weight,
         };
 
+        // One search scratch for every low-level replan of this solve.
+        let mut scratch = crate::SearchScratch::new();
+
         // Root node.
         let mut root = Node {
             constraints: vec![Constraints::default(); n],
@@ -90,7 +93,7 @@ impl CbsPlanner {
         };
         for (a, &goal) in goals.iter().enumerate() {
             let seg = astar
-                .plan(
+                .plan_with_scratch(
                     problem.graph(),
                     &PlanQuery {
                         start: problem.starts()[a],
@@ -101,6 +104,7 @@ impl CbsPlanner {
                         conflict_paths: Some(&root.paths),
                         require_parkable: false,
                     },
+                    &mut scratch,
                 )
                 .ok_or(MapfError::NoSolution { agent: Some(a) })?;
             root.paths[a] = seg.path;
@@ -177,7 +181,7 @@ impl CbsPlanner {
                     .filter(|&(i, _)| i != agent)
                     .map(|(_, p)| p.clone())
                     .collect();
-                let Some(seg) = astar.plan(
+                let Some(seg) = astar.plan_with_scratch(
                     problem.graph(),
                     &PlanQuery {
                         start: problem.starts()[agent],
@@ -188,6 +192,7 @@ impl CbsPlanner {
                         conflict_paths: Some(&others),
                         require_parkable: false,
                     },
+                    &mut scratch,
                 ) else {
                     continue; // this branch is a dead end
                 };

@@ -47,7 +47,7 @@ mod prioritized;
 mod problem;
 mod reservation;
 
-pub use astar::{Constraints, PlanQuery, SegmentPath, SpaceTimeAstar};
+pub use astar::{Constraints, PlanQuery, SearchScratch, SegmentPath, SpaceTimeAstar};
 pub use cbs::CbsPlanner;
 pub use iterated::{InnerSolver, IteratedPlanner};
 pub use prioritized::PrioritizedPlanner;

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::astar::{PlanQuery, SpaceTimeAstar};
+use crate::astar::{PlanQuery, SearchScratch, SpaceTimeAstar};
 use crate::{MapfError, MapfProblem, MapfSolution, ReservationTable};
 
 /// The prioritized planner. Incomplete (priority orderings can fail where a
@@ -61,11 +61,14 @@ impl PrioritizedPlanner {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut last_failure = MapfError::NoSolution { agent: None };
 
+        // One search scratch for the whole solve: every agent, leg, and
+        // retry ordering reuses the same heuristic and layer buffers.
+        let mut scratch = SearchScratch::new();
         for attempt in 0..self.attempts.max(1) {
             if attempt > 0 {
                 order.shuffle(&mut rng);
             }
-            match self.try_order(problem, &order) {
+            match self.try_order(problem, &order, &mut scratch) {
                 Ok(out) => return Ok(out),
                 Err(e) => last_failure = e,
             }
@@ -77,6 +80,7 @@ impl PrioritizedPlanner {
         &self,
         problem: &MapfProblem<'_>,
         order: &[usize],
+        scratch: &mut SearchScratch,
     ) -> Result<(MapfSolution, ReservationTable), MapfError> {
         let graph = problem.graph();
         let mut reservations = ReservationTable::new(graph.vertex_count());
@@ -101,7 +105,7 @@ impl PrioritizedPlanner {
                 };
                 let seg = self
                     .astar
-                    .plan(graph, &query)
+                    .plan_with_scratch(graph, &query, scratch)
                     .ok_or(MapfError::NoSolution { agent: Some(agent) })?;
                 // Append without duplicating the junction state.
                 full.extend(seg.path.iter().skip(1).copied());

@@ -123,6 +123,7 @@ fn build_fulfillment(p: FulfillmentParams) -> Result<MapInstance, Box<dyn std::e
         height: p.height,
         aisle_ys,
         max_component_len: p.max_component_len,
+        orientation: wsp_traffic::RingOrientation::Forward,
     };
 
     let mut grid = GridMap::new(p.width, p.height)?;
@@ -185,6 +186,7 @@ pub fn sorting_center() -> Result<MapInstance, Box<dyn std::error::Error>> {
         height,
         aisle_ys: vec![1, 3, 5, 7, 9, 11],
         max_component_len: 90,
+        orientation: wsp_traffic::RingOrientation::Forward,
     };
 
     let mut grid = GridMap::new(width, height)?;

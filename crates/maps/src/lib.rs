@@ -35,9 +35,11 @@ mod random;
 mod scaled;
 mod snake;
 mod util;
+mod variants;
 pub mod zoned;
 
 pub use instances::{fulfillment_center_1, fulfillment_center_2, sorting_center, MapInstance};
 pub use random::random_block_warehouse;
 pub use scaled::scaled_warehouse;
 pub use snake::SnakeLayout;
+pub use variants::{sorting_center_variant, SortingCenterParams};

@@ -59,6 +59,7 @@ pub fn random_block_warehouse(
         height,
         aisle_ys,
         max_component_len: 65,
+        orientation: wsp_traffic::RingOrientation::Forward,
     };
     // Chop the ring into ~4 components: capacity ⌊len/2⌋ must admit one
     // loaded flow per demanded product (integer per-period rates), while

@@ -80,6 +80,7 @@ pub fn scaled_warehouse(
         height,
         aisle_ys: aisle_ys.clone(),
         max_component_len: 65,
+        orientation: wsp_traffic::RingOrientation::Forward,
     };
     // Same balance as `random_block_warehouse`: ~4 components on small
     // rings, the paper maps' 65-cell pieces once rings grow past ~260.

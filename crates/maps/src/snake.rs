@@ -12,7 +12,9 @@
 //! beyond the single-station bound.
 
 use wsp_model::{Coord, VertexId, Warehouse};
-use wsp_traffic::{ComponentId, TrafficError, TrafficSystem, TrafficSystemBuilder};
+use wsp_traffic::{
+    chop_balanced, ComponentId, RingOrientation, TrafficError, TrafficSystem, TrafficSystemBuilder,
+};
 
 /// Geometry of a snake-designed warehouse.
 #[derive(Debug, Clone)]
@@ -26,6 +28,11 @@ pub struct SnakeLayout {
     pub aisle_ys: Vec<u32>,
     /// Maximum (and target) component length; the chopper balances pieces.
     pub max_component_len: usize,
+    /// Travel direction of the ring (a co-design knob; [`Forward`] is the
+    /// paper's Fig. 4 direction).
+    ///
+    /// [`Forward`]: RingOrientation::Forward
+    pub orientation: RingOrientation,
 }
 
 impl SnakeLayout {
@@ -105,17 +112,23 @@ impl SnakeLayout {
     /// violation.
     pub fn build_traffic(&self, warehouse: &Warehouse) -> Result<TrafficSystem, TrafficError> {
         let (ring, perimeter_start) = self.ring_sections();
-        let lmax = self.max_component_len.max(2);
+        // Chop the aisle section and the perimeter section separately so
+        // station-bearing perimeter components never contain shelf-access
+        // cells (the MixedKind rule). Reversing flips both sections' travel
+        // order (the cell set, and with it the kind classification, is
+        // unchanged).
+        let mut aisle = ring[..perimeter_start].to_vec();
+        let mut perimeter = ring[perimeter_start..].to_vec();
+        self.orientation.apply(&mut aisle);
+        self.orientation.apply(&mut perimeter);
 
         let mut b = TrafficSystemBuilder::new();
         let mut ids: Vec<ComponentId> = Vec::new();
-        // Chop the aisle section and the perimeter section separately so
-        // station-bearing perimeter components never contain shelf-access
-        // cells (the MixedKind rule).
-        for section in [&ring[..perimeter_start], &ring[perimeter_start..]] {
-            let pieces = section.len().div_ceil(lmax).max(1);
-            let target = section.len().div_ceil(pieces);
-            for chunk in section.chunks(target) {
+        for section in [&aisle, &perimeter] {
+            let mut at = 0usize;
+            for size in chop_balanced(section.len(), self.max_component_len) {
+                let chunk = &section[at..at + size];
+                at += size;
                 let path: Result<Vec<VertexId>, TrafficError> = chunk
                     .iter()
                     .map(|&(x, y)| {
@@ -148,6 +161,7 @@ mod tests {
             height: 9,
             aisle_ys: vec![1, 3, 5, 7],
             max_component_len: 12,
+            orientation: RingOrientation::Forward,
         };
         let mut grid = GridMap::new(layout.width, layout.height).unwrap();
         // Shelf rows between aisles.
@@ -194,6 +208,27 @@ mod tests {
             assert!(c.len() <= layout.max_component_len);
             assert!(ts.inlets(c.id()).len() == 1 && ts.outlets(c.id()).len() == 1);
         }
+    }
+
+    #[test]
+    fn reversed_orientation_builds_an_equally_valid_ring() {
+        let (w, mut layout) = demo_layout();
+        layout.orientation = RingOrientation::Reversed;
+        let ts = layout.build_traffic(&w).expect("valid reversed snake");
+        assert!(ts.is_strongly_connected());
+        assert_eq!(ts.station_queues().count(), 2);
+        assert!(ts.shelving_rows().count() >= 2);
+        // Same cell coverage, opposite arc directions: the reversed design
+        // must differ from the forward one in at least one entry vertex.
+        let forward = {
+            let mut f = layout.clone();
+            f.orientation = RingOrientation::Forward;
+            f.build_traffic(&w).unwrap()
+        };
+        assert_eq!(ts.component_count(), forward.component_count());
+        let entries: Vec<_> = ts.components().iter().map(|c| c.entry()).collect();
+        let fwd_entries: Vec<_> = forward.components().iter().map(|c| c.entry()).collect();
+        assert_ne!(entries, fwd_entries);
     }
 
     #[test]

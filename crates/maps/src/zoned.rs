@@ -127,10 +127,11 @@ impl ZonedLayout {
                      cells: &[(u32, u32)]|
          -> Result<(ComponentId, ComponentId), TrafficError> {
             debug_assert!(!cells.is_empty(), "empty lane run");
-            let pieces = cells.len().div_ceil(lmax);
-            let target = cells.len().div_ceil(pieces);
             let mut ids: Vec<ComponentId> = Vec::new();
-            for chunk in cells.chunks(target) {
+            let mut at = 0usize;
+            for size in wsp_traffic::chop_balanced(cells.len(), lmax) {
+                let chunk = &cells[at..at + size];
+                at += size;
                 let path: Result<Vec<VertexId>, TrafficError> =
                     chunk.iter().map(|&(x, y)| vertex(x, y)).collect();
                 ids.push(b.add_component(path?));

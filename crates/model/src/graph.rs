@@ -183,7 +183,19 @@ impl FloorplanGraph {
     /// Breadth-first distances (in timesteps) from `source` to every vertex;
     /// `u32::MAX` marks unreachable vertices.
     pub fn bfs_distances(&self, source: VertexId) -> Vec<u32> {
-        let mut dist = vec![u32::MAX; self.vertex_count()];
+        let mut dist = Vec::new();
+        self.bfs_distances_into(source, &mut dist);
+        dist
+    }
+
+    /// [`bfs_distances`](Self::bfs_distances) into a caller-owned buffer,
+    /// resized and overwritten in place — the allocation-light variant for
+    /// callers that run many searches over the same graph (space-time A*
+    /// recomputes a heuristic field per segment; reusing the buffer keeps
+    /// repeated planning free of O(vertices) allocations).
+    pub fn bfs_distances_into(&self, source: VertexId, dist: &mut Vec<u32>) {
+        dist.clear();
+        dist.resize(self.vertex_count(), u32::MAX);
         let mut queue = std::collections::VecDeque::new();
         dist[source.index()] = 0;
         queue.push_back(source);
@@ -196,7 +208,6 @@ impl FloorplanGraph {
                 }
             }
         }
-        dist
     }
 
     /// Whether every vertex can reach every other vertex.

@@ -45,7 +45,9 @@ pub use error::ModelError;
 pub use graph::{FloorplanGraph, VertexId, NO_INDEX};
 pub use grid::{CellKind, GridMap};
 pub use inventory::LocationMatrix;
-pub use plan::{AgentState, Carry, CheckFailure, Plan, PlanChecker, PlanStats, PlanViolation};
+pub use plan::{
+    AgentState, Carry, CheckFailure, CheckScratch, Plan, PlanChecker, PlanStats, PlanViolation,
+};
 pub use product::{ProductCatalog, ProductId};
 pub use warehouse::Warehouse;
 pub use workload::Workload;

@@ -76,7 +76,7 @@ impl AgentState {
 /// assert_eq!(plan.horizon(), 1);
 /// assert_eq!(plan.agent_count(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Plan {
     /// Per-agent state trajectories; all must end up the same length.
     trajectories: Vec<Vec<AgentState>>,
@@ -284,6 +284,52 @@ impl PlanStats {
     }
 }
 
+/// Reusable scratch tables for [`PlanChecker`]: the dense per-vertex
+/// occupancy and departure tables plus the inventory ledger, kept across
+/// calls so repeated checks (batch evaluation of many candidate plans, or
+/// the staged pipeline verifying one realization per design candidate)
+/// allocate nothing after the first use.
+///
+/// Invariant between calls: every dense entry is reset to its sentinel
+/// (the touched lists are drained at the end of each check), so a scratch
+/// can be handed to a checker bound to a *different* warehouse — the
+/// tables are resized and the ledger cleared on entry.
+#[derive(Debug, Default)]
+pub struct CheckScratch {
+    occupied: Vec<u32>,
+    occupied_cells: Vec<u32>,
+    depart_to: Vec<u32>,
+    depart_agent: Vec<u32>,
+    depart_cells: Vec<u32>,
+    depart_overflow: Vec<(VertexId, VertexId, usize)>,
+    picked: HashMap<(VertexId, ProductId), u64>,
+}
+
+impl CheckScratch {
+    /// A fresh, empty scratch (tables grow on first use).
+    pub fn new() -> Self {
+        CheckScratch::default()
+    }
+
+    /// Resets the ledger and sizes every dense table for `n_vertices`,
+    /// draining any marks a previous (possibly panicked-over) call left.
+    fn prepare(&mut self, n_vertices: usize) {
+        const NONE: u32 = crate::NO_INDEX;
+        for cell in self.occupied_cells.drain(..) {
+            self.occupied[cell as usize] = NONE;
+        }
+        for cell in self.depart_cells.drain(..) {
+            self.depart_to[cell as usize] = NONE;
+            self.depart_agent[cell as usize] = NONE;
+        }
+        self.occupied.resize(n_vertices, NONE);
+        self.depart_to.resize(n_vertices, NONE);
+        self.depart_agent.resize(n_vertices, NONE);
+        self.depart_overflow.clear();
+        self.picked.clear();
+    }
+}
+
 /// Checks plans against a warehouse: feasibility conditions (1)–(3) of §III,
 /// inventory accounting, and workload servicing.
 ///
@@ -322,6 +368,20 @@ impl<'w> PlanChecker<'w> {
     /// of all violations found) or a [`ModelError`] if the plan matrix is
     /// malformed.
     pub fn check(&self, plan: &Plan) -> Result<PlanStats, Box<CheckFailure>> {
+        self.check_with_scratch(plan, &mut CheckScratch::new())
+    }
+
+    /// [`check`](Self::check) reusing caller-owned [`CheckScratch`] tables,
+    /// so batch verification over many plans is allocation-light.
+    ///
+    /// # Errors
+    ///
+    /// As for [`check`](Self::check).
+    pub fn check_with_scratch(
+        &self,
+        plan: &Plan,
+        scratch: &mut CheckScratch,
+    ) -> Result<PlanStats, Box<CheckFailure>> {
         plan.validate_shape().map_err(|e| {
             Box::new(CheckFailure {
                 violations: Vec::new(),
@@ -363,27 +423,28 @@ impl<'w> PlanChecker<'w> {
             horizon,
             ..PlanStats::default()
         };
-        // (vertex, product) -> units picked, for inventory accounting.
-        let mut picked: HashMap<(VertexId, ProductId), u64> = HashMap::new();
-
-        // Dense per-vertex scratch tables, allocated once and cleared per
-        // timestep through occupancy-sized touched lists (only the ≤ agents
-        // entries written last step are reset, so the per-timestep cost is
-        // O(agents), independent of the vertex count), matching the
-        // flat-graph storage invariants.
+        // Dense per-vertex scratch tables, owned by the caller-reusable
+        // `CheckScratch` and cleared per timestep through occupancy-sized
+        // touched lists (only the ≤ agents entries written last step are
+        // reset, so the per-timestep cost is O(agents), independent of the
+        // vertex count), matching the flat-graph storage invariants.
+        // Destructure so the loop body below reads like local state.
         const NONE: u32 = crate::NO_INDEX;
-        let n_vertices = graph.vertex_count();
-        let mut occupied: Vec<u32> = vec![NONE; n_vertices];
-        let mut occupied_cells: Vec<u32> = Vec::with_capacity(agents);
+        scratch.prepare(graph.vertex_count());
+        let CheckScratch {
+            occupied,
+            occupied_cells,
+            depart_to,
+            depart_agent,
+            depart_cells,
+            depart_overflow,
+            picked,
+        } = scratch;
         // Departure table: at most one agent legally departs a vertex per
         // step, so a (destination, agent) pair per source vertex suffices
         // for the swap check. Invalid plans can double-depart a vertex
         // (which is itself a vertex collision); those spill into the
         // overflow list so every swap is still found.
-        let mut depart_to: Vec<u32> = vec![NONE; n_vertices];
-        let mut depart_agent: Vec<u32> = vec![NONE; n_vertices];
-        let mut depart_cells: Vec<u32> = Vec::with_capacity(agents);
-        let mut depart_overflow: Vec<(VertexId, VertexId, usize)> = Vec::new();
 
         for t in 0..=horizon {
             // Condition (2a): vertex collisions at time t.
@@ -438,7 +499,7 @@ impl<'w> PlanChecker<'w> {
                             t,
                         });
                     }
-                    for &(from, to, b) in &depart_overflow {
+                    for &(from, to, b) in depart_overflow.iter() {
                         if from == nxt.at && to == cur.at {
                             violations.push(PlanViolation::EdgeCollision { a: b, b: a, t });
                         }
@@ -498,8 +559,18 @@ impl<'w> PlanChecker<'w> {
             }
         }
 
+        // Restore the clean-tables invariant for the next reuse of the
+        // scratch (the loop leaves the final timestep's marks behind).
+        for cell in occupied_cells.drain(..) {
+            occupied[cell as usize] = NONE;
+        }
+        for cell in depart_cells.drain(..) {
+            depart_to[cell as usize] = NONE;
+            depart_agent[cell as usize] = NONE;
+        }
+
         // Inventory accounting: total picks per (vertex, product) within Λ.
-        for ((v, p), &n) in &picked {
+        for ((v, p), &n) in picked.iter() {
             let available = self.warehouse.location_matrix().units_at(*v, *p);
             if n > available {
                 violations.push(PlanViolation::InventoryExceeded {
@@ -536,7 +607,22 @@ impl<'w> PlanChecker<'w> {
         plan: &Plan,
         workload: &Workload,
     ) -> Result<PlanStats, Box<CheckFailure>> {
-        let stats = self.check(plan)?;
+        self.check_services_with_scratch(plan, workload, &mut CheckScratch::new())
+    }
+
+    /// [`check_services`](Self::check_services) reusing caller-owned
+    /// [`CheckScratch`] tables.
+    ///
+    /// # Errors
+    ///
+    /// As for [`check_services`](Self::check_services).
+    pub fn check_services_with_scratch(
+        &self,
+        plan: &Plan,
+        workload: &Workload,
+        scratch: &mut CheckScratch,
+    ) -> Result<PlanStats, Box<CheckFailure>> {
+        let stats = self.check_with_scratch(plan, scratch)?;
         if !workload.is_satisfied_by(&stats.delivered) {
             let shortfall: Vec<(ProductId, u64, u64)> = workload
                 .iter()
@@ -660,6 +746,44 @@ mod tests {
         assert!(checker.check_services(&plan, &workload).is_ok());
         let too_much = Workload::from_demands(vec![2]);
         assert!(checker.check_services(&plan, &too_much).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_checks() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut scratch = CheckScratch::new();
+        // A legal plan, a colliding plan, then the legal plan again — the
+        // reused scratch must never leak state between checks.
+        let mut legal = Plan::new();
+        let a = legal.add_agent(AgentState::idle(v(&w, 0, 0)));
+        legal.push_state(a, AgentState::idle(v(&w, 0, 1)));
+        let mut colliding = Plan::new();
+        colliding.add_agent(AgentState::idle(v(&w, 0, 0)));
+        colliding.add_agent(AgentState::idle(v(&w, 0, 0)));
+
+        let fresh = checker.check(&legal).unwrap();
+        assert_eq!(
+            checker.check_with_scratch(&legal, &mut scratch).unwrap(),
+            fresh
+        );
+        assert!(checker
+            .check_with_scratch(&colliding, &mut scratch)
+            .is_err());
+        assert_eq!(
+            checker.check_with_scratch(&legal, &mut scratch).unwrap(),
+            fresh
+        );
+
+        // The same scratch serves a checker bound to a different warehouse.
+        let grid = GridMap::from_ascii("#...\n..@.").unwrap();
+        let w2 = Warehouse::from_grid(&grid).unwrap();
+        let checker2 = PlanChecker::new(&w2);
+        let mut p2 = Plan::new();
+        let b = p2.add_agent(AgentState::idle(v(&w2, 0, 0)));
+        p2.push_state(b, AgentState::idle(v(&w2, 1, 0)));
+        let s2 = checker2.check_with_scratch(&p2, &mut scratch).unwrap();
+        assert_eq!(s2.moves, 1);
     }
 
     #[test]

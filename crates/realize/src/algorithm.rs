@@ -7,7 +7,7 @@ use wsp_traffic::{ComponentId, TrafficSystem};
 use crate::RealizeError;
 
 /// The result of realizing an agent cycle set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RealizeOutcome {
     /// The realized plan (initial placement at `t = 0`).
     pub plan: Plan,
@@ -39,6 +39,64 @@ struct AgentRt {
     carry: Option<ProductId>,
 }
 
+/// Reusable scratch for [`realize`]: the per-timestep dense tables, the
+/// agent runtime states, and the remaining-stock ledger, kept across calls
+/// so repeated realizations (the staged pipeline evaluating one design
+/// candidate after another) are allocation-light — after the first call on
+/// a warehouse of a given size, a realization allocates only its outputs
+/// (the plan and the delivery counts).
+///
+/// Invariant between calls: every dense entry is back at its sentinel (the
+/// touched lists are drained on entry and on exit), so one scratch can be
+/// reused across warehouses of different sizes; the tables are resized on
+/// entry.
+#[derive(Debug, Default)]
+pub struct RealizeScratch {
+    residents_init: Vec<Vec<(usize, usize)>>,
+    agents: Vec<AgentRt>,
+    stock: wsp_model::LocationMatrix,
+    occupant: Vec<u32>,
+    claimed: Vec<bool>,
+    vacated: Vec<bool>,
+    occupied_cells: Vec<u32>,
+    touched_cells: Vec<u32>,
+    by_component: Vec<Vec<usize>>,
+    moves: Vec<(usize, VertexId, bool)>,
+    move_hopped: Vec<bool>,
+}
+
+impl RealizeScratch {
+    /// A fresh, empty scratch (tables grow on first use).
+    pub fn new() -> Self {
+        RealizeScratch::default()
+    }
+
+    /// Drains any marks a previous call left and sizes every table.
+    fn prepare(&mut self, n_vertices: usize, n_components: usize) {
+        const NO_AGENT: u32 = wsp_model::NO_INDEX;
+        for cell in self.occupied_cells.drain(..) {
+            self.occupant[cell as usize] = NO_AGENT;
+        }
+        for cell in self.touched_cells.drain(..) {
+            self.claimed[cell as usize] = false;
+            self.vacated[cell as usize] = false;
+        }
+        self.occupant.resize(n_vertices, NO_AGENT);
+        self.claimed.resize(n_vertices, false);
+        self.vacated.resize(n_vertices, false);
+        if self.residents_init.len() < n_components {
+            self.residents_init.resize_with(n_components, Vec::new);
+            self.by_component.resize_with(n_components, Vec::new);
+        }
+        for list in &mut self.residents_init[..n_components] {
+            list.clear();
+        }
+        self.agents.clear();
+        self.moves.clear();
+        self.move_hopped.clear();
+    }
+}
+
 /// Realizes an agent cycle set into a discrete plan, stepping all
 /// components for up to `t_limit` timesteps (stopping early once
 /// `workload`, if given, is fully delivered).
@@ -55,23 +113,70 @@ pub fn realize(
     workload: Option<&Workload>,
     t_limit: usize,
 ) -> Result<RealizeOutcome, RealizeError> {
+    realize_with_scratch(
+        warehouse,
+        traffic,
+        cycles,
+        workload,
+        t_limit,
+        &mut RealizeScratch::new(),
+    )
+}
+
+/// [`realize`] reusing caller-owned [`RealizeScratch`] tables, for batch
+/// evaluation loops that realize many cycle sets back to back.
+///
+/// # Errors
+///
+/// As for [`realize`].
+pub fn realize_with_scratch(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+    workload: Option<&Workload>,
+    t_limit: usize,
+    scratch: &mut RealizeScratch,
+) -> Result<RealizeOutcome, RealizeError> {
     validate_cycles(traffic, cycles)?;
 
     let tc = cycles.cycle_time().max(1);
     let n_products = warehouse.catalog().len();
 
+    // ---- Per-timestep scratch tables, owned by the reusable scratch. ----
+    // The per-vertex tables (occupancy, claims, vacations) are dense for
+    // O(1) indexing, but they are *cleared through occupancy-sized touched
+    // lists* rather than per-step memsets: only the ≤ agents entries
+    // written last step are reset, so the t-loop body is O(agents +
+    // components) per step — independent of the vertex count, which keeps
+    // realization viable on ~100k-vertex maps — and allocation-free after
+    // the first period.
+    const NO_AGENT: u32 = wsp_model::NO_INDEX;
+    let n_components = traffic.component_count();
+    scratch.prepare(warehouse.graph().vertex_count(), n_components);
+    let RealizeScratch {
+        residents_init,
+        agents,
+        stock,
+        occupant,
+        claimed,
+        vacated,
+        occupied_cells,
+        touched_cells,
+        by_component,
+        moves,
+        move_hopped,
+    } = scratch;
+
     // ---- Initial placement: entry-side cells of each component. ----
     // Residents per component, as (cycle, step) pairs, in a dense table
     // indexed by component id (ids were validated above).
-    let n_components = traffic.component_count();
-    let mut residents_init: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_components];
     for (ci, cycle) in cycles.cycles().iter().enumerate() {
         for (si, step) in cycle.steps().iter().enumerate() {
             residents_init[step.component.index()].push((ci, si));
         }
     }
 
-    let mut agents: Vec<AgentRt> = Vec::with_capacity(cycles.total_agents());
+    agents.reserve(cycles.total_agents());
     let mut plan = Plan::new();
     for comp in traffic.components() {
         let list = &residents_init[comp.id().index()];
@@ -90,8 +195,9 @@ pub fn realize(
     }
     let n_agents = agents.len();
 
-    // Remaining stock ledger for pickup accounting.
-    let mut stock = warehouse.location_matrix().clone();
+    // Remaining stock ledger for pickup accounting (`clone_from` reuses the
+    // ledger's nodes across calls).
+    stock.clone_from(warehouse.location_matrix());
     let mut delivered = vec![0u64; n_products];
     let mut pickup_misses = 0u64;
     let mut missed_advances = 0u64;
@@ -99,27 +205,8 @@ pub fn realize(
     let step_component = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].component;
     let step_action = |a: &AgentRt| cycles.cycles()[a.cycle].steps()[a.step].action;
 
-    // ---- Per-timestep scratch tables, allocated once. ----
-    // The per-vertex tables (occupancy, claims, vacations) are dense for
-    // O(1) indexing, but they are *cleared through occupancy-sized touched
-    // lists* rather than per-step memsets: only the ≤ agents entries
-    // written last step are reset, so the t-loop body is O(agents +
-    // components) per step — independent of the vertex count, which keeps
-    // realization viable on ~100k-vertex maps — and allocation-free after
-    // the first period.
-    const NO_AGENT: u32 = wsp_model::NO_INDEX;
-    let n_vertices = warehouse.graph().vertex_count();
-    let mut occupant: Vec<u32> = vec![NO_AGENT; n_vertices];
-    let mut claimed: Vec<bool> = vec![false; n_vertices];
-    let mut vacated: Vec<bool> = vec![false; n_vertices];
-    // Entries of `occupant` / `claimed` / `vacated` written this step.
-    let mut occupied_cells: Vec<u32> = Vec::with_capacity(n_agents);
-    let mut touched_cells: Vec<u32> = Vec::with_capacity(2 * n_agents);
-    let mut by_component: Vec<Vec<usize>> = vec![Vec::new(); n_components];
-    // (agent, new_pos, hopped)
-    let mut moves: Vec<(usize, VertexId, bool)> = Vec::with_capacity(n_agents);
     // Per-agent hop flag for this step (diagnostics).
-    let mut move_hopped: Vec<bool> = vec![false; n_agents];
+    move_hopped.resize(n_agents, false);
 
     let mut executed = 0usize;
     for t in 0..t_limit {
@@ -134,7 +221,7 @@ pub fn realize(
         for cell in occupied_cells.drain(..) {
             occupant[cell as usize] = NO_AGENT;
         }
-        for list in &mut by_component {
+        for list in by_component.iter_mut() {
             list.clear();
         }
         for (idx, a) in agents.iter().enumerate() {
@@ -205,7 +292,7 @@ pub fn realize(
         // Apply actions (evaluated at the *time-t* position, recorded in
         // the t+1 state, matching feasibility condition (3)) and movement.
         move_hopped.fill(false);
-        for &(idx, _, hopped) in &moves {
+        for &(idx, _, hopped) in moves.iter() {
             move_hopped[idx] = hopped;
         }
 
@@ -239,7 +326,7 @@ pub fn realize(
             }
         }
 
-        for &(idx, v, hopped) in &moves {
+        for &(idx, v, hopped) in moves.iter() {
             agents[idx].pos = v;
             if hopped {
                 let cycle = &cycles.cycles()[agents[idx].cycle];
@@ -252,7 +339,7 @@ pub fn realize(
         // component during the period that just ended.
         if (t + 1) % tc == 0 {
             let this_period_start = period_start;
-            for a in &agents {
+            for a in agents.iter() {
                 if a.advance_t <= this_period_start && t as i64 >= tc as i64 {
                     missed_advances += 1;
                 }
@@ -267,6 +354,16 @@ pub fn realize(
             };
             plan.push_state(idx, AgentState { at: a.pos, carry });
         }
+    }
+
+    // Restore the clean-tables invariant for the next reuse of the scratch
+    // (the loop leaves the final timestep's marks behind).
+    for cell in occupied_cells.drain(..) {
+        occupant[cell as usize] = NO_AGENT;
+    }
+    for cell in touched_cells.drain(..) {
+        claimed[cell as usize] = false;
+        vacated[cell as usize] = false;
     }
 
     Ok(RealizeOutcome {
@@ -357,6 +454,29 @@ mod tests {
         let stats = checker.check_services(&out.plan, &workload).unwrap();
         assert_eq!(stats.delivered[0], out.delivered[0]);
         assert_eq!(stats.agents, out.agents);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_calls() {
+        let (w, ts, cycles, workload) = pipeline_fixture(1000, 8);
+        let fresh = realize(&w, &ts, &cycles, Some(&workload), 600).unwrap();
+        let mut scratch = RealizeScratch::new();
+        for _ in 0..3 {
+            let again =
+                realize_with_scratch(&w, &ts, &cycles, Some(&workload), 600, &mut scratch).unwrap();
+            assert_eq!(again.delivered, fresh.delivered);
+            assert_eq!(again.timesteps, fresh.timesteps);
+            assert_eq!(again.agents, fresh.agents);
+            assert_eq!(again.missed_advances, fresh.missed_advances);
+            for a in 0..fresh.agents {
+                assert_eq!(again.plan.trajectory(a), fresh.plan.trajectory(a));
+            }
+        }
+        // The same scratch serves a different (larger) instance afterwards.
+        let (w2, ts2, cycles2, workload2) = pipeline_fixture(1000, 3);
+        let out2 =
+            realize_with_scratch(&w2, &ts2, &cycles2, Some(&workload2), 600, &mut scratch).unwrap();
+        assert!(out2.delivered[0] >= 3);
     }
 
     #[test]

@@ -43,5 +43,5 @@
 mod algorithm;
 mod error;
 
-pub use algorithm::{realize, RealizeOutcome};
+pub use algorithm::{realize, realize_with_scratch, RealizeOutcome, RealizeScratch};
 pub use error::RealizeError;

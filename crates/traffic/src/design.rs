@@ -11,6 +11,61 @@ use wsp_model::{Coord, Warehouse};
 
 use crate::{ComponentId, TrafficError, TrafficSystem, TrafficSystemBuilder};
 
+/// Travel direction of a ring-shaped lane design — one of the co-design
+/// knobs swept by `wsp-explore`.
+///
+/// Reversing a ring keeps the cell set (and therefore the shelf/station
+/// coverage) identical but flips every component's entry/exit and the arc
+/// directions, which changes where merges land relative to stations and
+/// shelving rows — and with them the capacity constraints handed to flow
+/// synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RingOrientation {
+    /// The designer's natural travel order (the paper's Fig. 4 direction).
+    #[default]
+    Forward,
+    /// The same cells traversed in the opposite direction.
+    Reversed,
+}
+
+impl RingOrientation {
+    /// Applies the orientation to a run of cells in forward travel order.
+    pub fn apply<T>(self, cells: &mut [T]) {
+        if self == RingOrientation::Reversed {
+            cells.reverse();
+        }
+    }
+}
+
+/// Splits a run of `len` cells into near-equal chunks of at most `max_len`
+/// cells, returning the chunk sizes (all within one cell of each other, so
+/// no trailing sliver component ends up with zero capacity).
+///
+/// This is the balancing rule every ring designer uses when chopping lanes
+/// into components; `max_len` is the *lane-design granularity knob*: the
+/// longest component sets the cycle time `t_c = 2m` (Property 4.1), while
+/// shorter components mean more hop boundaries per revolution.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_traffic::chop_balanced;
+///
+/// assert_eq!(chop_balanced(10, 4), vec![4, 3, 3]);
+/// assert_eq!(chop_balanced(8, 4), vec![4, 4]);
+/// assert_eq!(chop_balanced(3, 9), vec![3]);
+/// ```
+pub fn chop_balanced(len: usize, max_len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_len = max_len.max(2);
+    let pieces = len.div_ceil(max_len);
+    let base = len / pieces;
+    let extra = len % pieces; // the first `extra` chunks get one more cell
+    (0..pieces).map(|i| base + usize::from(i < extra)).collect()
+}
+
 /// A straight run of grid cells, the basic brick of lane-based designs.
 ///
 /// # Examples
@@ -107,23 +162,14 @@ pub fn design_perimeter_loop(
     ring.extend((0..h - 1).rev().map(|y| (w - 1, y)));
     ring.extend((1..w - 1).rev().map(|x| (x, 0)));
 
-    let max_len = max_len.max(2);
     let mut builder = TrafficSystemBuilder::new();
     let mut ids: Vec<ComponentId> = Vec::new();
-    let mut chunk: Vec<(u32, u32)> = Vec::new();
     // Avoid a trailing 1-cell component (capacity 0): fold a short remainder
     // into the previous chunk by splitting the ring evenly.
-    let pieces = ring.len().div_ceil(max_len);
-    let target = ring.len().div_ceil(pieces);
-    for &cell in &ring {
-        chunk.push(cell);
-        if chunk.len() == target {
-            ids.push(push_chunk(&mut builder, warehouse, &chunk)?);
-            chunk.clear();
-        }
-    }
-    if !chunk.is_empty() {
-        ids.push(push_chunk(&mut builder, warehouse, &chunk)?);
+    let mut at = 0usize;
+    for size in chop_balanced(ring.len(), max_len) {
+        ids.push(push_chunk(&mut builder, warehouse, &ring[at..at + size])?);
+        at += size;
     }
     for i in 0..ids.len() {
         builder.connect(ids[i], ids[(i + 1) % ids.len()]);
@@ -232,6 +278,30 @@ mod tests {
         for c in ts.components() {
             assert!(c.capacity() >= 1, "{c} has zero capacity");
         }
+    }
+
+    #[test]
+    fn chop_balanced_sizes_are_even_and_bounded() {
+        for len in 1..200usize {
+            for max in 2..12usize {
+                let sizes = chop_balanced(len, max);
+                assert_eq!(sizes.iter().sum::<usize>(), len, "len {len} max {max}");
+                assert!(sizes.iter().all(|&s| s <= max));
+                let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced {sizes:?} for len {len} max {max}");
+            }
+        }
+        assert!(chop_balanced(0, 4).is_empty());
+    }
+
+    #[test]
+    fn orientation_applies_in_place() {
+        let mut cells = vec![1, 2, 3];
+        RingOrientation::Forward.apply(&mut cells);
+        assert_eq!(cells, [1, 2, 3]);
+        RingOrientation::Reversed.apply(&mut cells);
+        assert_eq!(cells, [3, 2, 1]);
+        assert_eq!(RingOrientation::default(), RingOrientation::Forward);
     }
 
     #[test]

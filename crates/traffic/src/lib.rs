@@ -44,6 +44,8 @@ mod scc;
 mod system;
 
 pub use component::{Component, ComponentId, ComponentKind};
-pub use design::{design_perimeter_loop, perimeter_is_open, LaneSpec};
+pub use design::{
+    chop_balanced, design_perimeter_loop, perimeter_is_open, LaneSpec, RingOrientation,
+};
 pub use render::{describe_traffic_system, render_traffic_system};
 pub use system::{TrafficError, TrafficSystem, TrafficSystemBuilder};

@@ -1,0 +1,62 @@
+//! Design-space search over sorting-center topologies: sweep the default
+//! 20-candidate family in parallel, print every candidate's outcome, the
+//! Pareto front over (agents, makespan, synthesis cost), and the best
+//! design's full pipeline summary.
+//!
+//! ```text
+//! cargo run --release --example design_search
+//! WSP_THREADS=4 cargo run --release --example design_search
+//! ```
+
+use wsp_core::{Pipeline, PipelineOptions, WspInstance};
+use wsp_explore::{evaluate_batch, sorting_center_sweep, CandidateOutcome, ExploreOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let candidates = sorting_center_sweep();
+    let options = ExploreOptions::default(); // 160 units, T = 3600, auto threads
+
+    println!(
+        "exploring {} sorting-center candidates ({} units each)...",
+        candidates.len(),
+        options.units
+    );
+    let outcome = evaluate_batch(&candidates, &options);
+    println!(
+        "evaluated on {} threads in {:.2}s ({:.1} candidates/sec)\n",
+        outcome.threads,
+        outcome.wall.as_secs_f64(),
+        candidates.len() as f64 / outcome.wall.as_secs_f64(),
+    );
+
+    for (i, report) in outcome.reports.iter().enumerate() {
+        let marker = if outcome.front.contains(&i) { "*" } else { " " };
+        match &report.outcome {
+            CandidateOutcome::Solved(eval) => println!(
+                "{marker} {:<44} {:>4} agents  makespan {:>5}  synth cost {:>4}",
+                report.candidate.label(),
+                eval.agents,
+                eval.makespan,
+                eval.synthesis_cost,
+            ),
+            CandidateOutcome::Infeasible(_) => println!(
+                "{marker} {:<44} infeasible (capacity bound)",
+                report.candidate.label()
+            ),
+            CandidateOutcome::Failed(e) => {
+                println!("{marker} {:<44} failed: {e}", report.candidate.label())
+            }
+        }
+    }
+
+    println!("\nPareto front (* above): {:?}", outcome.front);
+    let best = outcome.best().expect("at least one candidate solves");
+    println!("best design: {}", best.candidate.label());
+
+    // Re-run the winner through the staged pipeline for the full report.
+    let map = best.candidate.build()?;
+    let workload = map.uniform_workload(options.units);
+    let instance = WspInstance::new(map.warehouse, map.traffic, workload, options.t_limit);
+    let report = Pipeline::new().run(&instance, &PipelineOptions::default())?;
+    println!("{}", report.summary());
+    Ok(())
+}

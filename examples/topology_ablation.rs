@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         height: 14,
         aisle_ys: vec![1, 3, 5, 7, 9, 11],
         max_component_len: 12,
+        orientation: wsp_traffic::RingOrientation::Forward,
     }
     .build_traffic(&map.warehouse)?;
 
