@@ -1,0 +1,42 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_bench::{sim_scenario_paper, sim_scenario_scaled};
+use wsp_sim::Simulation;
+
+/// Sampled steady-state tick cost of the lifelong simulator (tracked in
+/// BENCH_sim.json): each iteration advances a long-lived simulation by 64
+/// ticks with deviations and MAPF repair enabled, so window replans
+/// amortize into the samples exactly as they do in production. The paper
+/// sorting center and a ~10k-vertex scaled warehouse bound the claim that
+/// tick cost does not grow with the vertex count; the ≥100k-vertex point
+/// is measured once by the `sim` binary
+/// (`cargo run --release -p wsp-bench --bin sim`).
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    let scenarios = vec![
+        sim_scenario_paper(100_000),
+        sim_scenario_scaled(31, 320, 400, 5),
+    ];
+    for scenario in &scenarios {
+        let mut sim = Simulation::from_cycles(
+            &scenario.instance,
+            scenario.cycles.clone(),
+            scenario.config(u64::MAX),
+        )
+        .expect("scenario simulates");
+        sim.run_ticks(2 * sim.window_len() as u64).expect("warmup");
+        group.bench_function(
+            format!("{}-{}a-64ticks", scenario.label, sim.agent_count()),
+            |b| {
+                b.iter(|| {
+                    sim.run_ticks(64).expect("stretch runs");
+                    criterion::black_box(sim.counters().ticks)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

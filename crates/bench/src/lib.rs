@@ -170,6 +170,107 @@ pub fn scaling_scenario(rows: u32, cols: u32, agents: usize, seed: u64) -> Scali
     ScalingScenario { map, starts, goals }
 }
 
+/// A ready-to-simulate lifelong scenario: instance, executable cycle set,
+/// and the arrival mix — everything [`wsp_sim::Simulation::from_cycles`]
+/// needs (behind `benches/sim.rs` and `BENCH_sim.json`).
+#[derive(Debug)]
+pub struct SimScenario {
+    /// Scenario name, used as the bench id.
+    pub label: String,
+    /// The instance (warehouse + traffic; `t_limit` is ignored by the
+    /// simulator).
+    pub instance: WspInstance,
+    /// The cycle set the simulator executes.
+    pub cycles: wsp_flow::AgentCycleSet,
+    /// The arrival mix for the task stream.
+    pub mix: wsp_model::Workload,
+}
+
+impl SimScenario {
+    /// A [`wsp_sim::SimConfig`] for this scenario: zipf/uniform stream
+    /// over `mix`, stall deviations and MAPF repair enabled, fixed seeds.
+    pub fn config(&self, ticks: u64) -> wsp_sim::SimConfig {
+        wsp_sim::SimConfig {
+            ticks,
+            stream: wsp_sim::StreamConfig {
+                mix: self.mix.clone(),
+                mean_gap: 2,
+                seed: 7,
+            },
+            deviations: wsp_sim::DeviationConfig::stalls(64, 2, 8, 9),
+            repair: wsp_sim::RepairConfig {
+                enabled: true,
+                ..wsp_sim::RepairConfig::default()
+            },
+            replan_lag: 24,
+            ..wsp_sim::SimConfig::default()
+        }
+    }
+}
+
+/// The paper-scale lifelong scenario: the sorting center, synthesized by
+/// the full staged pipeline, with a zipf arrival mix — the regime the
+/// paper's §V sorting experiments model as one-shot workloads.
+///
+/// # Panics
+///
+/// Panics if the paper map fails to build or synthesize (a pipeline
+/// regression, not an unlucky input).
+pub fn sim_scenario_paper(units: u64) -> SimScenario {
+    let map = wsp_maps::sorting_center().expect("sorting center builds");
+    let mix = map.zipf_workload(units, 1.0, 7);
+    let workload = map.uniform_workload(160);
+    let instance = WspInstance::new(map.warehouse, map.traffic, workload, T_LIMIT);
+    let mut pipeline = wsp_core::Pipeline::new();
+    let flow = pipeline
+        .synthesize(&instance, &PipelineOptions::default())
+        .expect("paper workload synthesizes");
+    let cycles = pipeline.decompose(&flow).expect("flow decomposes");
+    SimScenario {
+        label: "sorting-center".into(),
+        instance,
+        cycles: cycles.cycles,
+        mix,
+    }
+}
+
+/// A production-scale lifelong scenario on `scaled_warehouse(rows, cols,
+/// 3, seed)`: the flow-synthesis ILP does not reach 10k–200k-vertex
+/// instances, so the executable design comes from
+/// [`wsp_sim::direct_cycle_set`] and the mix is uniform over the products
+/// that design actually delivers (so latency/throughput numbers measure
+/// the serviced stream, not undeliverable backlog).
+///
+/// # Panics
+///
+/// Panics if the generated map fails to build or yields no realizable
+/// cycles (a generator bug, not an unlucky seed).
+pub fn sim_scenario_scaled(rows: u32, cols: u32, agents: usize, seed: u64) -> SimScenario {
+    let map = wsp_maps::scaled_warehouse(rows, cols, 3, seed).expect("scaled map builds");
+    let vertices = map.warehouse.graph().vertex_count();
+    let instance = WspInstance::new(map.warehouse, map.traffic, wsp_model::Workload::zeros(0), 0);
+    let cycles = wsp_sim::direct_cycle_set(&instance.warehouse, &instance.traffic, agents);
+    assert!(
+        cycles.total_agents() > 0,
+        "direct cycle construction produced no agents"
+    );
+    let mut mix = wsp_model::Workload::zeros(instance.warehouse.catalog().len());
+    let delivered: std::collections::BTreeSet<wsp_model::ProductId> = cycles
+        .cycles()
+        .iter()
+        .flat_map(|c| c.delivered_products())
+        .collect();
+    for &p in &delivered {
+        mix.set(p, 400 / delivered.len() as u64 + 1);
+    }
+    SimScenario {
+        label: format!("scaled-{vertices}v"),
+        instance,
+        cycles,
+        mix,
+    }
+}
+
 /// A prioritized planner whose per-segment search horizon is sized to the
 /// map (cross-map hauls on 100k-vertex floors are far longer than the
 /// paper-scale default of 512 steps).

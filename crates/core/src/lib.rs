@@ -45,6 +45,29 @@ use wsp_traffic::TrafficSystem;
 
 pub use pipeline::{CycleArtifact, FlowArtifact, Pipeline, RealizedArtifact, VerifiedReport};
 pub use wsp_flow::{synthesize_flow_relaxed, FlowEngine, RelaxedFlowSummary};
+pub use wsp_realize::{AgentSnapshot, WindowOutcome};
+
+/// Resolves a worker-thread count: explicit override, then the
+/// `WSP_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]; always at least 1.
+///
+/// Shared by every parallel driver in the workspace (`wsp-explore`'s
+/// batch evaluator, `wsp-sim`'s repair fan-out) so one knob steers them
+/// all.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("WSP_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
 
 /// A warehouse servicing problem instance (Problem 3.1) together with its
 /// co-designed traffic system.

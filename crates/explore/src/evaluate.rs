@@ -23,6 +23,11 @@ pub struct ExploreOptions {
     pub t_limit: usize,
     /// Pipeline configuration forwarded to every evaluation.
     pub pipeline: PipelineOptions,
+    /// Lifelong scoring: when set, every solved candidate is additionally
+    /// run through a deterministic `wsp-sim` simulation and its mean task
+    /// latency becomes the fourth Pareto axis
+    /// ([`Objective::sim_latency`](crate::Objective)).
+    pub sim: Option<SimScoring>,
 }
 
 impl Default for ExploreOptions {
@@ -32,8 +37,53 @@ impl Default for ExploreOptions {
             units: 160,
             t_limit: 3_600,
             pipeline: PipelineOptions::default(),
+            sim: None,
         }
     }
+}
+
+/// Configuration of the lifelong scoring stage: a seeded zipf task stream
+/// simulated for a fixed tick budget on the candidate's own design. All
+/// knobs are deterministic, so the added axis keeps the batch evaluator's
+/// byte-reproducibility guarantee.
+#[derive(Debug, Clone)]
+pub struct SimScoring {
+    /// Simulated ticks per candidate.
+    pub ticks: u64,
+    /// Rolling-horizon window (`0`: the simulator's auto default).
+    pub window: usize,
+    /// Total units in the zipf arrival mix.
+    pub units: u64,
+    /// Zipf exponent of the mix (see `MapInstance::zipf_workload`).
+    pub zipf_exponent: f64,
+    /// Mean ticks between arrivals.
+    pub mean_gap: u32,
+    /// Seed for both the mix permutation and the arrival gaps.
+    pub seed: u64,
+}
+
+impl Default for SimScoring {
+    fn default() -> Self {
+        SimScoring {
+            ticks: 600,
+            window: 0,
+            units: 400,
+            zipf_exponent: 1.0,
+            mean_gap: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// The lifelong-simulation portion of a solved candidate's evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimScore {
+    /// Mean task latency in milliticks (the scored axis).
+    pub mean_latency_milliticks: u64,
+    /// Completed tasks per kilotick.
+    pub throughput_per_kilotick: u64,
+    /// Tasks completed within the simulated budget.
+    pub completed: u64,
 }
 
 /// The deterministic portion of one candidate's evaluation — everything
@@ -52,15 +102,28 @@ pub struct CandidateEval {
     /// ILP-size proxy for flow-synthesis cost
     /// ([`wsp_flow::AgentFlowSet::synthesis_cost`]).
     pub synthesis_cost: u64,
+    /// Lifelong simulation score, when [`ExploreOptions::sim`] is set.
+    pub sim: Option<SimScore>,
 }
 
 impl CandidateEval {
-    /// The candidate's position in objective space.
+    /// The candidate's position in objective space. The latency axis is
+    /// `0` when lifelong scoring is off (leaving three-axis fronts
+    /// unchanged) and `u64::MAX` for a scored design that completed no
+    /// tasks within the tick budget — a mean of zero completions is not a
+    /// latency of zero, and must never dominate designs that deliver.
     pub fn objective(&self) -> Objective {
         Objective {
             agents: self.agents as u64,
             makespan: self.makespan as u64,
             synthesis_cost: self.synthesis_cost,
+            sim_latency: self.sim.as_ref().map_or(0, |s| {
+                if s.completed == 0 {
+                    u64::MAX
+                } else {
+                    s.mean_latency_milliticks
+                }
+            }),
         }
     }
 }
@@ -146,19 +209,11 @@ impl ExploreOutcome {
 /// Resolves the worker-thread count: explicit override, then the
 /// `WSP_THREADS` environment variable, then
 /// [`std::thread::available_parallelism`]; always at least 1.
+///
+/// Thin re-export of [`wsp_core::resolve_threads`], which every parallel
+/// driver in the workspace shares.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
-    explicit
-        .or_else(|| {
-            std::env::var("WSP_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
+    wsp_core::resolve_threads(explicit)
 }
 
 /// Evaluates one candidate through the full staged pipeline, reusing the
@@ -179,9 +234,38 @@ pub fn evaluate_candidate(
         }
     };
     let workload = map.uniform_workload(options.units);
+    // Draw the lifelong arrival mix before the map moves into the
+    // instance (the mix is a pure function of the candidate + scoring
+    // seed, so determinism is preserved).
+    let sim_mix = options
+        .sim
+        .as_ref()
+        .map(|s| map.zipf_workload(s.units, s.zipf_exponent, s.seed));
     let instance = WspInstance::new(map.warehouse, map.traffic, workload, options.t_limit);
     match pipeline.run(&instance, &options.pipeline) {
         Ok(report) => {
+            let sim = match options.sim.as_ref() {
+                None => None,
+                Some(scoring) => {
+                    match simulate_candidate(
+                        &instance,
+                        report.cycles.clone(),
+                        scoring,
+                        sim_mix.expect("mix drawn when scoring is on"),
+                    ) {
+                        Ok(score) => Some(score),
+                        Err(e) => {
+                            return CandidateReport {
+                                candidate: candidate.clone(),
+                                outcome: CandidateOutcome::Failed(format!(
+                                    "lifelong scoring failed: {e}"
+                                )),
+                                timings: Some(report.timings),
+                            }
+                        }
+                    }
+                }
+            };
             let (agents, makespan) = report.objective();
             let eval = CandidateEval {
                 agents,
@@ -189,6 +273,7 @@ pub fn evaluate_candidate(
                 delivered: report.stats.total_delivered(),
                 cycles: report.cycles.cycles().len(),
                 synthesis_cost: report.flow.synthesis_cost(),
+                sim,
             };
             CandidateReport {
                 candidate: candidate.clone(),
@@ -207,6 +292,33 @@ pub fn evaluate_candidate(
             timings: None,
         },
     }
+}
+
+/// Runs the deterministic lifelong simulation behind [`SimScoring`] on a
+/// solved candidate's own cycle set (no re-synthesis).
+fn simulate_candidate(
+    instance: &WspInstance,
+    cycles: wsp_flow::AgentCycleSet,
+    scoring: &SimScoring,
+    mix: wsp_model::Workload,
+) -> Result<SimScore, wsp_sim::SimError> {
+    let config = wsp_sim::SimConfig {
+        ticks: scoring.ticks,
+        window: scoring.window,
+        stream: wsp_sim::StreamConfig {
+            mix,
+            mean_gap: scoring.mean_gap,
+            seed: scoring.seed,
+        },
+        ..wsp_sim::SimConfig::default()
+    };
+    let mut sim = wsp_sim::Simulation::from_cycles(instance, cycles, config)?;
+    let report = sim.run()?;
+    Ok(SimScore {
+        mean_latency_milliticks: report.mean_latency_milliticks(),
+        throughput_per_kilotick: report.throughput_per_kilotick(),
+        completed: report.counters.completed,
+    })
 }
 
 /// Evaluates a batch of candidates on a work-queue of scoped worker
@@ -355,6 +467,47 @@ mod tests {
         }
         assert!(outcome.front.is_empty());
         assert!(outcome.best().is_none());
+    }
+
+    #[test]
+    fn lifelong_scoring_adds_a_deterministic_latency_axis() {
+        let candidates = tiny_candidates();
+        let scored = |threads: usize| ExploreOptions {
+            sim: Some(SimScoring {
+                ticks: 200,
+                units: 60,
+                ..SimScoring::default()
+            }),
+            ..tiny_options(threads)
+        };
+        let one = evaluate_batch(&candidates, &scored(1));
+        let two = evaluate_batch(&candidates, &scored(2));
+        assert_eq!(one.fingerprint(), two.fingerprint());
+        for r in &one.reports {
+            let eval = r.outcome.eval().expect("tiny candidates solve");
+            let sim = eval.sim.as_ref().expect("lifelong scoring on");
+            assert!(
+                sim.completed > 0,
+                "{}: no tasks completed",
+                r.candidate.label()
+            );
+            assert!(sim.mean_latency_milliticks > 0);
+            assert_eq!(eval.objective().sim_latency, sim.mean_latency_milliticks);
+        }
+        // A scored design that completes nothing must sit at the worst end
+        // of the latency axis, not the best.
+        let mut starved = one.reports[0].outcome.eval().unwrap().clone();
+        starved.sim = Some(SimScore {
+            mean_latency_milliticks: 0,
+            throughput_per_kilotick: 0,
+            completed: 0,
+        });
+        assert_eq!(starved.objective().sim_latency, u64::MAX);
+        // Without scoring the axis is zero.
+        let plain = evaluate_batch(&candidates, &tiny_options(1));
+        for r in &plain.reports {
+            assert_eq!(r.outcome.eval().unwrap().objective().sim_latency, 0);
+        }
     }
 
     #[test]

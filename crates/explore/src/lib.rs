@@ -52,6 +52,6 @@ mod pareto;
 pub use candidate::{sorting_center_sweep, DesignCandidate};
 pub use evaluate::{
     evaluate_batch, evaluate_candidate, resolve_threads, CandidateEval, CandidateOutcome,
-    CandidateReport, ExploreOptions, ExploreOutcome,
+    CandidateReport, ExploreOptions, ExploreOutcome, SimScore, SimScoring,
 };
 pub use pareto::{pareto_front, Objective};

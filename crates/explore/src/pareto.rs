@@ -1,10 +1,11 @@
 //! The Pareto scorer over candidate objectives.
 
-/// The three minimized axes of a candidate design, all deterministic:
-/// team size, effective makespan, and the ILP-size proxy for
-/// flow-synthesis cost (see [`wsp_flow::AgentFlowSet::synthesis_cost`] —
-/// wall-clock synthesis time is reported alongside but never scored, so
-/// fronts are byte-reproducible across runs and thread counts).
+/// The minimized axes of a candidate design, all deterministic: team
+/// size, effective makespan, the ILP-size proxy for flow-synthesis cost
+/// (see [`wsp_flow::AgentFlowSet::synthesis_cost`]), and — when lifelong
+/// scoring is enabled — the simulated mean task latency. Wall-clock
+/// times are reported alongside but never scored, so fronts are
+/// byte-reproducible across runs and thread counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Objective {
     /// Agents the realized plan employs (smaller is better).
@@ -13,6 +14,10 @@ pub struct Objective {
     pub makespan: u64,
     /// `variables + constraints` of the synthesis ILP (smaller is better).
     pub synthesis_cost: u64,
+    /// Mean simulated task latency in milliticks
+    /// ([`wsp_sim::SimReport::mean_latency_milliticks`]); `0` when
+    /// lifelong scoring is off, which leaves three-axis fronts unchanged.
+    pub sim_latency: u64,
 }
 
 impl Objective {
@@ -21,7 +26,8 @@ impl Objective {
     pub fn dominates(&self, other: &Objective) -> bool {
         let no_worse = self.agents <= other.agents
             && self.makespan <= other.makespan
-            && self.synthesis_cost <= other.synthesis_cost;
+            && self.synthesis_cost <= other.synthesis_cost
+            && self.sim_latency <= other.sim_latency;
         no_worse && self != other
     }
 }
@@ -48,6 +54,7 @@ mod tests {
             agents,
             makespan,
             synthesis_cost: cost,
+            sim_latency: 0,
         }
     }
 
@@ -75,5 +82,22 @@ mod tests {
     fn empty_and_singleton_fronts() {
         assert!(pareto_front(&[]).is_empty());
         assert_eq!(pareto_front(&[o(5, 5, 5)]), vec![0]);
+    }
+
+    #[test]
+    fn latency_axis_breaks_three_axis_dominance() {
+        let slow = Objective {
+            sim_latency: 900,
+            ..o(2, 100, 50)
+        };
+        let fast = Objective {
+            sim_latency: 200,
+            ..o(2, 101, 50)
+        };
+        // On (agents, makespan, cost) alone `slow` would dominate `fast`;
+        // the latency axis keeps both on the front.
+        assert!(!slow.dominates(&fast));
+        assert!(!fast.dominates(&slow));
+        assert_eq!(pareto_front(&[slow, fast]), vec![0, 1]);
     }
 }

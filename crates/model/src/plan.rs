@@ -313,8 +313,23 @@ impl CheckScratch {
 
     /// Resets the ledger and sizes every dense table for `n_vertices`,
     /// draining any marks a previous (possibly panicked-over) call left.
+    ///
+    /// In debug builds this first *asserts* the clean-tables invariant —
+    /// both touched lists drained — so a scratch that leaked marks (a
+    /// checker that panicked mid-check, or a future clearing bug) fails
+    /// loudly on its next reuse instead of silently misreporting when
+    /// handed to a checker bound to a differently-sized warehouse. Release
+    /// builds keep the defensive drain.
     fn prepare(&mut self, n_vertices: usize) {
         const NONE: u32 = crate::NO_INDEX;
+        debug_assert!(
+            self.occupied_cells.is_empty() && self.depart_cells.is_empty(),
+            "CheckScratch reused with undrained touched lists \
+             ({} occupancy, {} departure marks): a previous check did not \
+             restore the clean-tables invariant",
+            self.occupied_cells.len(),
+            self.depart_cells.len(),
+        );
         for cell in self.occupied_cells.drain(..) {
             self.occupied[cell as usize] = NONE;
         }
@@ -784,6 +799,25 @@ mod tests {
         p2.push_state(b, AgentState::idle(v(&w2, 1, 0)));
         let s2 = checker2.check_with_scratch(&p2, &mut scratch).unwrap();
         assert_eq!(s2.moves, 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "undrained touched lists"))]
+    fn dirty_scratch_fails_loudly_in_debug() {
+        let w = small_warehouse();
+        let checker = PlanChecker::new(&w);
+        let mut scratch = CheckScratch::new();
+        // Simulate a mark leaked by a panicked-over check: the dense entry
+        // is stale but its touched list was never drained.
+        scratch.occupied.resize(4, crate::NO_INDEX);
+        scratch.occupied[2] = 0;
+        scratch.occupied_cells.push(2);
+        let mut plan = Plan::new();
+        plan.add_agent(AgentState::idle(v(&w, 0, 0)));
+        // Debug builds panic on entry; release builds drain defensively
+        // and the check proceeds normally.
+        let result = checker.check_with_scratch(&plan, &mut scratch);
+        assert!(result.is_ok());
     }
 
     #[test]

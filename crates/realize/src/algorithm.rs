@@ -37,6 +37,50 @@ struct AgentRt {
     /// (`ADVANCE_T`); `-1` lets every agent hop in the very first period.
     advance_t: i64,
     carry: Option<ProductId>,
+    /// Off its component's path (a window-resume snapshot of an agent in
+    /// repair transit): stays parked as a static obstacle for the whole
+    /// window — it neither moves, acts, nor counts toward diagnostics.
+    stray: bool,
+}
+
+/// A resumable per-agent runtime snapshot: everything the realization
+/// stepping needs to continue an agent mid-execution. Produced by
+/// [`initial_snapshots`] and [`WindowOutcome::final_states`], consumed by
+/// [`realize_window`] — the rolling-horizon entry point `wsp-sim` replans
+/// through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSnapshot {
+    /// Index of the agent's cycle in the [`AgentCycleSet`].
+    pub cycle: usize,
+    /// Current step within that cycle.
+    pub step: usize,
+    /// Current vertex.
+    pub pos: VertexId,
+    /// Carried product, if any.
+    pub carry: Option<ProductId>,
+    /// Absolute timestep at which the agent last entered a component
+    /// (`-1` allows a hop in the very first period).
+    pub advance_t: i64,
+}
+
+/// The result of realizing one rolling-horizon window from a set of
+/// [`AgentSnapshot`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowOutcome {
+    /// The window-local plan: state `0` is the snapshot configuration,
+    /// state `k` the configuration `k` ticks later.
+    pub plan: Plan,
+    /// Units of each product delivered within the window, by product id.
+    pub delivered: Vec<u64>,
+    /// Ticks realized (always the requested window length).
+    pub timesteps: usize,
+    /// Agent states at the end of the window, ready to seed the next one.
+    pub final_states: Vec<AgentSnapshot>,
+    /// Period/agent pairs that failed to advance a component within one
+    /// cycle period during this window (strays excluded).
+    pub missed_advances: u64,
+    /// Pickup steps hopped out of empty-handed during this window.
+    pub pickup_misses: u64,
 }
 
 /// Reusable scratch for [`realize`]: the per-timestep dense tables, the
@@ -139,24 +183,304 @@ pub fn realize_with_scratch(
 ) -> Result<RealizeOutcome, RealizeError> {
     validate_cycles(traffic, cycles)?;
 
-    let tc = cycles.cycle_time().max(1);
     let n_products = warehouse.catalog().len();
+    scratch.prepare(warehouse.graph().vertex_count(), traffic.component_count());
 
-    // ---- Per-timestep scratch tables, owned by the reusable scratch. ----
-    // The per-vertex tables (occupancy, claims, vacations) are dense for
-    // O(1) indexing, but they are *cleared through occupancy-sized touched
-    // lists* rather than per-step memsets: only the ≤ agents entries
-    // written last step are reset, so the t-loop body is O(agents +
-    // components) per step — independent of the vertex count, which keeps
-    // realization viable on ~100k-vertex maps — and allocation-free after
-    // the first period.
-    const NO_AGENT: u32 = wsp_model::NO_INDEX;
-    let n_components = traffic.component_count();
-    scratch.prepare(warehouse.graph().vertex_count(), n_components);
-    let RealizeScratch {
-        residents_init,
-        agents,
+    // ---- Initial placement: entry-side cells of each component. ----
+    // Residents per component, as (cycle, step) pairs, in a dense table
+    // indexed by component id (ids were validated above).
+    for (ci, cycle) in cycles.cycles().iter().enumerate() {
+        for (si, step) in cycle.steps().iter().enumerate() {
+            scratch.residents_init[step.component.index()].push((ci, si));
+        }
+    }
+
+    scratch.agents.reserve(cycles.total_agents());
+    let mut plan = Plan::new();
+    for comp in traffic.components() {
+        let list = &scratch.residents_init[comp.id().index()];
+        for (j, &(ci, si)) in list.iter().enumerate() {
+            // Capacity was validated, so j < |Cᵢ| always holds.
+            let pos = comp.path()[j];
+            scratch.agents.push(AgentRt {
+                cycle: ci,
+                step: si,
+                pos,
+                advance_t: -1,
+                carry: None,
+                stray: false,
+            });
+            plan.add_agent(AgentState::idle(pos));
+        }
+    }
+    let n_agents = scratch.agents.len();
+
+    // Remaining stock ledger for pickup accounting (`clone_from` reuses the
+    // ledger's nodes across calls).
+    let mut stock = std::mem::take(&mut scratch.stock);
+    stock.clone_from(warehouse.location_matrix());
+    let mut delivered = vec![0u64; n_products];
+    let run = run_ticks(
+        warehouse,
+        traffic,
+        cycles,
+        workload,
+        0,
+        t_limit,
+        &mut stock,
+        &mut delivered,
+        &mut plan,
+        scratch,
+    );
+    scratch.stock = stock;
+
+    Ok(RealizeOutcome {
+        plan,
+        delivered,
+        timesteps: run.executed,
+        agents: n_agents,
+        pickup_misses: run.pickup_misses,
+        missed_advances: run.missed_advances,
+    })
+}
+
+/// The initial agent placement of [`realize`], as resumable snapshots:
+/// every agent parked on the entry-side cells of its first component,
+/// unburdened, free to hop in the first period. Seed state for a
+/// [`realize_window`] rolling horizon.
+///
+/// # Errors
+///
+/// As for [`realize`] (the cycle set is validated the same way).
+pub fn initial_snapshots(
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+) -> Result<Vec<AgentSnapshot>, RealizeError> {
+    validate_cycles(traffic, cycles)?;
+    let mut residents: Vec<Vec<(usize, usize)>> = vec![Vec::new(); traffic.component_count()];
+    for (ci, cycle) in cycles.cycles().iter().enumerate() {
+        for (si, step) in cycle.steps().iter().enumerate() {
+            residents[step.component.index()].push((ci, si));
+        }
+    }
+    let mut snapshots = Vec::with_capacity(cycles.total_agents());
+    for comp in traffic.components() {
+        for (j, &(ci, si)) in residents[comp.id().index()].iter().enumerate() {
+            snapshots.push(AgentSnapshot {
+                cycle: ci,
+                step: si,
+                pos: comp.path()[j],
+                carry: None,
+                advance_t: -1,
+            });
+        }
+    }
+    Ok(snapshots)
+}
+
+/// Realizes one rolling-horizon window of exactly `window` ticks starting
+/// at absolute timestep `start_t` from per-agent [`AgentSnapshot`]s,
+/// debiting executed pickups from the caller-owned `stock` ledger.
+///
+/// Windowing is exact: realizing `[0, a)` and then `[a, b)` from the
+/// first window's [`final_states`](WindowOutcome::final_states) produces
+/// the same trajectories as one `realize` call over `[0, b)` (the cycle
+/// stepping depends only on the snapshot state, the ledger, and absolute
+/// time). Snapshots whose position is off their component's path (agents
+/// in repair transit) are realized as parked obstacles.
+///
+/// # Errors
+///
+/// As for [`realize`], plus [`RealizeError::BadSnapshot`] for snapshots
+/// with out-of-range indices, duplicate positions, or a wrong team size.
+pub fn realize_window(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+    start_t: usize,
+    window: usize,
+    states: &[AgentSnapshot],
+    stock: &mut wsp_model::LocationMatrix,
+) -> Result<WindowOutcome, RealizeError> {
+    realize_window_with_scratch(
+        warehouse,
+        traffic,
+        cycles,
+        start_t,
+        window,
+        states,
         stock,
+        &mut RealizeScratch::new(),
+    )
+}
+
+/// [`realize_window`] reusing caller-owned [`RealizeScratch`] tables, so a
+/// steady-state replanning loop (one window after another, as `wsp-sim`
+/// runs) allocates only the window plans it emits.
+///
+/// # Errors
+///
+/// As for [`realize_window`].
+#[allow(clippy::too_many_arguments)]
+pub fn realize_window_with_scratch(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+    start_t: usize,
+    window: usize,
+    states: &[AgentSnapshot],
+    stock: &mut wsp_model::LocationMatrix,
+    scratch: &mut RealizeScratch,
+) -> Result<WindowOutcome, RealizeError> {
+    validate_cycles(traffic, cycles)?;
+    validate_snapshots(warehouse, cycles, states)?;
+
+    let n_products = warehouse.catalog().len();
+    scratch.prepare(warehouse.graph().vertex_count(), traffic.component_count());
+
+    let mut plan = Plan::new();
+    for s in states {
+        let comp = cycles.cycles()[s.cycle].steps()[s.step].component;
+        let stray = traffic.component(comp).position(s.pos).is_none();
+        scratch.agents.push(AgentRt {
+            cycle: s.cycle,
+            step: s.step,
+            pos: s.pos,
+            advance_t: s.advance_t,
+            carry: s.carry,
+            stray,
+        });
+        plan.add_agent(AgentState {
+            at: s.pos,
+            carry: s.carry.map_or(Carry::Empty, Carry::Product),
+        });
+    }
+
+    let mut delivered = vec![0u64; n_products];
+    let run = run_ticks(
+        warehouse,
+        traffic,
+        cycles,
+        None,
+        start_t,
+        window,
+        stock,
+        &mut delivered,
+        &mut plan,
+        scratch,
+    );
+    let final_states = scratch
+        .agents
+        .iter()
+        .map(|a| AgentSnapshot {
+            cycle: a.cycle,
+            step: a.step,
+            pos: a.pos,
+            carry: a.carry,
+            advance_t: a.advance_t,
+        })
+        .collect();
+
+    Ok(WindowOutcome {
+        plan,
+        delivered,
+        timesteps: run.executed,
+        final_states,
+        missed_advances: run.missed_advances,
+        pickup_misses: run.pickup_misses,
+    })
+}
+
+/// Snapshot well-formedness: right team size, in-range indices, distinct
+/// positions (execution keeps positions distinct, so duplicates always
+/// mean a caller bug rather than a legal configuration).
+fn validate_snapshots(
+    warehouse: &Warehouse,
+    cycles: &AgentCycleSet,
+    states: &[AgentSnapshot],
+) -> Result<(), RealizeError> {
+    if states.len() != cycles.total_agents() {
+        return Err(RealizeError::BadSnapshot {
+            agent: 0,
+            detail: format!(
+                "{} snapshots for a {}-agent cycle set",
+                states.len(),
+                cycles.total_agents()
+            ),
+        });
+    }
+    let n_vertices = warehouse.graph().vertex_count();
+    let mut seen: Vec<(VertexId, usize)> = Vec::with_capacity(states.len());
+    for (i, s) in states.iter().enumerate() {
+        if s.cycle >= cycles.cycles().len() {
+            return Err(RealizeError::BadSnapshot {
+                agent: i,
+                detail: format!("cycle index {} out of range", s.cycle),
+            });
+        }
+        if s.step >= cycles.cycles()[s.cycle].steps().len() {
+            return Err(RealizeError::BadSnapshot {
+                agent: i,
+                detail: format!("step index {} out of range", s.step),
+            });
+        }
+        if s.pos.index() >= n_vertices {
+            return Err(RealizeError::BadSnapshot {
+                agent: i,
+                detail: format!("position {} outside the floorplan graph", s.pos),
+            });
+        }
+        seen.push((s.pos, i));
+    }
+    seen.sort_unstable_by_key(|&(v, _)| v);
+    for w in seen.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(RealizeError::BadSnapshot {
+                agent: w[1].1,
+                detail: format!("agents {} and {} share {}", w[0].1, w[1].1, w[0].0),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bookkeeping returned by the shared tick loop.
+struct TickRun {
+    executed: usize,
+    pickup_misses: u64,
+    missed_advances: u64,
+}
+
+/// The shared component-timestep loop: steps `scratch.agents` for up to
+/// `ticks` ticks starting at absolute time `start_t` (stopping early once
+/// `workload`, if given, is fully delivered), recording each tick's states
+/// into `plan` and debiting executed pickups from `stock`.
+///
+/// The per-vertex tables (occupancy, claims, vacations) are dense for
+/// O(1) indexing, but they are *cleared through occupancy-sized touched
+/// lists* rather than per-step memsets: only the ≤ agents entries written
+/// last step are reset, so the loop body is O(agents + components) per
+/// step — independent of the vertex count, which keeps realization viable
+/// on ~100k-vertex maps — and allocation-free after the first period.
+#[allow(clippy::too_many_arguments)]
+fn run_ticks(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    cycles: &AgentCycleSet,
+    workload: Option<&Workload>,
+    start_t: usize,
+    ticks: usize,
+    stock: &mut wsp_model::LocationMatrix,
+    delivered: &mut [u64],
+    plan: &mut Plan,
+    scratch: &mut RealizeScratch,
+) -> TickRun {
+    const NO_AGENT: u32 = wsp_model::NO_INDEX;
+    let tc = cycles.cycle_time().max(1);
+    let RealizeScratch {
+        residents_init: _,
+        agents,
+        stock: _,
         occupant,
         claimed,
         vacated,
@@ -166,39 +490,8 @@ pub fn realize_with_scratch(
         moves,
         move_hopped,
     } = scratch;
-
-    // ---- Initial placement: entry-side cells of each component. ----
-    // Residents per component, as (cycle, step) pairs, in a dense table
-    // indexed by component id (ids were validated above).
-    for (ci, cycle) in cycles.cycles().iter().enumerate() {
-        for (si, step) in cycle.steps().iter().enumerate() {
-            residents_init[step.component.index()].push((ci, si));
-        }
-    }
-
-    agents.reserve(cycles.total_agents());
-    let mut plan = Plan::new();
-    for comp in traffic.components() {
-        let list = &residents_init[comp.id().index()];
-        for (j, &(ci, si)) in list.iter().enumerate() {
-            // Capacity was validated, so j < |Cᵢ| always holds.
-            let pos = comp.path()[j];
-            agents.push(AgentRt {
-                cycle: ci,
-                step: si,
-                pos,
-                advance_t: -1,
-                carry: None,
-            });
-            plan.add_agent(AgentState::idle(pos));
-        }
-    }
     let n_agents = agents.len();
 
-    // Remaining stock ledger for pickup accounting (`clone_from` reuses the
-    // ledger's nodes across calls).
-    stock.clone_from(warehouse.location_matrix());
-    let mut delivered = vec![0u64; n_products];
     let mut pickup_misses = 0u64;
     let mut missed_advances = 0u64;
 
@@ -209,11 +502,12 @@ pub fn realize_with_scratch(
     move_hopped.resize(n_agents, false);
 
     let mut executed = 0usize;
-    for t in 0..t_limit {
-        if workload.is_some_and(|w| w.is_satisfied_by(&delivered)) {
+    for local_t in 0..ticks {
+        let t = start_t + local_t;
+        if workload.is_some_and(|w| w.is_satisfied_by(delivered)) {
             break;
         }
-        executed = t + 1;
+        executed = local_t + 1;
         let period_start = ((t / tc) * tc) as i64;
 
         // Occupancy and per-component resident lists at time t (clearing
@@ -227,7 +521,10 @@ pub fn realize_with_scratch(
         for (idx, a) in agents.iter().enumerate() {
             occupant[a.pos.index()] = idx as u32;
             occupied_cells.push(a.pos.0);
-            by_component[step_component(a).index()].push(idx);
+            // Strays block their cell but never move or act.
+            if !a.stray {
+                by_component[step_component(a).index()].push(idx);
+            }
         }
 
         // Movement decisions.
@@ -297,6 +594,9 @@ pub fn realize_with_scratch(
         }
 
         for idx in 0..n_agents {
+            if agents[idx].stray {
+                continue;
+            }
             let action = step_action(&agents[idx]);
             let pos_t = agents[idx].pos;
             match action {
@@ -340,7 +640,7 @@ pub fn realize_with_scratch(
         if (t + 1) % tc == 0 {
             let this_period_start = period_start;
             for a in agents.iter() {
-                if a.advance_t <= this_period_start && t as i64 >= tc as i64 {
+                if !a.stray && a.advance_t <= this_period_start && t as i64 >= tc as i64 {
                     missed_advances += 1;
                 }
             }
@@ -366,14 +666,11 @@ pub fn realize_with_scratch(
         vacated[cell as usize] = false;
     }
 
-    Ok(RealizeOutcome {
-        plan,
-        delivered,
-        timesteps: executed,
-        agents: n_agents,
+    TickRun {
+        executed,
         pickup_misses,
         missed_advances,
-    })
+    }
 }
 
 /// Validates the Property 4.1 preconditions and cycle well-formedness.
@@ -600,6 +897,145 @@ mod tests {
         assert_eq!(out.missed_advances, 0);
         let checker = PlanChecker::new(&w);
         checker.check(&out.plan).unwrap();
+    }
+
+    #[test]
+    fn windowed_realization_matches_one_shot() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 8);
+        let full = realize(&w, &ts, &cycles, None, 60).unwrap();
+
+        // The same 60 ticks as windows of 7 (uneven on purpose), resumed
+        // from each window's final snapshots.
+        let mut states = initial_snapshots(&ts, &cycles).unwrap();
+        let mut stock = w.location_matrix().clone();
+        let mut scratch = RealizeScratch::new();
+        let mut t = 0usize;
+        let mut delivered = vec![0u64; w.catalog().len()];
+        let mut stitched: Vec<Vec<AgentState>> = (0..full.agents)
+            .map(|a| vec![full.plan.state(a, 0).unwrap()])
+            .collect();
+        while t < 60 {
+            let window = (60 - t).min(7);
+            let out = realize_window_with_scratch(
+                &w,
+                &ts,
+                &cycles,
+                t,
+                window,
+                &states,
+                &mut stock,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(out.timesteps, window);
+            for (i, &d) in out.delivered.iter().enumerate() {
+                delivered[i] += d;
+            }
+            for (a, traj) in stitched.iter_mut().enumerate() {
+                for k in 1..=window {
+                    traj.push(out.plan.state(a, k).unwrap());
+                }
+            }
+            states = out.final_states;
+            t += window;
+        }
+        assert_eq!(delivered, full.delivered);
+        for (a, traj) in stitched.iter().enumerate() {
+            assert_eq!(traj.as_slice(), full.plan.trajectory(a), "agent {a}");
+        }
+        // Stock ledgers agree: windowed picks debit the caller's ledger.
+        for (v, p, units) in w.location_matrix().iter() {
+            assert_eq!(
+                stock.units_at(v, p),
+                scratch_free_units(&w, &ts, &cycles, 60, v, p),
+                "ledger diverged at {v}/{p} ({units} stocked)"
+            );
+        }
+    }
+
+    /// Remaining units per the one-shot realization (reference for the
+    /// ledger comparison above).
+    fn scratch_free_units(
+        w: &Warehouse,
+        ts: &TrafficSystem,
+        cycles: &AgentCycleSet,
+        t_limit: usize,
+        v: VertexId,
+        p: ProductId,
+    ) -> u64 {
+        // Re-run and count executed pickups at (v, p) from the plan.
+        let full = realize(w, ts, cycles, None, t_limit).unwrap();
+        let mut picked = 0u64;
+        for a in 0..full.agents {
+            let traj = full.plan.trajectory(a);
+            for k in 1..traj.len() {
+                if traj[k - 1].carry == Carry::Empty
+                    && traj[k].carry == Carry::Product(p)
+                    && traj[k - 1].at == v
+                {
+                    picked += 1;
+                }
+            }
+        }
+        w.location_matrix().units_at(v, p) - picked
+    }
+
+    #[test]
+    fn stray_snapshots_park_as_obstacles() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 8);
+        let mut states = initial_snapshots(&ts, &cycles).unwrap();
+        // Move agent 0 off its component onto a free non-component cell if
+        // one exists; otherwise onto another component's cell — either way
+        // it is off *its* component's path.
+        let comp = cycles.cycles()[states[0].cycle].steps()[states[0].step].component;
+        let on_path = |v: VertexId| ts.component(comp).position(v).is_some();
+        let taken: Vec<VertexId> = states.iter().map(|s| s.pos).collect();
+        let stray_pos = w
+            .graph()
+            .vertices()
+            .find(|&v| !on_path(v) && !taken.contains(&v))
+            .expect("a free off-path cell exists");
+        states[0].pos = stray_pos;
+        let mut stock = w.location_matrix().clone();
+        let out = realize_window(&w, &ts, &cycles, 0, 20, &states, &mut stock).unwrap();
+        // The stray never moves and never carries.
+        for k in 0..=20 {
+            let s = out.plan.state(0, k).unwrap();
+            assert_eq!(s.at, stray_pos);
+            assert_eq!(s.carry, Carry::Empty);
+        }
+        assert_eq!(out.final_states[0].pos, stray_pos);
+        // The emitted window is still collision-free.
+        wsp_model::PlanChecker::new(&w).check(&out.plan).unwrap();
+    }
+
+    #[test]
+    fn bad_snapshots_are_rejected() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 8);
+        let states = initial_snapshots(&ts, &cycles).unwrap();
+        let mut stock = w.location_matrix().clone();
+
+        let short = &states[..states.len() - 1];
+        assert!(matches!(
+            realize_window(&w, &ts, &cycles, 0, 5, short, &mut stock),
+            Err(RealizeError::BadSnapshot { .. })
+        ));
+
+        let mut dup = states.clone();
+        if dup.len() >= 2 {
+            dup[1].pos = dup[0].pos;
+            assert!(matches!(
+                realize_window(&w, &ts, &cycles, 0, 5, &dup, &mut stock),
+                Err(RealizeError::BadSnapshot { .. })
+            ));
+        }
+
+        let mut oob = states.clone();
+        oob[0].pos = VertexId(u32::MAX - 1);
+        assert!(matches!(
+            realize_window(&w, &ts, &cycles, 0, 5, &oob, &mut stock),
+            Err(RealizeError::BadSnapshot { .. })
+        ));
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum RealizeError {
         /// Target component.
         to: ComponentId,
     },
+    /// A window-resume snapshot set is malformed: wrong team size,
+    /// out-of-range cycle/step/vertex indices, or duplicate positions.
+    BadSnapshot {
+        /// Index of the offending snapshot.
+        agent: usize,
+        /// Human-readable description.
+        detail: String,
+    },
     /// An agent traversed its whole pickup component without finding stock
     /// of the product it must pick up.
     PickupMissed {
@@ -68,6 +76,9 @@ impl fmt::Display for RealizeError {
                     f,
                     "cycle moves {from} -> {to}, which is not a traffic-system arc"
                 )
+            }
+            RealizeError::BadSnapshot { agent, detail } => {
+                write!(f, "bad snapshot for agent {agent}: {detail}")
             }
             RealizeError::PickupMissed { component, t } => write!(
                 f,

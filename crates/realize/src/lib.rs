@@ -43,5 +43,8 @@
 mod algorithm;
 mod error;
 
-pub use algorithm::{realize, realize_with_scratch, RealizeOutcome, RealizeScratch};
+pub use algorithm::{
+    initial_snapshots, realize, realize_window, realize_window_with_scratch, realize_with_scratch,
+    AgentSnapshot, RealizeOutcome, RealizeScratch, WindowOutcome,
+};
 pub use error::RealizeError;

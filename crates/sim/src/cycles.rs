@@ -1,0 +1,130 @@
+//! Direct cycle-set construction: a valid (capacity-respecting,
+//! carry-consistent) [`AgentCycleSet`] built straight from the traffic
+//! system, without the flow-synthesis ILP.
+//!
+//! The optimizing pipeline is the right tool at paper scale, but the ILP
+//! does not reach 10k–200k-vertex instances. The simulator only needs *a*
+//! valid design to execute, so this builder round-robins shelving rows
+//! against station queues: each agent cycle travels
+//! `shelf row → … → station queue → … → back`, picking up a product
+//! stocked on its row and dropping it at the station. Every cycle is
+//! validated by realization's own preconditions (Property 4.1 capacities,
+//! arc existence, carry consistency), so anything this builder returns is
+//! realizable.
+
+use wsp_flow::{AgentCycle, AgentCycleSet, CycleAction, CycleStep};
+use wsp_model::{ProductId, Warehouse};
+use wsp_traffic::{ComponentId, ComponentKind, TrafficSystem};
+
+/// Builds cycles over `traffic` until the team reaches about `max_agents`
+/// **agents** (the cycle model places one agent per cycle *step*, so on a
+/// ring-shaped traffic system one cycle already fields a ring's worth of
+/// agents), pairing shelving rows with station queues in round-robin order
+/// and skipping any cycle that would push a component past its Property
+/// 4.1 capacity.
+///
+/// The first realizable cycle is always added even when it alone exceeds
+/// `max_agents` (a ring cannot be executed by less than a full cycle);
+/// afterwards, cycles are added only while they fit the budget. The result
+/// is empty only if the traffic system has no stocked shelving row or no
+/// station queue.
+pub fn direct_cycle_set(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    max_agents: usize,
+) -> AgentCycleSet {
+    // Shelving rows paired with a product actually stocked on them.
+    let stocked: Vec<(ComponentId, ProductId)> = traffic
+        .shelving_rows()
+        .filter_map(|id| {
+            traffic
+                .component(id)
+                .path()
+                .iter()
+                .find_map(|&v| warehouse.location_matrix().products_at(v).next())
+                .map(|(p, _)| (id, p))
+        })
+        .collect();
+    let stations: Vec<ComponentId> = traffic.station_queues().collect();
+    if stocked.is_empty() || stations.is_empty() {
+        return AgentCycleSet::new(Vec::new(), traffic.cycle_time());
+    }
+
+    // Rank every (row, station) pair by outbound component distance: the
+    // pickup→drop-off distance (in cycle steps, each worth one period)
+    // dominates task latency, so the builder mirrors what any sane
+    // dispatcher would do and pairs rows with downstream-adjacent
+    // stations first (on ring-shaped systems most stations sit almost a
+    // full revolution from most rows — only the closest pairs deliver
+    // within a few periods).
+    let mut pairs: Vec<(usize, ComponentId, ProductId, ComponentId)> = Vec::new();
+    for &(row, product) in &stocked {
+        for &station in &stations {
+            if let Some(path) = traffic.component_path(row, station) {
+                pairs.push((path.len(), row, product, station));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return AgentCycleSet::new(Vec::new(), traffic.cycle_time());
+    }
+    pairs.sort_unstable_by_key(|&(len, r, _, q)| (len, r.index(), q.index()));
+
+    let mut occupancy = vec![0usize; traffic.component_count()];
+    let mut cycles: Vec<AgentCycle> = Vec::new();
+    let mut total_agents = 0usize;
+    'outer: for k in 0..max_agents.max(1) {
+        if total_agents >= max_agents {
+            break;
+        }
+        let (_, row, product, station) = pairs[k % pairs.len()];
+        let Some(out) = traffic.component_path(row, station) else {
+            continue;
+        };
+        let Some(back) = traffic.component_path(station, row) else {
+            continue;
+        };
+        // row → … → station → … → (row): drop the duplicated endpoints.
+        let mut ring: Vec<ComponentId> = out;
+        ring.extend(back.into_iter().skip(1));
+        ring.pop();
+        // Budget: one agent per step; only the first cycle may overshoot.
+        if !cycles.is_empty() && total_agents + ring.len() > max_agents {
+            break;
+        }
+        // A component visited twice would turn the pickup/drop-off pair
+        // inconsistent (and complicate capacity accounting): skip such
+        // rings (cannot happen on loop-shaped systems like the snake).
+        let mut sorted = ring.clone();
+        sorted.sort_unstable_by_key(|c| c.index());
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            continue;
+        }
+        // Capacity check across the whole prospective cycle.
+        for &c in &ring {
+            if occupancy[c.index()] + 1 > traffic.component(c).capacity() {
+                continue 'outer;
+            }
+        }
+        total_agents += ring.len();
+        for &c in &ring {
+            occupancy[c.index()] += 1;
+        }
+        let steps = ring
+            .iter()
+            .map(|&c| CycleStep {
+                component: c,
+                action: if c == row {
+                    CycleAction::Pickup(product)
+                } else if c == station && traffic.component(c).kind() == ComponentKind::StationQueue
+                {
+                    CycleAction::Dropoff(product)
+                } else {
+                    CycleAction::Travel
+                },
+            })
+            .collect();
+        cycles.push(AgentCycle::new(steps));
+    }
+    AgentCycleSet::new(cycles, traffic.cycle_time())
+}

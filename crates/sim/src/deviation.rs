@@ -1,0 +1,160 @@
+//! Seeded execution deviations: agent stalls (a robot freezing in place
+//! for a few ticks — a dropped package, a localization hiccup, a manual
+//! stop). The schedule is a pure function of `(config, agent_count)`,
+//! independent of how the simulation unfolds, so deviation runs are as
+//! reproducible as clean ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the stall-deviation process.
+#[derive(Debug, Clone)]
+pub struct DeviationConfig {
+    /// Mean ticks between stall events across the whole team (`0`
+    /// disables deviations). Each gap is drawn uniformly from
+    /// `1 ..= 2 × mean_gap − 1`.
+    pub mean_gap: u32,
+    /// Minimum stall duration (ticks).
+    pub min_ticks: u32,
+    /// Maximum stall duration (ticks).
+    pub max_ticks: u32,
+    /// Seed for event times, victims, and durations.
+    pub seed: u64,
+}
+
+impl Default for DeviationConfig {
+    fn default() -> Self {
+        DeviationConfig {
+            mean_gap: 0,
+            min_ticks: 2,
+            max_ticks: 8,
+            seed: 0xdead,
+        }
+    }
+}
+
+impl DeviationConfig {
+    /// A disabled schedule (the default): no deviations ever fire.
+    pub fn none() -> Self {
+        DeviationConfig::default()
+    }
+
+    /// Stalls of `min ..= max` ticks roughly every `mean_gap` ticks.
+    pub fn stalls(mean_gap: u32, min_ticks: u32, max_ticks: u32, seed: u64) -> Self {
+        DeviationConfig {
+            mean_gap,
+            min_ticks: min_ticks.min(max_ticks),
+            max_ticks: max_ticks.max(min_ticks),
+            seed,
+        }
+    }
+}
+
+/// One scheduled stall: `agent` freezes for `ticks` starting at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// Tick the stall begins.
+    pub at: u64,
+    /// The frozen agent.
+    pub agent: usize,
+    /// Stall length in ticks.
+    pub ticks: u32,
+}
+
+/// The lazy, seed-deterministic stall schedule.
+#[derive(Debug, Clone)]
+pub struct DeviationSchedule {
+    rng: StdRng,
+    config: DeviationConfig,
+    agents: usize,
+    next: Option<Stall>,
+}
+
+impl DeviationSchedule {
+    /// Builds the schedule for a team of `agents`.
+    pub fn new(config: &DeviationConfig, agents: usize) -> Self {
+        let mut schedule = DeviationSchedule {
+            rng: StdRng::seed_from_u64(config.seed),
+            config: config.clone(),
+            agents,
+            next: None,
+        };
+        schedule.next = schedule.draw(0);
+        schedule
+    }
+
+    fn draw(&mut self, after: u64) -> Option<Stall> {
+        if self.config.mean_gap == 0 || self.agents == 0 {
+            return None;
+        }
+        // gap ∈ [1, 2 × mean_gap − 1], mean ≈ mean_gap.
+        let gap = self.rng.gen_range(1..2 * u64::from(self.config.mean_gap));
+        let agent = self.rng.gen_range(0..self.agents as u64) as usize;
+        let ticks = self
+            .rng
+            .gen_range(u64::from(self.config.min_ticks)..u64::from(self.config.max_ticks) + 1)
+            as u32;
+        Some(Stall {
+            at: after + gap,
+            agent,
+            ticks,
+        })
+    }
+
+    /// Pops every stall firing at or before tick `t` (call with
+    /// monotonically increasing `t`).
+    pub fn fire_at(&mut self, t: u64, mut apply: impl FnMut(Stall)) {
+        while let Some(stall) = self.next {
+            if stall.at > t {
+                break;
+            }
+            apply(stall);
+            self.next = self.draw(stall.at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(config: &DeviationConfig, agents: usize, horizon: u64) -> Vec<Stall> {
+        let mut schedule = DeviationSchedule::new(config, agents);
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            schedule.fire_at(t, |s| out.push(s));
+        }
+        out
+    }
+
+    #[test]
+    fn disabled_schedule_never_fires() {
+        assert!(collect(&DeviationConfig::none(), 8, 1000).is_empty());
+        assert!(collect(&DeviationConfig::stalls(10, 2, 4, 1), 0, 1000).is_empty());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let config = DeviationConfig::stalls(10, 2, 6, 42);
+        let a = collect(&config, 8, 500);
+        let b = collect(&config, 8, 500);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = collect(&DeviationConfig::stalls(10, 2, 6, 43), 8, 500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stalls_respect_bounds_and_density() {
+        let config = DeviationConfig::stalls(20, 3, 5, 7);
+        let stalls = collect(&config, 4, 2_000);
+        for s in &stalls {
+            assert!((3..=5).contains(&s.ticks));
+            assert!(s.agent < 4);
+        }
+        // Mean gap 20 over 2000 ticks: roughly 100 events; accept wide
+        // bounds (the uniform-gap process is noisy).
+        assert!(stalls.len() > 40, "{} stalls", stalls.len());
+        assert!(stalls.len() < 250, "{} stalls", stalls.len());
+    }
+}

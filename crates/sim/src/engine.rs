@@ -1,0 +1,911 @@
+//! The lifelong simulation engine: executes a synthesized design tick by
+//! tick against a task stream, with rolling-horizon replanning through the
+//! staged pipeline's realize stage, stall deviations, and MAPF catch-up
+//! repair.
+//!
+//! # Event model
+//!
+//! Each tick `t`, in order:
+//!
+//! 1. **Arrivals** — the seeded [`TaskStream`] delivers this tick's tasks
+//!    into per-product FIFO queues.
+//! 2. **Deviations** — the seeded [`DeviationSchedule`] freezes victims in
+//!    place for a few ticks.
+//! 3. **Repair** — agents far enough behind their window plan get a
+//!    space-time A* catch-up path planned against a reservation table of
+//!    everyone else's projected trajectory (parallel fan-out, slot-indexed
+//!    for determinism).
+//! 4. **Movement** — every agent names its desired next cell (its repair
+//!    path, else its window plan); a fixpoint grant pass then executes all
+//!    conflict-free chains simultaneously. Grants require the target cell
+//!    empty or its occupant granted away, and one grant per cell, so
+//!    vertex collisions and edge swaps are impossible *by construction*
+//!    regardless of how badly deviations scrambled the schedule — blocked
+//!    agents simply wait and accrue lag.
+//! 5. **Bookkeeping** — executed pickups debit the authoritative stock
+//!    ledger and attach the oldest queued task; executed drop-offs
+//!    complete tasks and record latency; conservation
+//!    (`injected == completed + in_flight + queued`) is asserted.
+//!
+//! When the window is exhausted (or lag crosses the early-replan
+//! threshold) the engine snapshots the *actual* agent states and resumes
+//! the pipeline's realize stage from them
+//! ([`Pipeline::realize_window`]) — deviation divergence heals at every
+//! replan, and in a deviation-free run the windows concatenate to exactly
+//! the one-shot realization (the differential tests pin this).
+
+use std::collections::VecDeque;
+
+use wsp_core::{Pipeline, PipelineError, PipelineOptions, WspInstance};
+use wsp_flow::AgentCycleSet;
+use wsp_mapf::ReservationTable;
+use wsp_model::{AgentState, Carry, LocationMatrix, Plan, ProductId, VertexId, NO_INDEX};
+use wsp_realize::AgentSnapshot;
+
+use crate::deviation::{DeviationConfig, DeviationSchedule, Stall};
+use crate::repair::{accept_repairs, plan_repairs, RepairPath, RepairRequest};
+use crate::report::{Fnv, SimCounters, SimReport};
+use crate::stream::{StreamConfig, TaskStream};
+
+/// Sentinel rejoin index for repairs that outlived their window plan: the
+/// agent finishes its detour, then parks until the next replan re-anchors
+/// it.
+const STRAY_REJOIN: usize = usize::MAX;
+
+/// Configuration of the MAPF catch-up repair stage.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Master switch (off by default: deviations then heal at replans
+    /// only).
+    pub enabled: bool,
+    /// Attempt a catch-up once an agent's lag reaches this many ticks.
+    pub lag_threshold: usize,
+    /// Rejoin target: the plan cell `lag + slack` indices ahead of the
+    /// cursor; the detour must arrive within `slack` ticks (the schedule
+    /// recovered in full).
+    pub slack: usize,
+    /// How far ahead (ticks) other agents' trajectories are projected
+    /// into the reservation table the catch-up searches plan against (the
+    /// searches themselves are capped at `slack`, the arrival budget).
+    pub lookahead: usize,
+    /// Per-agent ticks between repair attempts.
+    pub cooldown: u64,
+    /// Most catch-up searches per tick; when more agents are eligible,
+    /// the deepest-lagged (ties: lowest agent index) go first and the rest
+    /// retry next tick. Bounds repair cost on convoy pile-ups with
+    /// thousands of lagged agents.
+    pub max_batch: usize,
+    /// Worker threads for the A* fan-out (`None`: `WSP_THREADS`, then
+    /// available parallelism). Results are byte-identical at any count.
+    pub threads: Option<usize>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            enabled: false,
+            lag_threshold: 4,
+            slack: 6,
+            lookahead: 96,
+            cooldown: 8,
+            max_batch: 16,
+            threads: None,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Rolling-horizon window length in ticks (`0`: twice the design's
+    /// cycle time, at least 32).
+    pub window: usize,
+    /// Ticks [`Simulation::run`] executes.
+    pub ticks: u64,
+    /// The task arrival stream.
+    pub stream: StreamConfig,
+    /// The stall-deviation process.
+    pub deviations: DeviationConfig,
+    /// The MAPF catch-up repair stage.
+    pub repair: RepairConfig,
+    /// Replan early once any agent's lag reaches this (`0`: replan at
+    /// window boundaries only).
+    pub replan_lag: usize,
+    /// Minimum ticks between early replans (boundary replans are exempt).
+    pub min_replan_gap: u64,
+    /// Record the executed trajectories as a [`Plan`] (for the
+    /// differential tests; costs O(agents × ticks) memory).
+    pub record: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            window: 0,
+            ticks: 1_000,
+            stream: StreamConfig::default(),
+            deviations: DeviationConfig::default(),
+            repair: RepairConfig::default(),
+            replan_lag: 0,
+            min_replan_gap: 8,
+            record: false,
+        }
+    }
+}
+
+/// Ways a simulation can fail to build or step.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The staged pipeline failed (synthesis, decomposition, or a window
+    /// realization).
+    Pipeline(PipelineError),
+    /// The design has no agents to simulate.
+    NoAgents,
+    /// The configuration is inconsistent with the instance (e.g. the task
+    /// mix demands products outside the catalog).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            SimError::NoAgents => f.write_str("design has no agents"),
+            SimError::BadConfig(detail) => write!(f, "bad sim config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for SimError {
+    fn from(e: PipelineError) -> Self {
+        SimError::Pipeline(e)
+    }
+}
+
+/// The lifelong simulator. Borrows the instance; owns everything else,
+/// including the [`Pipeline`] whose realize scratch serves every window
+/// replan — steady-state ticks are allocation-light (only window plans and
+/// task bookkeeping allocate).
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    instance: &'a WspInstance,
+    cycles: AgentCycleSet,
+    pipeline: Pipeline,
+    config: SimConfig,
+    window_len: usize,
+
+    stream: TaskStream,
+    deviations: DeviationSchedule,
+    stall_buf: Vec<Stall>,
+
+    // Authoritative stock ledger (debited by *executed* pickups) and the
+    // clone handed to each window realization.
+    ledger: LocationMatrix,
+    plan_ledger: LocationMatrix,
+
+    // Current window plan; `window_start + cursor` is an agent's scheduled
+    // absolute tick when on time.
+    window_plan: Plan,
+    window_start: u64,
+
+    // Per-agent runtime state.
+    pos: Vec<VertexId>,
+    carry: Vec<Option<ProductId>>,
+    cycle_of: Vec<usize>,
+    step_of: Vec<usize>,
+    advance_t: Vec<i64>,
+    cursor: Vec<usize>,
+    stall_until: Vec<u64>,
+    attached: Vec<Option<u64>>,
+    repair: Vec<Option<RepairPath>>,
+    repair_cooldown_until: Vec<u64>,
+
+    // Task queues, one FIFO of arrival ticks per product.
+    queues: Vec<VecDeque<u64>>,
+
+    // Dense per-vertex occupancy plus per-tick movement scratch, all
+    // preallocated and cleared through touched lists; the tick body is
+    // O(agents), independent of vertices.
+    occupant: Vec<u32>,
+    claimed: Vec<bool>,
+    claimed_cells: Vec<u32>,
+    desired: Vec<VertexId>,
+    granted: Vec<bool>,
+    movers: Vec<usize>,
+    // Vacancy-chain worklist: per-cell FIFO of movers waiting on that
+    // cell (ascending agent order), as an intrusive linked list.
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+    waiter_next: Vec<u32>,
+    waiter_cells: Vec<u32>,
+    grant_queue: Vec<usize>,
+
+    // Repair scratch.
+    requests: Vec<RepairRequest>,
+    is_candidate: Vec<bool>,
+    projection: Vec<VertexId>,
+
+    t: u64,
+    last_replan: u64,
+    replan_requested: bool,
+    counters: SimCounters,
+    checksum: Fnv,
+    executed: Option<Plan>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation by running the staged pipeline's synthesize and
+    /// decompose stages on the instance, then realizing the first window.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Pipeline`] if synthesis/decomposition/realization fail,
+    /// [`SimError::NoAgents`] for agent-free designs,
+    /// [`SimError::BadConfig`] for a task mix outside the catalog.
+    pub fn new(
+        instance: &'a WspInstance,
+        options: &PipelineOptions,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        let mut pipeline = Pipeline::new();
+        let flow = pipeline.synthesize(instance, options)?;
+        let cycles = pipeline.decompose(&flow)?;
+        Self::from_cycles_with_pipeline(instance, cycles.cycles, pipeline, config)
+    }
+
+    /// Builds a simulation from an explicit cycle set (e.g.
+    /// [`direct_cycle_set`](crate::direct_cycle_set) on instances too
+    /// large for the flow-synthesis ILP).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulation::new`], minus the synthesis stage.
+    pub fn from_cycles(
+        instance: &'a WspInstance,
+        cycles: AgentCycleSet,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::from_cycles_with_pipeline(instance, cycles, Pipeline::new(), config)
+    }
+
+    fn from_cycles_with_pipeline(
+        instance: &'a WspInstance,
+        cycles: AgentCycleSet,
+        pipeline: Pipeline,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        let agents = cycles.total_agents();
+        if agents == 0 {
+            return Err(SimError::NoAgents);
+        }
+        config
+            .stream
+            .mix
+            .validate_against(instance.warehouse.catalog())
+            .map_err(|e| SimError::BadConfig(e.to_string()))?;
+        let snapshots = wsp_realize::initial_snapshots(&instance.traffic, &cycles)
+            .map_err(|e| SimError::Pipeline(PipelineError::Realize(e)))?;
+        let window_len = if config.window == 0 {
+            (2 * cycles.cycle_time()).max(32)
+        } else {
+            config.window.max(1)
+        };
+        let n_vertices = instance.warehouse.graph().vertex_count();
+        let n_products = instance.warehouse.catalog().len();
+
+        let mut occupant = vec![NO_INDEX; n_vertices];
+        for (i, s) in snapshots.iter().enumerate() {
+            occupant[s.pos.index()] = i as u32;
+        }
+        let executed = config.record.then(|| {
+            let mut plan = Plan::new();
+            for s in &snapshots {
+                plan.add_agent(AgentState {
+                    at: s.pos,
+                    carry: s.carry.map_or(Carry::Empty, Carry::Product),
+                });
+            }
+            plan
+        });
+        let mut checksum = Fnv::new();
+        for s in &snapshots {
+            checksum.write(u64::from(s.pos.0));
+            checksum.write(s.carry.map_or(0, |p| u64::from(p.0) + 1));
+        }
+
+        let stream = TaskStream::new(&config.stream);
+        let deviations = DeviationSchedule::new(&config.deviations, agents);
+        let mut sim = Simulation {
+            instance,
+            cycles,
+            pipeline,
+            window_len,
+            stream,
+            deviations,
+            stall_buf: Vec::new(),
+            ledger: instance.warehouse.location_matrix().clone(),
+            plan_ledger: LocationMatrix::new(),
+            window_plan: Plan::new(),
+            window_start: 0,
+            pos: snapshots.iter().map(|s| s.pos).collect(),
+            carry: snapshots.iter().map(|s| s.carry).collect(),
+            cycle_of: snapshots.iter().map(|s| s.cycle).collect(),
+            step_of: snapshots.iter().map(|s| s.step).collect(),
+            advance_t: snapshots.iter().map(|s| s.advance_t).collect(),
+            cursor: vec![0; agents],
+            stall_until: vec![0; agents],
+            attached: vec![None; agents],
+            repair: (0..agents).map(|_| None).collect(),
+            repair_cooldown_until: vec![0; agents],
+            queues: (0..n_products).map(|_| VecDeque::new()).collect(),
+            occupant,
+            claimed: vec![false; n_vertices],
+            claimed_cells: Vec::new(),
+            desired: vec![VertexId(0); agents],
+            granted: vec![false; agents],
+            movers: Vec::with_capacity(agents),
+            waiter_head: vec![NO_INDEX; n_vertices],
+            waiter_tail: vec![NO_INDEX; n_vertices],
+            waiter_next: vec![NO_INDEX; agents],
+            waiter_cells: Vec::new(),
+            grant_queue: Vec::with_capacity(agents),
+            requests: Vec::new(),
+            is_candidate: vec![false; agents],
+            projection: Vec::new(),
+            t: 0,
+            last_replan: 0,
+            replan_requested: false,
+            counters: SimCounters::default(),
+            checksum,
+            executed,
+            config,
+        };
+        sim.replan()?;
+        Ok(sim)
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    /// The effective rolling-horizon window length.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Number of simulated agents.
+    pub fn agent_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// The cycle set being executed.
+    pub fn cycles(&self) -> &AgentCycleSet {
+        &self.cycles
+    }
+
+    /// Live counters (the conservation invariant holds after every tick).
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// The executed trajectories, when `config.record` was set.
+    pub fn executed_plan(&self) -> Option<&Plan> {
+        self.executed.as_ref()
+    }
+
+    /// The report at this instant (cheap; callable mid-run).
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            agents: self.pos.len() as u64,
+            vertices: self.instance.warehouse.graph().vertex_count() as u64,
+            window: self.window_len as u64,
+            stream_seed: self.config.stream.seed,
+            deviation_seed: self.config.deviations.seed,
+            trajectory_checksum: self.checksum.0,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Runs until `config.ticks` and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Pipeline`] if a window replan fails.
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        while self.t < self.config.ticks {
+            self.step()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Runs `n` more ticks (for tests that interleave assertions).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_ticks(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Whether `agent`'s position matches its window-plan cursor cell (the
+    /// precondition for following the plan).
+    fn aligned(&self, agent: usize) -> bool {
+        self.window_plan
+            .state(agent, self.cursor[agent])
+            .is_some_and(|s| s.at == self.pos[agent])
+    }
+
+    fn component_of(&self, v: VertexId) -> Option<wsp_traffic::ComponentId> {
+        self.instance.traffic.component_of(v)
+    }
+
+    /// Snapshot the *actual* runtime state and realize the next window
+    /// from it through the pipeline's realize stage.
+    fn replan(&mut self) -> Result<(), SimError> {
+        let t = self.t;
+        let snapshots: Vec<AgentSnapshot> = (0..self.pos.len())
+            .map(|a| AgentSnapshot {
+                cycle: self.cycle_of[a],
+                step: self.step_of[a],
+                pos: self.pos[a],
+                carry: self.carry[a],
+                advance_t: self.advance_t[a],
+            })
+            .collect();
+        self.plan_ledger.clone_from(&self.ledger);
+        let out = self.pipeline.realize_window(
+            self.instance,
+            &self.cycles,
+            t as usize,
+            self.window_len,
+            &snapshots,
+            &mut self.plan_ledger,
+        )?;
+        self.window_plan = out.plan;
+        self.window_start = t;
+        self.cursor.fill(0);
+        self.last_replan = t;
+        self.replan_requested = false;
+        self.counters.replans += 1;
+        // Repairs of on-component agents are healed by the replan itself;
+        // off-component agents keep their detour but now rejoin as strays
+        // (park until the next replan re-anchors them).
+        for a in 0..self.pos.len() {
+            if self.repair[a].is_none() {
+                continue;
+            }
+            let comp = self.cycles.cycles()[self.cycle_of[a]].steps()[self.step_of[a]].component;
+            if self
+                .instance
+                .traffic
+                .component(comp)
+                .position(self.pos[a])
+                .is_some()
+            {
+                self.repair[a] = None;
+            } else if let Some(r) = self.repair[a].as_mut() {
+                r.rejoin_cursor = STRAY_REJOIN;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one tick.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Pipeline`] if the tick ends on a window boundary and
+    /// the replan fails.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let t = self.t;
+        let n = self.pos.len();
+
+        // 1. Arrivals.
+        for task in self.stream.arrivals_at(t) {
+            self.queues[task.product.index()].push_back(task.arrival);
+            self.counters.injected += 1;
+            self.counters.queued += 1;
+        }
+
+        // 2. Deviations.
+        self.stall_buf.clear();
+        let buf = &mut self.stall_buf;
+        self.deviations.fire_at(t, |s| buf.push(s));
+        for s in self.stall_buf.drain(..) {
+            let until = t + u64::from(s.ticks);
+            self.stall_until[s.agent] = self.stall_until[s.agent].max(until);
+            self.counters.stalls_injected += 1;
+            self.counters.stall_ticks_injected += u64::from(s.ticks);
+        }
+
+        // 3. MAPF catch-up repair.
+        if self.config.repair.enabled {
+            self.try_repairs(t);
+        }
+
+        // 4. Desired moves.
+        self.movers.clear();
+        for cell in self.claimed_cells.drain(..) {
+            self.claimed[cell as usize] = false;
+        }
+        for a in 0..n {
+            self.granted[a] = false;
+            let d = if t < self.stall_until[a] {
+                self.pos[a]
+            } else if let Some(r) = &self.repair[a] {
+                if r.at + 1 < r.path.len() {
+                    r.path[r.at + 1]
+                } else {
+                    self.pos[a]
+                }
+            } else if self.aligned(a) && self.cursor[a] < self.window_len {
+                self.window_plan
+                    .state(a, self.cursor[a] + 1)
+                    .expect("cursor below horizon")
+                    .at
+            } else {
+                self.pos[a]
+            };
+            self.desired[a] = d;
+            if d != self.pos[a] {
+                self.movers.push(a);
+            }
+        }
+
+        // 5. Vacancy-chain grants, O(movers): a move is granted when its
+        // target is unclaimed and either empty or freed by another granted
+        // move. Movers into occupied cells register as waiters on the
+        // cell; every grant then wakes the lowest-indexed waiter of the
+        // freed cell, so convoy chains thousands of agents long resolve in
+        // one linear sweep instead of a quadratic fixpoint. Pure cycles
+        // (incl. head-on swaps) can never self-activate, so only
+        // conflict-free chains execute — collision freedom by
+        // construction, at any deviation load.
+        for cell in self.waiter_cells.drain(..) {
+            self.waiter_head[cell as usize] = NO_INDEX;
+            self.waiter_tail[cell as usize] = NO_INDEX;
+        }
+        self.grant_queue.clear();
+        for &a in &self.movers {
+            let v = self.desired[a];
+            let vi = v.index();
+            if self.claimed[vi] {
+                // Already granted away to an earlier mover: dead this tick.
+                continue;
+            }
+            if self.occupant[vi] == NO_INDEX {
+                self.granted[a] = true;
+                self.claimed[vi] = true;
+                self.claimed_cells.push(v.0);
+                self.grant_queue.push(a);
+            } else {
+                // Waiter on an occupied cell, appended in ascending agent
+                // order (movers are scanned ascending).
+                self.waiter_next[a] = NO_INDEX;
+                if self.waiter_head[vi] == NO_INDEX {
+                    self.waiter_head[vi] = a as u32;
+                    self.waiter_cells.push(v.0);
+                } else {
+                    self.waiter_next[self.waiter_tail[vi] as usize] = a as u32;
+                }
+                self.waiter_tail[vi] = a as u32;
+            }
+        }
+        let mut qi = 0;
+        while qi < self.grant_queue.len() {
+            let a = self.grant_queue[qi];
+            qi += 1;
+            let freed = self.pos[a];
+            let head = self.waiter_head[freed.index()];
+            if head != NO_INDEX && !self.claimed[freed.index()] {
+                let b = head as usize;
+                self.granted[b] = true;
+                self.claimed[freed.index()] = true;
+                self.claimed_cells.push(freed.0);
+                self.grant_queue.push(b);
+            }
+        }
+
+        // 6. Apply moves (vacate first, then occupy, so chains are safe).
+        for &a in &self.movers {
+            if self.granted[a] {
+                self.occupant[self.pos[a].index()] = NO_INDEX;
+            }
+        }
+        for &a in &self.movers {
+            if self.granted[a] {
+                self.occupant[self.desired[a].index()] = a as u32;
+            }
+        }
+
+        // 7. Per-agent advancement, events, and counters.
+        let mut max_lag = 0u64;
+        for a in 0..n {
+            let old = self.pos[a];
+            let moved = self.granted[a];
+            if moved {
+                self.pos[a] = self.desired[a];
+                self.counters.moves += 1;
+            } else {
+                self.counters.waits += 1;
+            }
+
+            if t < self.stall_until[a] {
+                // Frozen: no cursor/repair progress, no events.
+            } else if self.repair[a].is_some() {
+                let done = {
+                    let r = self.repair[a].as_mut().expect("checked");
+                    let wanted_wait = r.at + 1 >= r.path.len() || r.path[r.at + 1] == old;
+                    if moved || wanted_wait {
+                        r.at = (r.at + 1).min(r.path.len() - 1);
+                    }
+                    r.at + 1 >= r.path.len() && self.pos[a] == *r.path.last().expect("non-empty")
+                };
+                if done {
+                    let rejoin = self.repair[a].as_ref().expect("checked").rejoin_cursor;
+                    self.repair[a] = None;
+                    if rejoin == STRAY_REJOIN {
+                        // Parked off-plan; ask for a replan to re-anchor.
+                        self.replan_requested = true;
+                    } else {
+                        self.cursor[a] = rejoin;
+                    }
+                }
+            } else if let Some(cur) = self.window_plan.state(a, self.cursor[a]) {
+                if cur.at == old && self.cursor[a] < self.window_len {
+                    let next = self
+                        .window_plan
+                        .state(a, self.cursor[a] + 1)
+                        .expect("below horizon");
+                    let advanced = next.at == old || moved;
+                    if advanced {
+                        self.apply_carry_event(a, cur.carry, next.carry, old, t);
+                        if next.at != old {
+                            let hop = self.component_of(next.at) != self.component_of(old);
+                            if hop {
+                                let len = self.cycles.cycles()[self.cycle_of[a]].steps().len();
+                                self.step_of[a] = (self.step_of[a] + 1) % len;
+                                self.advance_t[a] = (t + 1) as i64;
+                            }
+                        }
+                        self.cursor[a] += 1;
+                    }
+                }
+            }
+
+            if self.carry[a].is_some() {
+                self.counters.carrying_ticks += 1;
+            }
+            // Lag of plan-following agents (repairing/stray agents are
+            // re-anchored by rejoin or replan instead).
+            if self.repair[a].is_none() {
+                let scheduled = (t + 1).saturating_sub(self.window_start) as usize;
+                let lag = scheduled.saturating_sub(self.cursor[a]) as u64;
+                max_lag = max_lag.max(lag);
+            }
+        }
+        self.counters.max_lag = self.counters.max_lag.max(max_lag);
+
+        // 8. Record and checksum the executed configuration at t + 1.
+        for a in 0..n {
+            self.checksum.write(u64::from(self.pos[a].0));
+            self.checksum
+                .write(self.carry[a].map_or(0, |p| u64::from(p.0) + 1));
+        }
+        if let Some(plan) = self.executed.as_mut() {
+            for a in 0..n {
+                plan.push_state(
+                    a,
+                    AgentState {
+                        at: self.pos[a],
+                        carry: self.carry[a].map_or(Carry::Empty, Carry::Product),
+                    },
+                );
+            }
+        }
+
+        self.counters.ticks += 1;
+        debug_assert!(
+            self.counters.conserved(),
+            "task conservation violated at t={}: {} injected != {} completed + {} in flight + {} queued",
+            t,
+            self.counters.injected,
+            self.counters.completed,
+            self.counters.in_flight,
+            self.counters.queued,
+        );
+
+        // 9. Window boundary / early replan (boundaries are mandatory;
+        // early replans respect the minimum gap).
+        self.t = t + 1;
+        let boundary = (self.t - self.window_start) as usize >= self.window_len;
+        let early = (self.replan_requested
+            || (self.config.replan_lag > 0 && max_lag as usize >= self.config.replan_lag))
+            && self.t - self.last_replan >= self.config.min_replan_gap;
+        if boundary || early {
+            self.replan()?;
+        }
+        Ok(())
+    }
+
+    /// Applies an executed carry transition: stock debit + task matching.
+    /// `at` is the vertex the action happened on (the *pre-move* cell, as
+    /// in the plan checker's condition (3)); completion is stamped `t + 1`
+    /// to match [`wsp_model::PlanStats::last_delivery`].
+    fn apply_carry_event(
+        &mut self,
+        agent: usize,
+        before: Carry,
+        after: Carry,
+        at: VertexId,
+        t: u64,
+    ) {
+        match (before, after) {
+            (Carry::Empty, Carry::Product(p)) => {
+                debug_assert!(
+                    self.ledger.units_at(at, p) > 0,
+                    "executed pickup of {p} at {at} with an empty ledger"
+                );
+                self.ledger.remove_units(at, p, 1);
+                self.carry[agent] = Some(p);
+                if let Some(arrival) = self.queues[p.index()].pop_front() {
+                    self.attached[agent] = Some(arrival);
+                    self.counters.queued -= 1;
+                    self.counters.in_flight += 1;
+                }
+            }
+            (Carry::Product(p), Carry::Empty) => {
+                self.carry[agent] = None;
+                self.counters.delivered += 1;
+                if let Some(arrival) = self.attached[agent].take() {
+                    self.counters.in_flight -= 1;
+                    self.counters.record_latency(t + 1 - arrival);
+                } else if let Some(arrival) = self.queues[p.index()].pop_front() {
+                    self.counters.queued -= 1;
+                    self.counters.record_latency(t + 1 - arrival);
+                } else {
+                    self.counters.unmatched_deliveries += 1;
+                }
+            }
+            (Carry::Product(p), Carry::Product(q)) => {
+                debug_assert_eq!(p, q, "carried product mutated in the window plan");
+            }
+            (Carry::Empty, Carry::Empty) => {}
+        }
+    }
+
+    /// Collects catch-up candidates, plans them in parallel against the
+    /// projected reservation table, and splices in the accepted detours.
+    fn try_repairs(&mut self, t: u64) {
+        let n = self.pos.len();
+        let cfg = self.config.repair.clone();
+        self.requests.clear();
+        for flag in self.is_candidate.iter_mut() {
+            *flag = false;
+        }
+        for a in 0..n {
+            if t < self.stall_until[a]
+                || self.repair[a].is_some()
+                || t < self.repair_cooldown_until[a]
+                || !self.aligned(a)
+            {
+                continue;
+            }
+            let elapsed = (t - self.window_start) as usize;
+            let lag = elapsed.saturating_sub(self.cursor[a]);
+            if lag < cfg.lag_threshold {
+                continue;
+            }
+            let rejoin = self.cursor[a] + lag + cfg.slack;
+            if rejoin > self.window_len {
+                continue;
+            }
+            // Eligibility: constant carry and zero hops over the skipped
+            // segment, so rejoin preserves every pickup/drop-off and the
+            // cycle-step bookkeeping.
+            let base = self
+                .window_plan
+                .state(a, self.cursor[a])
+                .expect("aligned cursor");
+            let base_comp = self.component_of(base.at);
+            let eligible = (self.cursor[a] + 1..=rejoin).all(|i| {
+                let s = self.window_plan.state(a, i).expect("within horizon");
+                s.carry == base.carry && self.component_of(s.at) == base_comp
+            });
+            if !eligible {
+                continue;
+            }
+            let goal = self
+                .window_plan
+                .state(a, rejoin)
+                .expect("within horizon")
+                .at;
+            if goal == self.pos[a] || cfg.slack == 0 {
+                continue;
+            }
+            self.requests.push(RepairRequest {
+                agent: a,
+                start: self.pos[a],
+                goal,
+                deadline: cfg.slack,
+                rejoin_cursor: rejoin,
+                lag,
+            });
+        }
+        if self.requests.is_empty() {
+            return;
+        }
+        // Deepest-lagged first when the batch is over budget (ties break
+        // toward the lowest agent index), then back to agent order so the
+        // acceptance pass stays order-deterministic.
+        if self.requests.len() > cfg.max_batch.max(1) {
+            self.requests
+                .sort_unstable_by(|x, y| y.lag.cmp(&x.lag).then(x.agent.cmp(&y.agent)));
+            self.requests.truncate(cfg.max_batch.max(1));
+            self.requests.sort_unstable_by_key(|r| r.agent);
+        }
+        for r in &self.requests {
+            self.repair_cooldown_until[r.agent] = t + cfg.cooldown;
+            self.counters.repairs_attempted += 1;
+            self.is_candidate[r.agent] = true;
+        }
+
+        // Shared reservation table: everyone except the candidates,
+        // projected `lookahead` ticks ahead (stall first, then plan or
+        // active repair path, then parked forever).
+        let graph = self.instance.warehouse.graph();
+        let mut table = ReservationTable::new(graph.vertex_count());
+        for b in 0..n {
+            if self.is_candidate[b] {
+                continue;
+            }
+            self.projection.clear();
+            self.projection.push(self.pos[b]);
+            let mut stall_left = self.stall_until[b].saturating_sub(t) as usize;
+            while stall_left > 0 && self.projection.len() < cfg.lookahead {
+                self.projection.push(self.pos[b]);
+                stall_left -= 1;
+            }
+            if let Some(r) = &self.repair[b] {
+                for &v in r.path.iter().skip(r.at + 1) {
+                    if self.projection.len() >= cfg.lookahead {
+                        break;
+                    }
+                    self.projection.push(v);
+                }
+            } else if self.aligned(b) {
+                let mut k = self.cursor[b] + 1;
+                while self.projection.len() < cfg.lookahead && k <= self.window_len {
+                    self.projection
+                        .push(self.window_plan.state(b, k).expect("within horizon").at);
+                    k += 1;
+                }
+            }
+            // `reserve_path` parks the final projected cell from its
+            // arrival time onward, so truncated projections stay
+            // conservatively blocked past the horizon.
+            table.reserve_path(&self.projection);
+        }
+
+        let threads = wsp_core::resolve_threads(cfg.threads);
+        let found = plan_repairs(graph, &table, &self.requests, threads);
+        for (agent, path) in accept_repairs(&self.requests, found) {
+            self.repair[agent] = Some(path);
+            self.counters.repairs_applied += 1;
+        }
+    }
+}

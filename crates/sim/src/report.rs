@@ -1,0 +1,302 @@
+//! The deterministic simulation report: integer-only counters whose
+//! canonical JSON rendering is byte-identical for identical (seed, config)
+//! pairs at every repair thread count — the golden-file and determinism
+//! tests compare exactly this rendering.
+
+use std::fmt;
+
+/// Power-of-two latency histogram: bucket `k` counts completed tasks whose
+/// latency `ℓ` (ticks from arrival to drop-off) satisfies
+/// `2^k ≤ ℓ < 2^(k+1)`; the last bucket absorbs everything larger.
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Live simulation counters, all integers. The conservation invariant
+/// `injected == completed + in_flight + queued` holds after every tick
+/// (and is `debug_assert`ed there).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Ticks executed so far.
+    pub ticks: u64,
+    /// Tasks injected by the arrival stream.
+    pub injected: u64,
+    /// Tasks completed (delivered to a station).
+    pub completed: u64,
+    /// Tasks attached to a carried unit, not yet delivered.
+    pub in_flight: u64,
+    /// Tasks waiting in a product queue.
+    pub queued: u64,
+    /// Sum of completed-task latencies (completion tick − arrival tick).
+    pub latency_sum: u64,
+    /// Largest completed-task latency.
+    pub latency_max: u64,
+    /// Power-of-two latency histogram (see [`LATENCY_BUCKETS`]).
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Agent moves executed (vertex changed).
+    pub moves: u64,
+    /// Agent wait ticks (stalled, blocked, or planned waits).
+    pub waits: u64,
+    /// Agent-ticks spent carrying a product.
+    pub carrying_ticks: u64,
+    /// Units delivered to stations (matched to a task or not).
+    pub delivered: u64,
+    /// Deliveries with no queued or attached task to absorb them.
+    pub unmatched_deliveries: u64,
+    /// Stall deviations injected.
+    pub stalls_injected: u64,
+    /// Total stall ticks injected.
+    pub stall_ticks_injected: u64,
+    /// Rolling-horizon replans (window boundaries + early replans).
+    pub replans: u64,
+    /// MAPF catch-up repairs attempted.
+    pub repairs_attempted: u64,
+    /// Repairs whose catch-up path was accepted and spliced in.
+    pub repairs_applied: u64,
+    /// Largest agent lag (ticks behind the window plan) ever observed.
+    pub max_lag: u64,
+}
+
+impl SimCounters {
+    /// Whether the task-conservation invariant holds right now.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.completed + self.in_flight + self.queued
+    }
+
+    /// Records one completed task latency.
+    pub(crate) fn record_latency(&mut self, latency: u64) {
+        self.completed += 1;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        let bucket = if latency == 0 {
+            0
+        } else {
+            (63 - latency.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.latency_hist[bucket] += 1;
+    }
+}
+
+/// The final report of a simulation run: configuration echo, the full
+/// [`SimCounters`], and a trajectory checksum. Every field is an integer,
+/// so [`to_json`](SimReport::to_json) is a canonical byte-exact rendering:
+/// the determinism contract promises identical JSON for identical
+/// (instance, config) inputs at any repair thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Agents simulated.
+    pub agents: u64,
+    /// Floorplan vertices of the instance.
+    pub vertices: u64,
+    /// Rolling-horizon window length (ticks).
+    pub window: u64,
+    /// Task-stream seed.
+    pub stream_seed: u64,
+    /// Deviation seed.
+    pub deviation_seed: u64,
+    /// FNV-1a checksum over every executed `(tick, agent, vertex, carry)`
+    /// state — two runs with equal checksums executed identical
+    /// trajectories without either run recording them.
+    pub trajectory_checksum: u64,
+    /// The final counters.
+    pub counters: SimCounters,
+}
+
+impl SimReport {
+    /// Mean task latency in milliticks (`1000 × latency_sum / completed`),
+    /// `0` when nothing completed. Integer, so usable as a deterministic
+    /// scoring axis (`wsp-explore` minimizes it on its Pareto front).
+    pub fn mean_latency_milliticks(&self) -> u64 {
+        (self.counters.latency_sum * 1000)
+            .checked_div(self.counters.completed)
+            .unwrap_or(0)
+    }
+
+    /// Completed tasks per kilotick (`1000 × completed / ticks`), `0` for
+    /// an empty run.
+    pub fn throughput_per_kilotick(&self) -> u64 {
+        (self.counters.completed * 1000)
+            .checked_div(self.counters.ticks)
+            .unwrap_or(0)
+    }
+
+    /// Share of agent-ticks spent carrying, in parts per thousand.
+    pub fn utilization_permille(&self) -> u64 {
+        (self.counters.carrying_ticks * 1000)
+            .checked_div(self.agents * self.counters.ticks)
+            .unwrap_or(0)
+    }
+
+    /// The canonical JSON rendering: keys in fixed order, integers only,
+    /// one key per line. This exact string is what the golden files under
+    /// `tests/golden/` store and what the determinism tests compare.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.counters;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        fn field(out: &mut String, key: &str, value: u64, comma: bool) {
+            let _ = writeln!(out, "  \"{key}\": {value}{}", if comma { "," } else { "" });
+        }
+        field(&mut out, "agents", self.agents, true);
+        field(&mut out, "vertices", self.vertices, true);
+        field(&mut out, "window", self.window, true);
+        field(&mut out, "stream_seed", self.stream_seed, true);
+        field(&mut out, "deviation_seed", self.deviation_seed, true);
+        field(&mut out, "ticks", c.ticks, true);
+        field(&mut out, "injected", c.injected, true);
+        field(&mut out, "completed", c.completed, true);
+        field(&mut out, "in_flight", c.in_flight, true);
+        field(&mut out, "queued", c.queued, true);
+        field(&mut out, "latency_sum", c.latency_sum, true);
+        field(&mut out, "latency_max", c.latency_max, true);
+        let mean = self.mean_latency_milliticks();
+        field(&mut out, "mean_latency_milliticks", mean, true);
+        let tput = self.throughput_per_kilotick();
+        field(&mut out, "throughput_per_kilotick", tput, true);
+        let util = self.utilization_permille();
+        field(&mut out, "utilization_permille", util, true);
+        field(&mut out, "moves", c.moves, true);
+        field(&mut out, "waits", c.waits, true);
+        field(&mut out, "carrying_ticks", c.carrying_ticks, true);
+        field(&mut out, "delivered", c.delivered, true);
+        field(
+            &mut out,
+            "unmatched_deliveries",
+            c.unmatched_deliveries,
+            true,
+        );
+        field(&mut out, "stalls_injected", c.stalls_injected, true);
+        field(
+            &mut out,
+            "stall_ticks_injected",
+            c.stall_ticks_injected,
+            true,
+        );
+        field(&mut out, "replans", c.replans, true);
+        field(&mut out, "repairs_attempted", c.repairs_attempted, true);
+        field(&mut out, "repairs_applied", c.repairs_applied, true);
+        field(&mut out, "max_lag", c.max_lag, true);
+        let hist: Vec<String> = c.latency_hist.iter().map(|b| b.to_string()).collect();
+        let _ = writeln!(out, "  \"latency_hist\": [{}],", hist.join(", "));
+        field(
+            &mut out,
+            "trajectory_checksum",
+            self.trajectory_checksum,
+            false,
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        write!(
+            f,
+            "{} ticks, {} agents: {}/{} tasks done ({} queued, {} in flight), \
+             mean latency {:.1} ticks, max {}, utilization {:.1}%, \
+             {} replans, {}/{} repairs",
+            c.ticks,
+            self.agents,
+            c.completed,
+            c.injected,
+            c.queued,
+            c.in_flight,
+            self.mean_latency_milliticks() as f64 / 1000.0,
+            c.latency_max,
+            self.utilization_permille() as f64 / 10.0,
+            c.replans,
+            c.repairs_applied,
+            c.repairs_attempted,
+        )
+    }
+}
+
+/// Incremental FNV-1a trajectory checksum.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(pub u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, word: u64) {
+        let mut h = self.0;
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        let mut counters = SimCounters {
+            ticks: 100,
+            injected: 10,
+            in_flight: 1,
+            queued: 2,
+            moves: 400,
+            waits: 100,
+            carrying_ticks: 250,
+            delivered: 9,
+            ..SimCounters::default()
+        };
+        for latency in [1u64, 3, 3, 9, 20, 80, 300] {
+            counters.record_latency(latency);
+        }
+        SimReport {
+            agents: 5,
+            vertices: 64,
+            window: 32,
+            stream_seed: 7,
+            deviation_seed: 9,
+            trajectory_checksum: 0xdead_beef,
+            counters,
+        }
+    }
+
+    #[test]
+    fn conservation_checks_the_three_way_split() {
+        let report = sample();
+        assert!(report.counters.conserved());
+        let mut broken = report.counters.clone();
+        broken.queued += 1;
+        assert!(!broken.conserved());
+    }
+
+    #[test]
+    fn derived_metrics_are_integer_and_stable() {
+        let r = sample();
+        assert_eq!(r.counters.completed, 7);
+        assert_eq!(r.counters.latency_sum, 1 + 3 + 3 + 9 + 20 + 80 + 300);
+        assert_eq!(r.counters.latency_max, 300);
+        assert_eq!(r.mean_latency_milliticks(), 416 * 1000 / 7);
+        assert_eq!(r.throughput_per_kilotick(), 70);
+        assert_eq!(r.utilization_permille(), 500);
+        // Histogram: 1→b0, 3,3→b1, 9→b3, 20→b4, 80→b6, 300→b8.
+        assert_eq!(r.counters.latency_hist[0], 1);
+        assert_eq!(r.counters.latency_hist[1], 2);
+        assert_eq!(r.counters.latency_hist[3], 1);
+        assert_eq!(r.counters.latency_hist[4], 1);
+        assert_eq!(r.counters.latency_hist[6], 1);
+        assert_eq!(r.counters.latency_hist[8], 1);
+    }
+
+    #[test]
+    fn json_is_canonical_and_roundtrips_equality() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"injected\": 10,"));
+        assert!(a.to_json().contains("\"trajectory_checksum\": 3735928559"));
+        let mut c = sample();
+        c.counters.moves += 1;
+        assert_ne!(a.to_json(), c.to_json());
+    }
+}

@@ -1,0 +1,149 @@
+//! The seeded stochastic task stream: a product mix (typically a
+//! [`Workload`] from `MapInstance::zipf_workload` or `uniform_workload`)
+//! expanded into individually timed task arrivals.
+//!
+//! The whole schedule is a pure function of `(mix, mean_gap, seed)` —
+//! arrival order and times never depend on how the simulation unfolds, so
+//! two runs of the same configuration see byte-identical streams.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wsp_model::{ProductId, Workload};
+
+/// Configuration of the arrival stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The product mix: each unit of demand becomes one task. Build it
+    /// with `MapInstance::zipf_workload` for skewed sorting-center
+    /// arrivals, or `uniform_workload` for flat ones.
+    pub mix: Workload,
+    /// Mean ticks between consecutive arrivals; each gap is drawn
+    /// uniformly from `0 ..= 2 × mean_gap` (so `0` front-loads the whole
+    /// mix at tick 0).
+    pub mean_gap: u32,
+    /// Seed for the arrival permutation and the gaps.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            mix: Workload::default(),
+            mean_gap: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One task: bring a unit of `product` to any station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// The demanded product.
+    pub product: ProductId,
+    /// Arrival tick.
+    pub arrival: u64,
+}
+
+/// The precomputed, seed-deterministic arrival schedule.
+#[derive(Debug, Clone)]
+pub struct TaskStream {
+    tasks: Vec<Task>,
+    next: usize,
+}
+
+impl TaskStream {
+    /// Expands the mix into a shuffled, gap-timed schedule.
+    pub fn new(config: &StreamConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut products: Vec<ProductId> = Vec::new();
+        for (p, demand) in config.mix.iter() {
+            for _ in 0..demand {
+                products.push(p);
+            }
+        }
+        products.shuffle(&mut rng);
+        let mut tasks = Vec::with_capacity(products.len());
+        let mut tick = 0u64;
+        for product in products {
+            tick += rng.gen_range(0..2 * u64::from(config.mean_gap) + 1);
+            tasks.push(Task {
+                product,
+                arrival: tick,
+            });
+        }
+        TaskStream { tasks, next: 0 }
+    }
+
+    /// Total tasks in the schedule.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tick of the last arrival, if any.
+    pub fn last_arrival(&self) -> Option<u64> {
+        self.tasks.last().map(|t| t.arrival)
+    }
+
+    /// Pops every task arriving at tick `t` (call with strictly increasing
+    /// `t`; earlier stragglers are delivered too, so a skipped tick loses
+    /// nothing).
+    pub fn arrivals_at(&mut self, t: u64) -> &[Task] {
+        let start = self.next;
+        while self.next < self.tasks.len() && self.tasks[self.next].arrival <= t {
+            self.next += 1;
+        }
+        &self.tasks[start..self.next]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mean_gap: u32, seed: u64) -> StreamConfig {
+        StreamConfig {
+            mix: Workload::from_demands(vec![3, 0, 5, 2]),
+            mean_gap,
+            seed,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let a = TaskStream::new(&config(4, 9));
+        let b = TaskStream::new(&config(4, 9));
+        assert_eq!(a.tasks, b.tasks);
+        let c = TaskStream::new(&config(4, 10));
+        assert_ne!(a.tasks, c.tasks);
+    }
+
+    #[test]
+    fn every_mix_unit_becomes_one_task_in_arrival_order() {
+        let mut stream = TaskStream::new(&config(3, 1));
+        assert_eq!(stream.len(), 10);
+        let mut per_product = [0u64; 4];
+        let mut last = 0u64;
+        let horizon = stream.last_arrival().unwrap();
+        for t in 0..=horizon {
+            for task in stream.arrivals_at(t) {
+                assert!(task.arrival >= last);
+                last = task.arrival;
+                per_product[task.product.index()] += 1;
+            }
+        }
+        assert_eq!(per_product, [3, 0, 5, 2]);
+    }
+
+    #[test]
+    fn zero_gap_front_loads_everything() {
+        let mut stream = TaskStream::new(&config(0, 5));
+        assert_eq!(stream.arrivals_at(0).len(), 10);
+        assert!(stream.arrivals_at(1).is_empty());
+    }
+}

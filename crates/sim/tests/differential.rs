@@ -1,0 +1,182 @@
+//! Differential tests: the simulator, the one-shot realizer, and the
+//! independent plan checker as mutual oracles.
+//!
+//! * Deviation-free, the executed trajectories must equal the statically
+//!   realized `Plan` **exactly** — same cells, same carries, every tick —
+//!   even though the simulator re-realizes window by window and executes
+//!   through its own conflict-resolving movement layer.
+//! * With deviations (and repair) enabled, the executed plan must still
+//!   pass `PlanChecker::check_with_scratch`: stalls may scramble the
+//!   schedule, but never into a collision or an illegal handling.
+
+use wsp_core::{Pipeline, PipelineOptions, WspInstance};
+use wsp_maps::{sorting_center_variant, SortingCenterParams};
+use wsp_model::{CheckScratch, PlanChecker};
+use wsp_sim::{DeviationConfig, RepairConfig, SimConfig, Simulation, StreamConfig};
+
+/// A small sorting-center variant that keeps the ILP fast in debug CI.
+fn small_instance(t_limit: usize) -> WspInstance {
+    let params = SortingCenterParams {
+        chute_rows: 3,
+        chute_cols: 4,
+        stations: 2,
+        ..SortingCenterParams::paper()
+    };
+    let map = sorting_center_variant(&params).expect("variant builds");
+    let workload = map.uniform_workload(24);
+    WspInstance::new(map.warehouse, map.traffic, workload, t_limit)
+}
+
+fn stream_for(instance: &WspInstance, units: u64, mean_gap: u32, seed: u64) -> StreamConfig {
+    let n = instance.warehouse.catalog().len();
+    let per = units / n as u64;
+    let mix = wsp_model::Workload::from_demands(vec![per.max(1); n]);
+    StreamConfig {
+        mix,
+        mean_gap,
+        seed,
+    }
+}
+
+#[test]
+fn deviation_free_simulation_reproduces_the_realized_plan_exactly() {
+    let ticks = 240u64;
+    // Synthesis needs the full servicing horizon; the execution
+    // comparison then clips realization to the simulated tick count.
+    let instance = small_instance(2_000);
+    let options = PipelineOptions {
+        realize_full_horizon: true,
+        ..PipelineOptions::default()
+    };
+
+    // Reference: the one-shot pipeline realization over `ticks` steps.
+    let mut pipeline = Pipeline::new();
+    let flow = pipeline.synthesize(&instance, &options).unwrap();
+    let cycles = pipeline.decompose(&flow).unwrap();
+    let mut clipped = instance.clone();
+    clipped.t_limit = ticks as usize;
+    let reference = pipeline.realize(&clipped, &options, &cycles).unwrap();
+    assert_eq!(reference.outcome.plan.horizon(), ticks as usize);
+
+    // The simulator, windowed (window deliberately not dividing the
+    // horizon) and deviation-free.
+    let config = SimConfig {
+        ticks,
+        window: 52,
+        stream: stream_for(&instance, 240, 3, 11),
+        deviations: DeviationConfig::none(),
+        record: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(&instance, &options, config).unwrap();
+    let report = sim.run().unwrap();
+    let executed = sim.executed_plan().expect("recording enabled");
+
+    assert_eq!(executed.horizon(), ticks as usize);
+    assert_eq!(executed.agent_count(), reference.outcome.agents);
+    for a in 0..executed.agent_count() {
+        assert_eq!(
+            executed.trajectory(a),
+            reference.outcome.plan.trajectory(a),
+            "agent {a} diverged from the one-shot realization"
+        );
+    }
+    // Deviation-free: every move the plan scheduled was executed.
+    assert!(report.counters.conserved());
+    assert_eq!(report.counters.max_lag, 0);
+    assert_eq!(report.counters.stalls_injected, 0);
+
+    // The checker agrees with the simulator's own delivery accounting.
+    let checker = PlanChecker::new(&instance.warehouse);
+    let mut scratch = CheckScratch::new();
+    let stats = checker.check_with_scratch(executed, &mut scratch).unwrap();
+    assert_eq!(
+        stats.delivered.iter().sum::<u64>(),
+        report.counters.delivered
+    );
+    assert_eq!(stats.moves, report.counters.moves);
+    assert_eq!(stats.waits, report.counters.waits);
+}
+
+#[test]
+fn deviated_execution_still_passes_the_plan_checker() {
+    let ticks = 400u64;
+    let instance = small_instance(2_000);
+    let options = PipelineOptions {
+        realize_full_horizon: true,
+        ..PipelineOptions::default()
+    };
+    let checker = PlanChecker::new(&instance.warehouse);
+    let mut scratch = CheckScratch::new();
+
+    for (dev_seed, repair_on) in [(3u64, false), (3, true), (99, true)] {
+        let config = SimConfig {
+            ticks,
+            window: 48,
+            stream: stream_for(&instance, 400, 2, 5),
+            deviations: DeviationConfig::stalls(18, 2, 9, dev_seed),
+            repair: RepairConfig {
+                enabled: repair_on,
+                lag_threshold: 3,
+                ..RepairConfig::default()
+            },
+            replan_lag: 16,
+            record: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&instance, &options, config).unwrap();
+        let report = sim.run().unwrap();
+        assert!(report.counters.stalls_injected > 0, "seed {dev_seed}");
+        assert!(report.counters.conserved());
+
+        // The scrambled execution is still feasible: conditions (1)–(3)
+        // plus inventory accounting, via the independent checker.
+        let executed = sim.executed_plan().expect("recording enabled");
+        let stats = checker
+            .check_with_scratch(executed, &mut scratch)
+            .unwrap_or_else(|e| {
+                panic!("deviated run (seed {dev_seed}, repair {repair_on}) infeasible: {e}")
+            });
+        assert_eq!(
+            stats.delivered.iter().sum::<u64>(),
+            report.counters.delivered
+        );
+        // Deviations cost throughput, never correctness: the run still
+        // moves and delivers.
+        assert!(report.counters.moves > 0);
+        assert!(report.counters.delivered > 0);
+    }
+}
+
+#[test]
+fn conservation_holds_at_every_single_tick() {
+    let ticks = 300u64;
+    let instance = small_instance(2_000);
+    let options = PipelineOptions::default();
+    let config = SimConfig {
+        ticks,
+        stream: stream_for(&instance, 300, 2, 21),
+        deviations: DeviationConfig::stalls(25, 2, 6, 4),
+        repair: RepairConfig {
+            enabled: true,
+            ..RepairConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(&instance, &options, config).unwrap();
+    for tick in 0..ticks {
+        sim.step().unwrap();
+        let c = sim.counters();
+        assert!(
+            c.conserved(),
+            "tick {tick}: {} injected != {} + {} + {}",
+            c.injected,
+            c.completed,
+            c.in_flight,
+            c.queued
+        );
+    }
+    let final_report = sim.report();
+    assert!(final_report.counters.injected > 0);
+    assert!(final_report.counters.completed > 0);
+}

@@ -6,3 +6,4 @@
 
 pub use wsp_core as core;
 pub use wsp_model as model;
+pub use wsp_sim as sim;

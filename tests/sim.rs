@@ -1,0 +1,123 @@
+//! Lifelong-simulation regression tests: golden-file pins of two
+//! fixed-seed scenarios (the paper-scale sorting center and a ~10k-vertex
+//! `scaled_warehouse`), plus an end-to-end smoke over the full engine.
+//!
+//! The golden files under `tests/golden/` store the canonical
+//! `SimReport::to_json` rendering — every field an integer, byte-identical
+//! across debug/release builds and repair thread counts. When an
+//! intentional engine change shifts the numbers, regenerate with:
+//!
+//! ```text
+//! WSP_BLESS=1 cargo test --test sim
+//! ```
+//!
+//! and review the golden diff like any other code change. On mismatch the
+//! test also writes the actual rendering to `target/golden-actual/` so CI
+//! can upload it as an artifact.
+
+use std::path::PathBuf;
+
+use wsp_bench::{sim_scenario_paper, sim_scenario_scaled};
+use wsp_sim::Simulation;
+
+fn golden_check(name: &str, actual: &str) {
+    let golden: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden"]
+        .iter()
+        .collect::<PathBuf>()
+        .join(format!("{name}.json"));
+    if std::env::var_os("WSP_BLESS").is_some() {
+        std::fs::write(&golden, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with WSP_BLESS=1 cargo test --test sim",
+            golden.display()
+        )
+    });
+    if actual != expected {
+        let out_dir: PathBuf = [env!("CARGO_MANIFEST_DIR"), "target", "golden-actual"]
+            .iter()
+            .collect();
+        std::fs::create_dir_all(&out_dir).expect("create golden-actual dir");
+        let out = out_dir.join(format!("{name}.json"));
+        std::fs::write(&out, actual).expect("write actual");
+        panic!(
+            "golden mismatch for {name}: expected {}, actual written to {}\n\
+             (intentional change? review the diff, then WSP_BLESS=1 cargo test --test sim)",
+            golden.display(),
+            out.display()
+        );
+    }
+}
+
+#[test]
+fn golden_sorting_center_lifelong() {
+    let scenario = sim_scenario_paper(2_000);
+    let mut sim = Simulation::from_cycles(
+        &scenario.instance,
+        scenario.cycles.clone(),
+        scenario.config(800),
+    )
+    .expect("paper scenario simulates");
+    let report = sim.run().expect("runs to the tick budget");
+    assert!(report.counters.conserved());
+    assert!(report.counters.completed > 0, "{report}");
+    golden_check("sim_sorting_center", &report.to_json());
+}
+
+#[test]
+fn golden_scaled_warehouse_10k_lifelong() {
+    let scenario = sim_scenario_scaled(31, 320, 400, 5);
+    assert!(
+        scenario.instance.warehouse.graph().vertex_count() >= 10_000,
+        "scenario must stay production-scale"
+    );
+    let mut sim = Simulation::from_cycles(
+        &scenario.instance,
+        scenario.cycles.clone(),
+        scenario.config(600),
+    )
+    .expect("scaled scenario simulates");
+    let report = sim.run().expect("runs to the tick budget");
+    assert!(report.counters.conserved());
+    golden_check("sim_scaled_warehouse_10k", &report.to_json());
+}
+
+#[test]
+fn lifelong_smoke_full_engine() {
+    // A quick end-to-end pass over every engine feature: pipeline
+    // synthesis, zipf stream, stalls, repair, early replans, recording —
+    // and the executed plan feasible per the independent checker.
+    let map = wsp_maps::sorting_center().expect("map builds");
+    let mix = map.zipf_workload(300, 1.0, 3);
+    let workload = map.uniform_workload(80);
+    let warehouse = map.warehouse.clone();
+    let instance = wsp_core::WspInstance::new(map.warehouse, map.traffic, workload, 3_600);
+    let config = wsp_sim::SimConfig {
+        ticks: 300,
+        stream: wsp_sim::StreamConfig {
+            mix,
+            mean_gap: 2,
+            seed: 3,
+        },
+        deviations: wsp_sim::DeviationConfig::stalls(40, 2, 6, 11),
+        repair: wsp_sim::RepairConfig {
+            enabled: true,
+            ..wsp_sim::RepairConfig::default()
+        },
+        replan_lag: 20,
+        record: true,
+        ..wsp_sim::SimConfig::default()
+    };
+    let mut sim =
+        Simulation::new(&instance, &wsp_core::PipelineOptions::default(), config).expect("builds");
+    let report = sim.run().expect("runs");
+    assert!(report.counters.conserved());
+    assert!(report.counters.stalls_injected > 0);
+    assert!(report.counters.completed > 0);
+    let executed = sim.executed_plan().expect("recording on");
+    wsp_model::PlanChecker::new(&warehouse)
+        .check(executed)
+        .expect("deviated execution stays feasible");
+}
