@@ -1,0 +1,49 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsp_flow::{synthesize_flow_with_scratch, FlowSynthesisOptions, IlpScratch};
+
+/// Flow-synthesis ILP timing on the paper's sorting center — the stage the
+/// sparse revised simplex + warm-started branch-and-bound PR made the fast
+/// one. `cold` builds a fresh solver scratch per solve (the
+/// one-shot-caller cost); `warm` reuses one scratch across iterations, so
+/// every iteration after the first takes the cross-solve warm-start path
+/// (identical constraint skeleton → converged-basis reuse) that
+/// back-to-back candidate evaluations in `wsp-explore` hit.
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let map = wsp_maps::sorting_center().expect("sorting builds");
+    let workload = map.uniform_workload(160);
+
+    group.bench_function("synthesize-Sorting_Center-160-cold", |b| {
+        b.iter(|| {
+            let mut scratch = IlpScratch::new();
+            criterion::black_box(synthesize_flow_with_scratch(
+                &map.warehouse,
+                &map.traffic,
+                &workload,
+                3_600,
+                &FlowSynthesisOptions::default(),
+                &mut scratch,
+            ))
+        })
+    });
+
+    let mut scratch = IlpScratch::new();
+    group.bench_function("synthesize-Sorting_Center-160-warm", |b| {
+        b.iter(|| {
+            criterion::black_box(synthesize_flow_with_scratch(
+                &map.warehouse,
+                &map.traffic,
+                &workload,
+                3_600,
+                &FlowSynthesisOptions::default(),
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

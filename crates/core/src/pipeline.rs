@@ -46,7 +46,7 @@
 
 use std::time::{Duration, Instant};
 
-use wsp_flow::{synthesize_flow, AgentCycleSet, AgentFlowSet};
+use wsp_flow::{synthesize_flow_with_scratch, AgentCycleSet, AgentFlowSet, IlpScratch};
 use wsp_model::{CheckScratch, LocationMatrix};
 use wsp_realize::{
     realize_window_with_scratch, realize_with_scratch, AgentSnapshot, RealizeOutcome,
@@ -92,13 +92,17 @@ pub struct RealizedArtifact {
 pub type VerifiedReport = PipelineReport;
 
 /// The staged pipeline engine. One `Pipeline` holds the preallocated
-/// realization and verification scratch tables; keep it per thread (it is
-/// `Send`, and every stage method takes the instance by `&`) and feed it
-/// instances back to back for allocation-light batch evaluation.
+/// realization and verification scratch tables plus the ILP solver
+/// scratch (basis factors, pricing workspace, and the warm-start state
+/// the flow synthesizer reuses across candidates that share a constraint
+/// skeleton); keep it per thread (it is `Send`, and every stage method
+/// takes the instance by `&`) and feed it instances back to back for
+/// allocation-light batch evaluation.
 #[derive(Debug, Default)]
 pub struct Pipeline {
     realize_scratch: RealizeScratch,
     check_scratch: CheckScratch,
+    ilp_scratch: IlpScratch,
 }
 
 impl Pipeline {
@@ -119,12 +123,13 @@ impl Pipeline {
         options: &PipelineOptions,
     ) -> Result<FlowArtifact, PipelineError> {
         let t0 = Instant::now();
-        let flow = synthesize_flow(
+        let flow = synthesize_flow_with_scratch(
             &instance.warehouse,
             &instance.traffic,
             &instance.workload,
             instance.t_limit,
             &options.flow,
+            &mut self.ilp_scratch,
         )?;
         Ok(FlowArtifact {
             flow,
@@ -311,6 +316,10 @@ const _: () = {
     // and candidate repair paths across its scoped repair workers.
     assert_send_sync::<AgentSnapshot>();
     assert_send_sync::<WindowOutcome>();
+    // The solver scratches live inside each worker's `Pipeline` and cross
+    // the thread boundary with it.
+    assert_send_sync::<IlpScratch>();
+    assert_send_sync::<wsp_flow::LpScratch>();
     assert_send::<Pipeline>();
     assert_send::<PipelineError>();
 };

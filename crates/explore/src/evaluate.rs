@@ -324,12 +324,16 @@ fn simulate_candidate(
 /// Evaluates a batch of candidates on a work-queue of scoped worker
 /// threads and scores the Pareto front.
 ///
-/// Each worker owns one [`Pipeline`] (realization/verification scratch is
-/// reused across the candidates it pulls) and claims work off a shared
-/// atomic counter, so an expensive candidate never stalls the rest of the
-/// batch behind it. Results land in their candidate's slot, keeping the
-/// output a pure function of the input regardless of completion order or
-/// thread count.
+/// Each worker owns one [`Pipeline`] (realization/verification scratch
+/// plus the ILP solver scratch — basis factors and pricing workspace —
+/// are reused across the candidates it pulls, and candidates sharing a
+/// constraint skeleton warm-start the simplex) and claims work off a
+/// shared atomic counter, so an expensive candidate never stalls the rest
+/// of the batch behind it. Results land in their candidate's slot,
+/// keeping the output a pure function of the input regardless of
+/// completion order or thread count: solver warm starts are fingerprint
+/// gated to identical problems, so scratch reuse never changes a
+/// candidate's result.
 pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) -> ExploreOutcome {
     let t0 = Instant::now();
     let n = candidates.len();

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use wsp_contracts::{AgContract, Predicate, VarRegistry};
-use wsp_lp::{solve_ilp, IlpOutcome, LinExpr, Rational, Relation, VarId};
+use wsp_lp::{solve_ilp_with_scratch, IlpOutcome, IlpScratch, LinExpr, Rational, Relation, VarId};
 use wsp_model::{ProductId, Warehouse, Workload};
 use wsp_traffic::{ComponentId, ComponentKind, TrafficSystem};
 
@@ -223,6 +223,31 @@ pub fn synthesize_layered(
     t_limit: usize,
     options: &FlowSynthesisOptions,
 ) -> Result<AgentFlowSet, FlowError> {
+    synthesize_layered_with_scratch(
+        warehouse,
+        traffic,
+        workload,
+        t_limit,
+        options,
+        &mut IlpScratch::new(),
+    )
+}
+
+/// [`synthesize_layered`] with a caller-owned solver scratch, so
+/// back-to-back syntheses reuse the LP workspace (and, for identical
+/// constraint skeletons, the converged basis).
+///
+/// # Errors
+///
+/// See [`synthesize_flow`](crate::synthesize_flow).
+pub fn synthesize_layered_with_scratch(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    workload: &Workload,
+    t_limit: usize,
+    options: &FlowSynthesisOptions,
+    scratch: &mut IlpScratch,
+) -> Result<AgentFlowSet, FlowError> {
     let cycle_time = traffic.cycle_time();
     if cycle_time == 0 || t_limit < cycle_time {
         return Err(FlowError::HorizonTooShort {
@@ -249,7 +274,7 @@ pub fn synthesize_layered(
     let problem = full.synthesis_problem(&vars.registry, objective);
     let problem_dims = (problem.var_count(), problem.constraint_count());
 
-    let outcome = solve_ilp(&problem, &options.ilp).map_err(|e| match e {
+    let outcome = solve_ilp_with_scratch(&problem, &options.ilp, scratch).map_err(|e| match e {
         wsp_lp::IlpError::Lp(lp) => FlowError::Solver { source: lp },
         other => FlowError::SolverLimit { source: other },
     })?;
@@ -293,13 +318,15 @@ pub fn synthesize_layered(
         flow.add_edge_flow(i, j, Commodity::Unloaded, value(v));
     }
 
+    // Guard budget for the loaded walks: the total loaded flow bounds any
+    // single walk's length (computed once, not per pickup unit).
+    let total_loaded: u64 = rem_loaded.values().sum();
     for (&(start, product), &pvar) in &vars.pickups {
         let count = value(pvar);
         for _ in 0..count {
             flow.add_pickup(start, product, 1);
             let mut cur = start;
             let mut guard = 0u64;
-            let total_loaded: u64 = rem_loaded.values().sum();
             loop {
                 if let Some(d) = rem_drop.get_mut(&cur) {
                     if *d > 0 {

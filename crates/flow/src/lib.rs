@@ -60,9 +60,15 @@ pub use contracts::{component_contracts, workload_contract, FlowVars};
 pub use cycles::{AgentCycle, AgentCycleSet, CycleAction, CycleStep};
 pub use error::FlowError;
 pub use flowset::{AgentFlowSet, Commodity};
-pub use layered::synthesize_layered;
-pub use paper::synthesize_paper;
-pub use relaxed::{synthesize_flow_relaxed, RelaxedFlowSummary};
+pub use layered::{synthesize_layered, synthesize_layered_with_scratch};
+pub use paper::{synthesize_paper, synthesize_paper_with_scratch};
+pub use relaxed::{
+    synthesize_flow_relaxed, synthesize_flow_relaxed_with_scratch, RelaxedFlowSummary,
+};
+// The solver scratch types are re-exported so downstream crates
+// (`wsp-core`'s `Pipeline`, `wsp-explore`'s workers) can own one without
+// depending on `wsp-lp` directly.
+pub use wsp_lp::{IlpScratch, LpScratch};
 
 use wsp_model::{Warehouse, Workload};
 use wsp_traffic::TrafficSystem;
@@ -131,10 +137,40 @@ pub fn synthesize_flow(
     t_limit: usize,
     options: &FlowSynthesisOptions,
 ) -> Result<AgentFlowSet, FlowError> {
+    synthesize_flow_with_scratch(
+        warehouse,
+        traffic,
+        workload,
+        t_limit,
+        options,
+        &mut IlpScratch::new(),
+    )
+}
+
+/// [`synthesize_flow`] with a caller-owned solver scratch
+/// ([`IlpScratch`]): back-to-back syntheses reuse the simplex basis
+/// factors and pricing workspace, and candidates that share a constraint
+/// skeleton warm-start from the previous converged basis. This is the
+/// entry point `wsp_core::Pipeline` threads its per-pipeline scratch
+/// through.
+///
+/// # Errors
+///
+/// Same classes as [`synthesize_flow`].
+pub fn synthesize_flow_with_scratch(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    workload: &Workload,
+    t_limit: usize,
+    options: &FlowSynthesisOptions,
+    scratch: &mut IlpScratch,
+) -> Result<AgentFlowSet, FlowError> {
     match options.engine {
-        FlowEngine::PaperIlp => synthesize_paper(warehouse, traffic, workload, t_limit, options),
+        FlowEngine::PaperIlp => {
+            synthesize_paper_with_scratch(warehouse, traffic, workload, t_limit, options, scratch)
+        }
         FlowEngine::LayeredIlp => {
-            synthesize_layered(warehouse, traffic, workload, t_limit, options)
+            synthesize_layered_with_scratch(warehouse, traffic, workload, t_limit, options, scratch)
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The monolithic per-product synthesis engine: exactly the §IV-D encoding.
 
 use wsp_contracts::AgContract;
-use wsp_lp::{solve_ilp, IlpOutcome, LinExpr};
+use wsp_lp::{solve_ilp_with_scratch, IlpOutcome, IlpScratch, LinExpr};
 use wsp_model::{Warehouse, Workload};
 use wsp_traffic::TrafficSystem;
 
@@ -23,6 +23,30 @@ pub fn synthesize_paper(
     workload: &Workload,
     t_limit: usize,
     options: &FlowSynthesisOptions,
+) -> Result<AgentFlowSet, FlowError> {
+    synthesize_paper_with_scratch(
+        warehouse,
+        traffic,
+        workload,
+        t_limit,
+        options,
+        &mut IlpScratch::new(),
+    )
+}
+
+/// [`synthesize_paper`] with a caller-owned solver scratch, so
+/// back-to-back syntheses reuse the LP workspace.
+///
+/// # Errors
+///
+/// See [`synthesize_flow`](crate::synthesize_flow).
+pub fn synthesize_paper_with_scratch(
+    warehouse: &Warehouse,
+    traffic: &TrafficSystem,
+    workload: &Workload,
+    t_limit: usize,
+    options: &FlowSynthesisOptions,
+    scratch: &mut IlpScratch,
 ) -> Result<AgentFlowSet, FlowError> {
     let cycle_time = traffic.cycle_time();
     if cycle_time == 0 || t_limit < cycle_time {
@@ -47,7 +71,7 @@ pub fn synthesize_paper(
     let problem = full.synthesis_problem(vars.registry(), objective);
     let problem_dims = (problem.var_count(), problem.constraint_count());
 
-    let outcome = solve_ilp(&problem, &options.ilp).map_err(|e| match e {
+    let outcome = solve_ilp_with_scratch(&problem, &options.ilp, scratch).map_err(|e| match e {
         wsp_lp::IlpError::Lp(lp) => FlowError::Solver { source: lp },
         other => FlowError::SolverLimit { source: other },
     })?;

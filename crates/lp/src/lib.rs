@@ -7,11 +7,19 @@
 //! for the same formula class. This crate provides one, built from scratch:
 //!
 //! * [`Rational`] — exact `i128`-backed rational arithmetic;
-//! * [`Problem`] / [`LinExpr`] / [`Constraint`] — model building;
-//! * [`solve_lp`] — a two-phase dense simplex, generic over the scalar
-//!   ([`f64`] fast path, [`Rational`] exact path);
-//! * [`solve_ilp`] — branch-and-bound with exact verification of every
-//!   integer candidate, so the fast path can never return an invalid model.
+//! * [`Problem`] / [`LinExpr`] / [`Constraint`] — model building, with a
+//!   cached CSR/CSC view of the constraint matrix;
+//! * [`solve_lp`] — generic over the scalar: the [`f64`] instantiation is
+//!   a sparse revised simplex (factorized basis with eta-file updates,
+//!   pricing over nonzeros, bounded variables), while [`Rational`] runs
+//!   the exact dense tableau that serves as its cross-validation oracle;
+//! * [`solve_ilp`] — branch-and-bound whose child nodes warm-start from
+//!   the parent's basis via a dual-simplex cleanup, with exact
+//!   verification of every integer candidate, so the fast path can never
+//!   return an invalid model;
+//! * [`LpScratch`] / [`IlpScratch`] — preallocated, reusable solver
+//!   workspaces for back-to-back solves
+//!   ([`solve_lp_with_scratch`] / [`solve_ilp_with_scratch`]).
 //!
 //! # Examples
 //!
@@ -36,11 +44,17 @@
 mod ilp;
 mod problem;
 mod rational;
+mod revised;
 mod scalar;
 mod simplex;
 
-pub use ilp::{solve_ilp, IlpError, IlpOptions, IlpOutcome, IlpSolution};
+pub use ilp::{
+    solve_ilp, solve_ilp_with_scratch, IlpError, IlpOptions, IlpOutcome, IlpScratch, IlpSolution,
+};
 pub use problem::{Constraint, LinExpr, Problem, Relation, Sense, VarId, VarInfo};
 pub use rational::Rational;
-pub use scalar::{Scalar, F64_TOL};
-pub use simplex::{solve_lp, BoundOverrides, LpError, LpOutcome, LpSolution, SimplexOptions};
+pub use revised::LpScratch;
+pub use scalar::{Scalar, DEFAULT_INTEGRALITY_TOL, F64_FEAS_TOL, F64_PIVOT_TOL, F64_TOL};
+pub use simplex::{
+    solve_lp, solve_lp_with_scratch, BoundOverrides, LpError, LpOutcome, LpSolution, SimplexOptions,
+};

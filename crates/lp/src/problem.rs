@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::Rational;
 
@@ -227,12 +228,107 @@ pub struct VarInfo {
 /// p.maximize(obj);
 /// assert_eq!(p.var_count(), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Problem {
     vars: Vec<VarInfo>,
     constraints: Vec<Constraint>,
     objective: LinExpr,
     sense: Sense,
+    /// Lazily built sparse (CSR + CSC) view of the constraint matrix,
+    /// shared by every `f64` solve of this problem (branch-and-bound hits
+    /// it once per node). Invalidated by every mutating method.
+    sparse: OnceLock<SparseView>,
+}
+
+impl Clone for Problem {
+    fn clone(&self) -> Self {
+        Problem {
+            vars: self.vars.clone(),
+            constraints: self.constraints.clone(),
+            objective: self.objective.clone(),
+            sense: self.sense,
+            // The clone is usually cloned *to be mutated*; rebuild lazily.
+            sparse: OnceLock::new(),
+        }
+    }
+}
+
+/// Compressed-sparse row/column view of a [`Problem`]'s constraint matrix
+/// over the structural variables, with `f64` coefficient values — the
+/// storage the sparse revised simplex prices and factorizes over.
+///
+/// Rows appear in constraint order; within a row, columns are ascending
+/// (inherited from [`LinExpr`]'s ordered terms). The CSC half mirrors the
+/// same nonzeros column-major for FTRAN column extraction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SparseView {
+    /// CSR row offsets, `constraint_count() + 1` entries.
+    pub row_off: Vec<u32>,
+    /// Column (variable) index of each CSR nonzero.
+    pub row_col: Vec<u32>,
+    /// Value of each CSR nonzero.
+    pub row_val: Vec<f64>,
+    /// CSC column offsets, `var_count() + 1` entries.
+    pub col_off: Vec<u32>,
+    /// Row (constraint) index of each CSC nonzero.
+    pub col_row: Vec<u32>,
+    /// Value of each CSC nonzero.
+    pub col_val: Vec<f64>,
+    /// Relation of each row.
+    pub relation: Vec<Relation>,
+    /// Right-hand side of each row.
+    pub rhs: Vec<f64>,
+}
+
+impl SparseView {
+    fn build(problem: &Problem) -> Self {
+        let m = problem.constraints.len();
+        let n = problem.vars.len();
+        let nnz: usize = problem
+            .constraints
+            .iter()
+            .map(|c| c.expr.terms().count())
+            .sum();
+        let mut view = SparseView {
+            row_off: Vec::with_capacity(m + 1),
+            row_col: Vec::with_capacity(nnz),
+            row_val: Vec::with_capacity(nnz),
+            col_off: vec![0; n + 1],
+            col_row: vec![0; nnz],
+            col_val: vec![0.0; nnz],
+            relation: Vec::with_capacity(m),
+            rhs: Vec::with_capacity(m),
+        };
+        view.row_off.push(0);
+        for c in &problem.constraints {
+            for (v, q) in c.expr.terms() {
+                view.row_col.push(v.0);
+                view.row_val.push(q.to_f64());
+            }
+            view.row_off.push(view.row_col.len() as u32);
+            view.relation.push(c.relation);
+            view.rhs.push(c.rhs.to_f64());
+        }
+        // Transpose CSR -> CSC by counting.
+        for &j in &view.row_col {
+            view.col_off[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            view.col_off[j + 1] += view.col_off[j];
+        }
+        let mut cursor: Vec<u32> = view.col_off[..n].to_vec();
+        for i in 0..m {
+            let (s, e) = (view.row_off[i] as usize, view.row_off[i + 1] as usize);
+            for k in s..e {
+                let j = view.row_col[k] as usize;
+                let at = cursor[j] as usize;
+                view.col_row[at] = i as u32;
+                view.col_val[at] = view.row_val[k];
+                cursor[j] += 1;
+            }
+        }
+        view
+    }
 }
 
 impl Problem {
@@ -243,6 +339,7 @@ impl Problem {
 
     /// Adds a continuous non-negative variable and returns its id.
     pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.sparse.take();
         let id = VarId(self.vars.len() as u32);
         self.vars.push(VarInfo {
             name: name.into(),
@@ -276,6 +373,7 @@ impl Problem {
         rhs: Rational,
         label: impl Into<String>,
     ) -> usize {
+        self.sparse.take();
         self.constraints
             .push(Constraint::new(expr, relation, rhs, label));
         self.constraints.len() - 1
@@ -291,6 +389,11 @@ impl Problem {
     pub fn maximize(&mut self, objective: LinExpr) {
         self.objective = objective;
         self.sense = Sense::Maximize;
+    }
+
+    /// The cached sparse (CSR + CSC) constraint view, built on first use.
+    pub(crate) fn sparse_view(&self) -> &SparseView {
+        self.sparse.get_or_init(|| SparseView::build(self))
     }
 
     /// Number of variables.

@@ -4,6 +4,9 @@
 use std::fmt::Debug;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
+use crate::problem::Problem;
+use crate::revised::{self, LpScratch};
+use crate::simplex::{solve_dense, BoundOverrides, LpError, LpOutcome, SimplexOptions};
 use crate::Rational;
 
 /// A field scalar usable by the simplex kernel.
@@ -22,6 +25,8 @@ pub trait Scalar:
     + Neg<Output = Self>
     + private::Sealed
 {
+    /// Whether arithmetic in this scalar is exact (no tolerances needed).
+    const EXACT: bool;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -38,6 +43,21 @@ pub trait Scalar:
     }
     /// Lossy view as `f64` (for diagnostics and branching decisions).
     fn to_f64(&self) -> f64;
+
+    /// Dispatches to this instantiation's LP solver: the sparse revised
+    /// simplex for `f64`, the exact dense tableau for [`Rational`] (which
+    /// ignores `scratch`). Not part of the supported API surface — call
+    /// [`solve_lp`](crate::solve_lp) /
+    /// [`solve_lp_with_scratch`](crate::solve_lp_with_scratch) instead.
+    #[doc(hidden)]
+    fn solve_with_scratch(
+        problem: &Problem,
+        bounds: &BoundOverrides,
+        options: &SimplexOptions,
+        scratch: &mut LpScratch,
+    ) -> Result<LpOutcome<Self>, LpError>
+    where
+        Self: Sized;
 }
 
 mod private {
@@ -46,10 +66,30 @@ mod private {
     impl Sealed for crate::Rational {}
 }
 
-/// Comparison tolerance for the `f64` instantiation.
+/// Comparison tolerance for the `f64` instantiation: values within this of
+/// zero are treated as zero by [`Scalar::is_zero_tol`], and reduced costs /
+/// bound comparisons use it as the strict-inequality margin.
 pub const F64_TOL: f64 = 1e-9;
 
+/// Primal feasibility tolerance of the `f64` solvers: a basic value may
+/// stray this far outside its bounds (and a phase-1 infeasibility sum this
+/// far above zero) before it counts as a real violation. Also the clamp
+/// threshold for the numerical dust the dense tableau's pivots leave on
+/// right-hand sides — the former inline `1e-7` magic number.
+pub const F64_FEAS_TOL: f64 = 1e-7;
+
+/// Minimum magnitude an `f64` pivot element may have: ratio tests and the
+/// basis factorization reject pivots smaller than this as numerically
+/// unreliable.
+pub const F64_PIVOT_TOL: f64 = 1e-8;
+
+/// Default distance from the nearest integer at which an `f64` relaxation
+/// value counts as fractional in branch-and-bound
+/// ([`IlpOptions::integrality_tol`](crate::IlpOptions::integrality_tol)).
+pub const DEFAULT_INTEGRALITY_TOL: f64 = 1e-6;
+
 impl Scalar for f64 {
+    const EXACT: bool = false;
     fn zero() -> Self {
         0.0
     }
@@ -68,9 +108,19 @@ impl Scalar for f64 {
     fn to_f64(&self) -> f64 {
         *self
     }
+    fn solve_with_scratch(
+        problem: &Problem,
+        bounds: &BoundOverrides,
+        options: &SimplexOptions,
+        scratch: &mut LpScratch,
+    ) -> Result<LpOutcome<f64>, LpError> {
+        revised::solve_f64(problem, bounds, options, scratch, revised::Start::Auto)
+            .map(|(out, _)| out)
+    }
 }
 
 impl Scalar for Rational {
+    const EXACT: bool = true;
     fn zero() -> Self {
         Rational::ZERO
     }
@@ -88,6 +138,14 @@ impl Scalar for Rational {
     }
     fn to_f64(&self) -> f64 {
         Rational::to_f64(*self)
+    }
+    fn solve_with_scratch(
+        problem: &Problem,
+        bounds: &BoundOverrides,
+        options: &SimplexOptions,
+        _scratch: &mut LpScratch,
+    ) -> Result<LpOutcome<Rational>, LpError> {
+        solve_dense::<Rational>(problem, bounds, options)
     }
 }
 

@@ -1,15 +1,17 @@
-//! A two-phase dense tableau simplex, generic over the scalar field.
+//! The LP entry points and the two-phase dense tableau simplex.
 //!
-//! One implementation serves two instantiations: `f64` (fast, used by the
-//! default flow-synthesis pipeline) and [`Rational`](crate::Rational)
-//! (exact, used on small instances and to cross-validate the fast path in
-//! tests). Anti-cycling is handled by switching from Dantzig to Bland's rule
-//! after a stall is detected.
-
-use std::collections::HashMap;
+//! [`solve_lp`] is generic over the scalar field and dispatches to the
+//! instantiation's solver: `f64` runs the sparse revised simplex
+//! ([`crate::revised`], the fast path behind flow synthesis), while
+//! [`Rational`](crate::Rational) runs the dense tableau in this module —
+//! exact arithmetic on small instances, and the cross-validation oracle the
+//! fast path is property-tested against. Anti-cycling in the tableau is
+//! handled by switching from Dantzig to Bland's rule after a stall is
+//! detected.
 
 use crate::problem::{Problem, Relation, Sense, VarId};
-use crate::scalar::Scalar;
+use crate::revised::LpScratch;
+use crate::scalar::{Scalar, F64_FEAS_TOL};
 use crate::Rational;
 
 /// Configuration for the simplex kernel.
@@ -32,18 +34,89 @@ impl Default for SimplexOptions {
 
 /// Additional per-variable bound tightenings layered on top of a
 /// [`Problem`], used by branch-and-bound without mutating the base problem.
-#[derive(Debug, Clone, Default)]
+///
+/// Storage is dense and [`VarId`]-indexed (the repo's flat-index
+/// invariant): branch-and-bound touches these once per node, and the `f64`
+/// solver reads every variable's bounds when standardizing, so `Vec`
+/// lookups beat hashing on both sides. Vectors grow on demand — an
+/// override set built before all variables exist stays valid.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BoundOverrides {
-    /// Tightened lower bounds (the base lower bound is always 0).
-    pub lower: HashMap<VarId, Rational>,
-    /// Tightened upper bounds (intersected with the base upper bound).
-    pub upper: HashMap<VarId, Rational>,
+    lower: Vec<Option<Rational>>,
+    upper: Vec<Option<Rational>>,
 }
 
 impl BoundOverrides {
     /// No overrides.
     pub fn none() -> Self {
         BoundOverrides::default()
+    }
+
+    /// The overridden lower bound of `var`, if any (the base lower bound is
+    /// always 0).
+    pub fn lower(&self, var: VarId) -> Option<Rational> {
+        self.lower.get(var.index()).copied().flatten()
+    }
+
+    /// The overridden upper bound of `var`, if any (intersected with the
+    /// base upper bound by the solvers).
+    pub fn upper(&self, var: VarId) -> Option<Rational> {
+        self.upper.get(var.index()).copied().flatten()
+    }
+
+    /// Tightens the lower bound of `var` to at least `bound` (keeps the
+    /// larger of the existing override and `bound`).
+    pub fn tighten_lower(&mut self, var: VarId, bound: Rational) {
+        if self.lower.len() <= var.index() {
+            self.lower.resize(var.index() + 1, None);
+        }
+        let slot = &mut self.lower[var.index()];
+        *slot = Some(match *slot {
+            Some(l) => l.max(bound),
+            None => bound,
+        });
+    }
+
+    /// Tightens the upper bound of `var` to at most `bound` (keeps the
+    /// smaller of the existing override and `bound`).
+    pub fn tighten_upper(&mut self, var: VarId, bound: Rational) {
+        if self.upper.len() <= var.index() {
+            self.upper.resize(var.index() + 1, None);
+        }
+        let slot = &mut self.upper[var.index()];
+        *slot = Some(match *slot {
+            Some(u) => u.min(bound),
+            None => bound,
+        });
+    }
+
+    /// The effective `(lower, upper)` bounds of `var`: the implicit base
+    /// lower bound 0 raised by any override, and `base_upper` intersected
+    /// with any override. The single source of truth every consumer
+    /// shares — the sparse solver's bound arrays, the warm-start
+    /// fingerprint, the ILP presolve's contradiction check, and the dense
+    /// tableau's bound rows all go through here, so they can never
+    /// disagree about what a bound means.
+    pub fn effective(
+        &self,
+        var: VarId,
+        base_upper: Option<Rational>,
+    ) -> (Rational, Option<Rational>) {
+        let lo = self
+            .lower(var)
+            .map_or(Rational::ZERO, |l| l.max(Rational::ZERO));
+        let up = match (base_upper, self.upper(var)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        (lo, up)
+    }
+
+    /// Whether no bound is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.lower.iter().all(Option::is_none) && self.upper.iter().all(Option::is_none)
     }
 }
 
@@ -128,6 +201,34 @@ pub fn solve_lp<S: Scalar>(
     bounds: &BoundOverrides,
     options: &SimplexOptions,
 ) -> Result<LpOutcome<S>, LpError> {
+    S::solve_with_scratch(problem, bounds, options, &mut LpScratch::default())
+}
+
+/// [`solve_lp`] with a caller-owned [`LpScratch`], so back-to-back `f64`
+/// solves reuse the basis factors, pricing workspace, and (for repeats of
+/// an identical problem) the converged basis itself. The `Rational`
+/// instantiation ignores the scratch (the exact dense tableau allocates its
+/// own working set).
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot cap is exceeded.
+pub fn solve_lp_with_scratch<S: Scalar>(
+    problem: &Problem,
+    bounds: &BoundOverrides,
+    options: &SimplexOptions,
+    scratch: &mut LpScratch,
+) -> Result<LpOutcome<S>, LpError> {
+    S::solve_with_scratch(problem, bounds, options, scratch)
+}
+
+/// The dense tableau path, kept as the exact solver for `Rational` and as
+/// the numerical fallback the sparse `f64` path retreats to on breakdown.
+pub(crate) fn solve_dense<S: Scalar>(
+    problem: &Problem,
+    bounds: &BoundOverrides,
+    options: &SimplexOptions,
+) -> Result<LpOutcome<S>, LpError> {
     Tableau::<S>::build(problem, bounds).solve(problem, options)
 }
 
@@ -166,26 +267,20 @@ impl<S: Scalar> Tableau<S> {
             }
             raw.push((coeffs, c.relation, S::from_rational(c.rhs)));
         }
-        // Upper bounds: base bound intersected with overrides.
+        // Effective bounds become rows: upper bounds always, lower
+        // bounds only when they tighten past the implicit 0.
         for (i, info) in problem.vars().iter().enumerate() {
             let var = VarId(i as u32);
-            let ub = match (info.upper, bounds.upper.get(&var)) {
-                (Some(a), Some(&b)) => Some(a.min(b)),
-                (Some(a), None) => Some(a),
-                (None, Some(&b)) => Some(b),
-                (None, None) => None,
-            };
+            let (lb, ub) = bounds.effective(var, info.upper);
             if let Some(u) = ub {
                 let mut coeffs = vec![S::zero(); n_struct];
                 coeffs[i] = S::one();
                 raw.push((coeffs, Relation::Le, S::from_rational(u)));
             }
-            if let Some(&l) = bounds.lower.get(&var) {
-                if l.is_positive() {
-                    let mut coeffs = vec![S::zero(); n_struct];
-                    coeffs[i] = S::one();
-                    raw.push((coeffs, Relation::Ge, S::from_rational(l)));
-                }
+            if lb.is_positive() {
+                let mut coeffs = vec![S::zero(); n_struct];
+                coeffs[i] = S::one();
+                raw.push((coeffs, Relation::Ge, S::from_rational(lb)));
             }
         }
 
@@ -421,10 +516,11 @@ impl<S: Scalar> Tableau<S> {
             row.coeffs[pc] = S::zero();
             row.rhs = row.rhs.clone() - factor * pivot_row_rhs.clone();
             if row.rhs.is_neg_tol() {
-                // Numerical dust: clamp tiny negatives (no-op for Rational,
-                // where is_neg_tol is exact and this branch means a real
-                // pivot-selection bug would have occurred upstream).
-                if !S::from_rational(Rational::ZERO).is_pos_tol() && row.rhs.to_f64() > -1e-7 {
+                // Numerical dust: clamp tiny negatives. Exact scalars never
+                // take this (for Rational, is_neg_tol means strictly
+                // negative, which would be a real pivot-selection bug
+                // upstream rather than dust to sweep).
+                if !S::EXACT && row.rhs.to_f64() > -F64_FEAS_TOL {
                     row.rhs = S::zero();
                 }
             }
@@ -594,7 +690,7 @@ mod tests {
         p.set_upper(x, r(7));
         p.maximize(LinExpr::var(x));
         let mut b = BoundOverrides::none();
-        b.upper.insert(x, r(2));
+        b.tighten_upper(x, r(2));
         match solve_lp::<Rational>(&p, &b, &SimplexOptions::default()).unwrap() {
             LpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(2)),
             other => panic!("expected optimal, got {other:?}"),
@@ -604,7 +700,7 @@ mod tests {
         let x2 = p2.add_var("x");
         p2.minimize(LinExpr::var(x2));
         let mut b2 = BoundOverrides::none();
-        b2.lower.insert(x2, r(3));
+        b2.tighten_lower(x2, r(3));
         match solve_lp::<Rational>(&p2, &b2, &SimplexOptions::default()).unwrap() {
             LpOutcome::Optimal(sol) => assert_eq!(sol.objective, r(3)),
             other => panic!("expected optimal, got {other:?}"),
@@ -617,8 +713,8 @@ mod tests {
         let x = p.add_var("x");
         p.minimize(LinExpr::var(x));
         let mut b = BoundOverrides::none();
-        b.lower.insert(x, r(5));
-        b.upper.insert(x, r(4));
+        b.tighten_lower(x, r(5));
+        b.tighten_upper(x, r(4));
         let out = solve_lp::<Rational>(&p, &b, &SimplexOptions::default()).unwrap();
         assert_eq!(out, LpOutcome::Infeasible);
     }

@@ -1,11 +1,14 @@
 //! Property-based tests for the LP/ILP substrate: field axioms for
-//! `Rational`, agreement between the `f64` and exact simplex paths, and
-//! branch-and-bound cross-checked against brute force.
+//! `Rational`, agreement between the `f64` sparse revised simplex and the
+//! exact `Rational` dense-tableau oracle (including on flow-shaped
+//! programs with sparse conservation-style rows), warm-started vs
+//! cold-started branch-and-bound equivalence, and branch-and-bound
+//! cross-checked against brute force.
 
 use proptest::prelude::*;
 use wsp_lp::{
-    solve_ilp, solve_lp, BoundOverrides, IlpOptions, IlpOutcome, LinExpr, LpOutcome, Problem,
-    Rational, Relation, SimplexOptions, VarId,
+    solve_ilp, solve_lp, solve_lp_with_scratch, BoundOverrides, IlpOptions, IlpOutcome, LinExpr,
+    LpOutcome, LpScratch, Problem, Rational, Relation, SimplexOptions, VarId,
 };
 
 fn small_rational() -> impl Strategy<Value = Rational> {
@@ -118,6 +121,107 @@ proptest! {
     }
 }
 
+/// A random *flow-shaped* LP: sparse rows with at most 4 nonzeros and
+/// mixed signs (the shape of loaded/unloaded conservation rows), a mix of
+/// `=`/`≤`/`≥` relations, small integer data, scattered upper bounds, and
+/// a non-negative minimization objective (always bounded; feasibility is
+/// whatever the rows say — both solvers must agree on the verdict, which
+/// small integer data keeps far from the tolerance boundary).
+fn random_flow_shaped_lp() -> impl Strategy<Value = Problem> {
+    let dims = (2usize..=8, 1usize..=8);
+    dims.prop_flat_map(|(nv, nc)| {
+        let row_vars = proptest::collection::vec(
+            proptest::collection::vec(0usize..nv, 1..=4usize.min(nv)),
+            nc,
+        );
+        // Nonzero coefficients in {-3..-1, 1..3}, encoded as 0..=5.
+        let row_coeffs = proptest::collection::vec(proptest::collection::vec(0i128..=5, 4), nc);
+        let relations = proptest::collection::vec(0u8..3u8, nc);
+        let rhs = proptest::collection::vec(-6i128..=6, nc);
+        // Optional upper bounds, encoded with -1 = none.
+        let uppers = proptest::collection::vec(-1i128..=8, nv);
+        let obj = proptest::collection::vec(0i128..=5, nv);
+        (row_vars, row_coeffs, relations, rhs, uppers, obj).prop_map(
+            move |(row_vars, row_coeffs, relations, rhs, uppers, obj)| {
+                let mut p = Problem::new();
+                let vars: Vec<VarId> = (0..nv).map(|i| p.add_var(format!("x{i}"))).collect();
+                for (i, &u) in uppers.iter().enumerate() {
+                    if u >= 0 {
+                        p.set_upper(vars[i], Rational::from(u));
+                    }
+                }
+                for c in 0..row_vars.len() {
+                    let mut e = LinExpr::new();
+                    for (k, &vi) in row_vars[c].iter().enumerate() {
+                        let enc = row_coeffs[c][k];
+                        let coeff = if enc < 3 { enc - 3 } else { enc - 2 };
+                        e.add_term(vars[vi], Rational::from(coeff));
+                    }
+                    if e.is_zero() {
+                        continue;
+                    }
+                    let rel = match relations[c] {
+                        0 => Relation::Le,
+                        1 => Relation::Ge,
+                        _ => Relation::Eq,
+                    };
+                    p.add_constraint(e, rel, Rational::from(rhs[c]), format!("c{c}"));
+                }
+                let mut o = LinExpr::new();
+                for (i, &v) in vars.iter().enumerate() {
+                    o.add_term(v, Rational::from(obj[i]));
+                }
+                p.minimize(o);
+                p
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sparse `f64` revised simplex agrees with the exact `Rational`
+    /// oracle on flow-shaped programs: same feasibility verdict, and on
+    /// optimal instances the same objective within tolerance, with the
+    /// `f64` point feasible under the exact constraint check.
+    #[test]
+    fn sparse_f64_matches_rational_oracle_on_flow_shapes(p in random_flow_shaped_lp()) {
+        let opts = SimplexOptions::default();
+        let fast = solve_lp::<f64>(&p, &BoundOverrides::none(), &opts).unwrap();
+        let exact = solve_lp::<Rational>(&p, &BoundOverrides::none(), &opts).unwrap();
+        match (fast, exact) {
+            (LpOutcome::Optimal(f), LpOutcome::Optimal(e)) => {
+                prop_assert!(
+                    (f.objective - e.objective.to_f64()).abs() < 1e-6,
+                    "fast {} vs exact {}", f.objective, e.objective
+                );
+            }
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Scratch reuse across a sequence of different problems never
+    /// changes any solve's outcome (the warm state is fingerprint-gated).
+    #[test]
+    fn scratch_reuse_is_pure(problems in proptest::collection::vec(random_flow_shaped_lp(), 1..4)) {
+        let opts = SimplexOptions::default();
+        let mut scratch = LpScratch::new();
+        for p in &problems {
+            // Twice through the shared scratch (second solve takes the
+            // fingerprint warm path), once through a fresh one.
+            let a = solve_lp_with_scratch::<f64>(p, &BoundOverrides::none(), &opts, &mut scratch)
+                .unwrap();
+            let b = solve_lp_with_scratch::<f64>(p, &BoundOverrides::none(), &opts, &mut scratch)
+                .unwrap();
+            let fresh = solve_lp::<f64>(p, &BoundOverrides::none(), &opts).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&a, &fresh);
+        }
+    }
+}
+
 /// Brute force a pure-integer maximization by enumerating the box of upper
 /// bounds.
 fn brute_force_max(p: &Problem) -> Option<Rational> {
@@ -204,5 +308,21 @@ proptest! {
         let f = fast.solution().expect("feasible").objective;
         let e = exact.solution().expect("feasible").objective;
         prop_assert_eq!(f, e);
+    }
+
+    /// Warm-started branch-and-bound (children reuse the parent's basis
+    /// via the dual simplex) reaches exactly the same optimal objective
+    /// as cold-started branch-and-bound.
+    #[test]
+    fn warm_and_cold_branch_and_bound_agree(p in random_small_ilp()) {
+        let warm = solve_ilp(&p, &IlpOptions::default()).unwrap();
+        let cold = solve_ilp(
+            &p,
+            &IlpOptions { warm_start: false, ..IlpOptions::default() },
+        )
+        .unwrap();
+        let w = warm.solution().expect("feasible").objective;
+        let c = cold.solution().expect("feasible").objective;
+        prop_assert_eq!(w, c);
     }
 }

@@ -51,8 +51,14 @@ enum Bucket {
     Sparse(Vec<Slot>),
     /// The PR 1 dense layout: occupancy bitset plus a per-vertex departure
     /// row, both O(1) to query — paid for only in buckets whose occupancy
-    /// crossed the density threshold.
-    Dense { bits: Vec<u64>, move_to: Vec<u32> },
+    /// crossed the density threshold. `touched` lists the reserved
+    /// vertices so [`ReservationTable::reset`] clears in O(occupancy),
+    /// not O(vertices).
+    Dense {
+        bits: Vec<u64>,
+        move_to: Vec<u32>,
+        touched: Vec<u32>,
+    },
 }
 
 impl Bucket {
@@ -87,8 +93,12 @@ impl Bucket {
                     );
                 }
             }
-            Bucket::Dense { bits, .. } => {
-                bits[(v / 64) as usize] |= 1u64 << (v % 64);
+            Bucket::Dense { bits, touched, .. } => {
+                let word = &mut bits[(v / 64) as usize];
+                if *word & (1u64 << (v % 64)) == 0 {
+                    *word |= 1u64 << (v % 64);
+                    touched.push(v);
+                }
             }
         }
     }
@@ -119,7 +129,30 @@ impl Bucket {
     fn heap_bytes(&self) -> usize {
         match self {
             Bucket::Sparse(slots) => slots.capacity() * std::mem::size_of::<Slot>(),
-            Bucket::Dense { bits, move_to } => bits.capacity() * 8 + move_to.capacity() * 4,
+            Bucket::Dense {
+                bits,
+                move_to,
+                touched,
+            } => bits.capacity() * 8 + move_to.capacity() * 4 + touched.capacity() * 4,
+        }
+    }
+
+    /// Empties the bucket in O(occupancy), keeping its storage (and a
+    /// promoted bucket's dense layout) for reuse.
+    fn clear(&mut self) {
+        match self {
+            Bucket::Sparse(slots) => slots.clear(),
+            Bucket::Dense {
+                bits,
+                move_to,
+                touched,
+            } => {
+                for &v in touched.iter() {
+                    bits[(v / 64) as usize] &= !(1u64 << (v % 64));
+                    move_to[v as usize] = NONE;
+                }
+                touched.clear();
+            }
         }
     }
 }
@@ -165,14 +198,22 @@ pub struct ReservationTable {
     /// Sparse occupancy above which an Adaptive bucket is promoted to a
     /// bitset (chosen so the bitset is no larger than the slot list).
     promote_at: usize,
-    /// One bucket per reserved timestep, indexed by `t`.
+    /// Allocated bucket storage, indexed by `t`; only the first
+    /// [`active`](Self::active) buckets hold reservations (the rest are
+    /// cleared leftovers kept for reuse after a [`reset`](Self::reset)).
     buckets: Vec<Bucket>,
+    /// Logical horizon: 1 + the latest reserved timestep.
+    active: usize,
     /// `parked_from[v]` is the earliest time `v` is parked on forever, or
     /// [`NONE`].
     parked_from: Vec<u32>,
     /// `last_timed[v]` is `1 +` the latest time with a timed reservation
     /// on `v` (`0` = none); drives [`ReservationTable::free_forever`].
     last_timed: Vec<u32>,
+    /// Vertices whose `parked_from`/`last_timed` entries were written —
+    /// the touched list [`reset`](Self::reset) clears instead of
+    /// re-initializing O(vertices) state.
+    touched_vertices: Vec<u32>,
 }
 
 impl ReservationTable {
@@ -196,8 +237,38 @@ impl ReservationTable {
             // query speed. The floor of 4 keeps tiny test graphs honest.
             promote_at: words.max(4),
             buckets: Vec::new(),
+            active: 0,
             parked_from: vec![NONE; vertex_count],
             last_timed: vec![0; vertex_count],
+            touched_vertices: Vec::new(),
+        }
+    }
+
+    /// Empties the table in O(reservations made), reusing all allocated
+    /// storage: bucket slot lists (and promoted dense layouts) are
+    /// cleared through their touched lists, and the per-vertex parked /
+    /// last-timed tables are unwritten entry by entry. After a reset the
+    /// table answers every query exactly like a freshly constructed one
+    /// (property-tested in `tests/reservation_reset.rs`) — this is what
+    /// lets `wsp-sim` hold one table per simulation instead of paying an
+    /// O(vertices) rebuild on every repair event.
+    pub fn reset(&mut self) {
+        for bucket in &mut self.buckets[..self.active] {
+            bucket.clear();
+        }
+        self.active = 0;
+        for &v in &self.touched_vertices {
+            self.parked_from[v as usize] = NONE;
+            self.last_timed[v as usize] = 0;
+        }
+        self.touched_vertices.clear();
+    }
+
+    /// Records that `v`'s parked/last-timed state is about to be written
+    /// (so [`reset`](Self::reset) can undo it).
+    fn touch(&mut self, v: usize) {
+        if self.parked_from[v] == NONE && self.last_timed[v] == 0 {
+            self.touched_vertices.push(v as u32);
         }
     }
 
@@ -211,9 +282,9 @@ impl ReservationTable {
         self.policy
     }
 
-    /// Number of allocated time buckets (1 + the latest reserved timestep).
+    /// Number of active time buckets (1 + the latest reserved timestep).
     pub fn horizon(&self) -> usize {
-        self.buckets.len()
+        self.active
     }
 
     fn empty_bucket(&self) -> Bucket {
@@ -221,16 +292,20 @@ impl ReservationTable {
             StoragePolicy::ForceDense => Bucket::Dense {
                 bits: vec![0; self.words],
                 move_to: vec![NONE; self.n],
+                touched: Vec::new(),
             },
             _ => Bucket::Sparse(Vec::new()),
         }
     }
 
     fn bucket_mut(&mut self, t: usize) -> &mut Bucket {
-        if t >= self.buckets.len() {
-            let template = self.empty_bucket();
-            self.buckets.resize_with(t + 1, || template.clone());
+        // Buckets past `active` are cleared leftovers from a reset; grow
+        // the allocation only beyond what was ever reserved.
+        while self.buckets.len() <= t {
+            let b = self.empty_bucket();
+            self.buckets.push(b);
         }
+        self.active = self.active.max(t + 1);
         &mut self.buckets[t]
     }
 
@@ -250,11 +325,17 @@ impl ReservationTable {
             Bucket::Dense {
                 bits: vec![0; self.words],
                 move_to: vec![NONE; self.n],
+                touched: Vec::new(),
             },
         ) else {
             unreachable!("sparse_len returned Some");
         };
-        let Bucket::Dense { bits, move_to } = &mut self.buckets[t] else {
+        let Bucket::Dense {
+            bits,
+            move_to,
+            touched,
+        } = &mut self.buckets[t]
+        else {
             unreachable!("just installed");
         };
         for slot in slots {
@@ -262,10 +343,12 @@ impl ReservationTable {
             if slot.move_to != NONE {
                 move_to[slot.vertex as usize] = slot.move_to;
             }
+            touched.push(slot.vertex);
         }
     }
 
     fn reserve_vertex(&mut self, v: VertexId, t: usize) {
+        self.touch(v.index());
         self.bucket_mut(t).insert_vertex(v.0);
         self.maybe_promote(t);
         self.last_timed[v.index()] = self.last_timed[v.index()].max(t as u32 + 1);
@@ -290,13 +373,14 @@ impl ReservationTable {
 
     /// Reserves `v` permanently from time `t` onward.
     pub fn park(&mut self, v: VertexId, t: usize) {
+        self.touch(v.index());
         let slot = &mut self.parked_from[v.index()];
         *slot = (*slot).min(t as u32);
     }
 
     /// Whether vertex `v` is free at time `t`.
     pub fn vertex_free(&self, v: VertexId, t: usize) -> bool {
-        if t < self.buckets.len() && self.buckets[t].contains(v.0) {
+        if t < self.active && self.buckets[t].contains(v.0) {
             return false;
         }
         // `NONE` is `u32::MAX`, so unparked vertices always pass this test.
@@ -306,7 +390,7 @@ impl ReservationTable {
     /// Whether the move `u → v` starting at time `t` is free of edge-swap
     /// reservations.
     pub fn edge_free(&self, u: VertexId, v: VertexId, t: usize) -> bool {
-        t >= self.buckets.len() || self.buckets[t].move_from(v.0) != u.0
+        t >= self.active || self.buckets[t].move_from(v.0) != u.0
     }
 
     /// Whether `v` stays free forever from time `t` on (needed to finish a
@@ -333,6 +417,7 @@ impl ReservationTable {
             + self.buckets.capacity() * std::mem::size_of::<Bucket>()
             + self.parked_from.capacity() * 4
             + self.last_timed.capacity() * 4
+            + self.touched_vertices.capacity() * 4
     }
 
     /// Bytes the PR 1 dense layout (per-`t` occupancy bitset plus per-`t`
@@ -340,7 +425,7 @@ impl ReservationTable {
     /// table's current horizon — the O(horizon × vertices) baseline the
     /// scaling benches compare against.
     pub fn dense_equivalent_bytes(&self) -> usize {
-        self.buckets.len() * (self.words * 8 + self.n * 4) + self.n * 8
+        self.active * (self.words * 8 + self.n * 4) + self.n * 8
     }
 }
 
@@ -475,6 +560,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reset_answers_like_a_fresh_table() {
+        let n = 4096usize;
+        let mut rt = ReservationTable::new(n);
+        // Promote bucket 0, park a vertex, run a long path.
+        for i in 0..200u32 {
+            rt.reserve_vertex(v(i), 0);
+        }
+        rt.reserve_path(&[v(10), v(11), v(12)]);
+        assert!(matches!(rt.buckets[0], Bucket::Dense { .. }));
+        rt.reset();
+        assert_eq!(rt.horizon(), 0);
+        // The promoted bucket keeps its dense layout but is empty.
+        assert!(matches!(rt.buckets[0], Bucket::Dense { .. }));
+        let fresh = ReservationTable::new(n);
+        for t in 0..6 {
+            for x in 0..220u32 {
+                assert_eq!(rt.vertex_free(v(x), t), fresh.vertex_free(v(x), t));
+                assert_eq!(rt.free_forever(v(x), t), fresh.free_forever(v(x), t));
+            }
+        }
+        // Reuse after reset behaves like first use.
+        rt.reserve_path(&[v(5), v(6)]);
+        let mut oracle = ReservationTable::new(n);
+        oracle.reserve_path(&[v(5), v(6)]);
+        for t in 0..4 {
+            for x in 0..20u32 {
+                assert_eq!(rt.vertex_free(v(x), t), oracle.vertex_free(v(x), t));
+                for y in 0..20u32 {
+                    assert_eq!(rt.edge_free(v(x), v(y), t), oracle.edge_free(v(x), v(y), t));
+                }
+            }
+        }
+        assert_eq!(rt.horizon(), oracle.horizon());
     }
 
     #[test]

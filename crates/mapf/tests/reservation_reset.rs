@@ -1,0 +1,100 @@
+//! Property test for [`ReservationTable::reset`]: a reset table must be
+//! observationally identical to a freshly constructed one — same
+//! occupancy, edge-swap, park, and free-forever answers for any
+//! reservation sequence made after the reset, at every storage policy.
+//! This is the guard that lets `wsp-sim` hold one table per simulation
+//! and `reset` it per repair event instead of paying an O(vertices)
+//! rebuild.
+
+use proptest::prelude::*;
+use wsp_mapf::{ReservationTable, StoragePolicy};
+use wsp_model::VertexId;
+
+const N: usize = 512;
+
+/// A random timed path: vertices in `0..N`, length 1..=12, with possible
+/// waits (repeats).
+fn path_strategy() -> impl Strategy<Value = Vec<VertexId>> {
+    proptest::collection::vec(0u32..N as u32, 1..12)
+        .prop_map(|vs| vs.into_iter().map(VertexId).collect())
+}
+
+fn paths() -> impl Strategy<Value = Vec<Vec<VertexId>>> {
+    proptest::collection::vec(path_strategy(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// reserve(A); reset(); reserve(B)  ≡  fresh; reserve(B).
+    #[test]
+    fn reset_equals_fresh(before in paths(), after in paths()) {
+        for policy in [
+            StoragePolicy::Adaptive,
+            StoragePolicy::ForceSparse,
+            StoragePolicy::ForceDense,
+        ] {
+            let mut reused = ReservationTable::with_policy(N, policy);
+            for p in &before {
+                reused.reserve_path(p);
+            }
+            reused.reset();
+            for p in &after {
+                reused.reserve_path(p);
+            }
+            let mut fresh = ReservationTable::with_policy(N, policy);
+            for p in &after {
+                fresh.reserve_path(p);
+            }
+            prop_assert_eq!(reused.horizon(), fresh.horizon());
+            // Probe every vertex the scenarios touched (plus a few cold
+            // ones) across the joint horizon.
+            let horizon = reused.horizon().max(2) + 2;
+            let mut probes: Vec<VertexId> =
+                before.iter().chain(&after).flatten().copied().collect();
+            probes.extend([VertexId(0), VertexId((N - 1) as u32)]);
+            probes.sort_unstable();
+            probes.dedup();
+            for t in 0..horizon {
+                for &v in &probes {
+                    prop_assert_eq!(
+                        reused.vertex_free(v, t),
+                        fresh.vertex_free(v, t),
+                        "vertex_free({v}, {t}) after reset"
+                    );
+                    prop_assert_eq!(
+                        reused.free_forever(v, t),
+                        fresh.free_forever(v, t),
+                        "free_forever({v}, {t}) after reset"
+                    );
+                    for &u in &probes {
+                        prop_assert_eq!(
+                            reused.edge_free(u, v, t),
+                            fresh.edge_free(u, v, t),
+                            "edge_free({u}, {v}, {t}) after reset"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Double reset and reset-of-empty are harmless.
+    #[test]
+    fn reset_is_idempotent(scenario in paths()) {
+        let mut rt = ReservationTable::new(N);
+        rt.reset();
+        for p in &scenario {
+            rt.reserve_path(p);
+        }
+        rt.reset();
+        rt.reset();
+        prop_assert_eq!(rt.horizon(), 0);
+        for t in 0..4 {
+            for x in 0..N as u32 {
+                prop_assert!(rt.vertex_free(VertexId(x), t));
+                prop_assert!(rt.free_forever(VertexId(x), t));
+            }
+        }
+    }
+}

@@ -230,10 +230,14 @@ pub struct Simulation<'a> {
     waiter_cells: Vec<u32>,
     grant_queue: Vec<usize>,
 
-    // Repair scratch.
+    // Repair scratch. The reservation table is held for the simulation's
+    // lifetime and cleared per repair event via its touched-list
+    // `reset`, so a repair costs O(reservations projected), never the
+    // O(vertices) re-init a fresh table would pay.
     requests: Vec<RepairRequest>,
     is_candidate: Vec<bool>,
     projection: Vec<VertexId>,
+    repair_table: ReservationTable,
 
     t: u64,
     last_replan: u64,
@@ -362,6 +366,7 @@ impl<'a> Simulation<'a> {
             requests: Vec::new(),
             is_candidate: vec![false; agents],
             projection: Vec::new(),
+            repair_table: ReservationTable::new(n_vertices),
             t: 0,
             last_replan: 0,
             replan_requested: false,
@@ -866,9 +871,14 @@ impl<'a> Simulation<'a> {
 
         // Shared reservation table: everyone except the candidates,
         // projected `lookahead` ticks ahead (stall first, then plan or
-        // active repair path, then parked forever).
+        // active repair path, then parked forever). The table persists
+        // across repair events; `reset` clears it in O(touched), so the
+        // repair path stays vertex-count independent. (Temporarily moved
+        // out of `self` so the projection buffer can be borrowed
+        // alongside it.)
         let graph = self.instance.warehouse.graph();
-        let mut table = ReservationTable::new(graph.vertex_count());
+        let mut table = std::mem::replace(&mut self.repair_table, ReservationTable::new(0));
+        table.reset();
         for b in 0..n {
             if self.is_candidate[b] {
                 continue;
@@ -903,6 +913,7 @@ impl<'a> Simulation<'a> {
 
         let threads = wsp_core::resolve_threads(cfg.threads);
         let found = plan_repairs(graph, &table, &self.requests, threads);
+        self.repair_table = table;
         for (agent, path) in accept_repairs(&self.requests, found) {
             self.repair[agent] = Some(path);
             self.counters.repairs_applied += 1;

@@ -1,0 +1,93 @@
+//! Warm-started vs cold-started branch-and-bound on the paper instances:
+//! disabling [`wsp_lp::IlpOptions::warm_start`] forces every node through
+//! a cold two-phase solve, and the synthesized designs must reach
+//! identical objective values either way. (The per-node LP *vertices* may
+//! differ between the two configurations; the optimum may not.)
+
+use wsp_flow::{synthesize_flow, FlowSynthesisOptions};
+use wsp_lp::IlpOptions;
+
+#[test]
+fn warm_and_cold_synthesis_agree_on_the_sorting_center() {
+    let map = wsp_maps::sorting_center().expect("sorting center builds");
+    for units in [40u64, 160] {
+        let workload = map.uniform_workload(units);
+        let warm = synthesize_flow(
+            &map.warehouse,
+            &map.traffic,
+            &workload,
+            3_600,
+            &FlowSynthesisOptions::default(),
+        )
+        .expect("warm synthesis solves");
+        let cold = synthesize_flow(
+            &map.warehouse,
+            &map.traffic,
+            &workload,
+            3_600,
+            &FlowSynthesisOptions {
+                ilp: IlpOptions {
+                    warm_start: false,
+                    ..IlpOptions::default()
+                },
+                ..FlowSynthesisOptions::default()
+            },
+        )
+        .expect("cold synthesis solves");
+        assert_eq!(
+            warm.total_edge_flow(),
+            cold.total_edge_flow(),
+            "units {units}: warm and cold optima must match"
+        );
+        assert_eq!(
+            warm.total_deliveries_per_period(),
+            cold.total_deliveries_per_period(),
+            "units {units}"
+        );
+    }
+}
+
+#[test]
+fn warm_and_cold_agree_on_a_sorting_center_variant() {
+    // A second point of the paper family (different station count and
+    // chute grid than the paper defaults) exercises a different
+    // constraint skeleton than the base instance. (The fulfillment
+    // centers are deliberately absent: their *integer* solves take
+    // minutes by design and are not a test-tier workload — see the
+    // `table1` bench notes.)
+    let map = wsp_maps::sorting_center_variant(&wsp_maps::SortingCenterParams {
+        chute_rows: 3,
+        chute_cols: 4,
+        stations: 4,
+        ..wsp_maps::SortingCenterParams::paper()
+    })
+    .expect("variant builds");
+    let workload = map.uniform_workload(48);
+    let warm = synthesize_flow(
+        &map.warehouse,
+        &map.traffic,
+        &workload,
+        2_400,
+        &FlowSynthesisOptions::default(),
+    )
+    .expect("warm synthesis solves");
+    let cold = synthesize_flow(
+        &map.warehouse,
+        &map.traffic,
+        &workload,
+        2_400,
+        &FlowSynthesisOptions {
+            ilp: IlpOptions {
+                warm_start: false,
+                ..IlpOptions::default()
+            },
+            ..FlowSynthesisOptions::default()
+        },
+    )
+    .expect("cold synthesis solves");
+    assert_eq!(warm.total_edge_flow(), cold.total_edge_flow());
+    assert_eq!(
+        warm.total_deliveries_per_period(),
+        cold.total_deliveries_per_period()
+    );
+}
