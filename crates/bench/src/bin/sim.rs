@@ -27,15 +27,39 @@ struct Row {
     throughput_per_kilotick: u64,
     replans: u64,
     repairs_applied: u64,
+    ticks_elided: u64,
+    active_agent_ticks: u64,
+    events_processed: u64,
     deterministic: bool,
 }
 
-fn measure(scenario: &SimScenario, ticks: u64) -> Row {
+/// One bench case: a scenario, the timed-stretch length, and an optional
+/// stall mean-gap override (the high-deviation row drops the default 64
+/// to 6, roughly ×10 the stall rate, to price the engine when elision
+/// rarely gets a chance).
+struct Case {
+    scenario: SimScenario,
+    ticks: u64,
+    stall_gap: Option<u32>,
+    label_suffix: &'static str,
+}
+
+fn case_config(case: &Case, ticks: u64) -> wsp_sim::SimConfig {
+    let mut config = case.scenario.config(ticks);
+    if let Some(gap) = case.stall_gap {
+        config.deviations = wsp_sim::DeviationConfig::stalls(gap, 2, 8, 9);
+    }
+    config
+}
+
+fn measure(case: &Case) -> Row {
+    let scenario = &case.scenario;
+    let ticks = case.ticks;
     // Determinism probe: full runs at 1/2/4 repair threads must render
     // byte-identical reports.
     let mut renderings = Vec::new();
     for threads in [1usize, 2, 4] {
-        let mut config = scenario.config(ticks);
+        let mut config = case_config(case, ticks);
         config.repair.threads = Some(threads);
         let mut sim = Simulation::from_cycles(&scenario.instance, scenario.cycles.clone(), config)
             .expect("scenario simulates");
@@ -49,7 +73,7 @@ fn measure(scenario: &SimScenario, ticks: u64) -> Row {
     let mut sim = Simulation::from_cycles(
         &scenario.instance,
         scenario.cycles.clone(),
-        scenario.config(u64::MAX),
+        case_config(case, u64::MAX),
     )
     .expect("scenario simulates");
     let warmup = 2 * sim.window_len() as u64;
@@ -66,7 +90,7 @@ fn measure(scenario: &SimScenario, ticks: u64) -> Row {
     let latency_sum = after.latency_sum - before.latency_sum;
 
     Row {
-        label: scenario.label.clone(),
+        label: format!("{}{}", scenario.label, case.label_suffix),
         vertices: scenario.instance.warehouse.graph().vertex_count(),
         agents: sim.agent_count(),
         ticks,
@@ -77,34 +101,61 @@ fn measure(scenario: &SimScenario, ticks: u64) -> Row {
         throughput_per_kilotick: completed * 1000 / ticks,
         replans: after.replans - before.replans,
         repairs_applied: after.repairs_applied - before.repairs_applied,
+        ticks_elided: after.ticks_elided - before.ticks_elided,
+        active_agent_ticks: after.active_agent_ticks - before.active_agent_ticks,
+        events_processed: after.events_processed - before.events_processed,
         deterministic,
     }
 }
 
 fn main() {
-    let scenarios: Vec<(SimScenario, u64)> = vec![
-        (sim_scenario_paper(2_000), 4_000),
-        (sim_scenario_scaled(31, 320, 400, 5), 4_000),
-        (sim_scenario_scaled(101, 1000, 2000, 3), 2_000),
+    let cases: Vec<Case> = vec![
+        Case {
+            scenario: sim_scenario_paper(2_000),
+            ticks: 4_000,
+            stall_gap: None,
+            label_suffix: "",
+        },
+        Case {
+            scenario: sim_scenario_scaled(31, 320, 400, 5),
+            ticks: 4_000,
+            stall_gap: None,
+            label_suffix: "",
+        },
+        Case {
+            scenario: sim_scenario_scaled(101, 1000, 2000, 3),
+            ticks: 2_000,
+            stall_gap: None,
+            label_suffix: "",
+        },
+        // High-deviation stress: the 105k-vertex floor with stalls firing
+        // ~×10 as often — prices the event engine when agents keep getting
+        // knocked awake and elision is scarce.
+        Case {
+            scenario: sim_scenario_scaled(101, 1000, 2000, 3),
+            ticks: 2_000,
+            stall_gap: Some(6),
+            label_suffix: "-stalls10x",
+        },
     ];
 
-    let rows: Vec<Row> = scenarios
-        .iter()
-        .map(|(scenario, ticks)| measure(scenario, *ticks))
-        .collect();
+    let rows: Vec<Row> = cases.iter().map(measure).collect();
 
     println!("{{");
     println!(
         "  \"note\": \"Lifelong simulator steady-state cost (deviations + MAPF repair ON, \
-         record OFF). ns_per_tick = wall nanoseconds per tick over a timed stretch after a \
-         two-window warmup, replans amortized in. The contract: tick cost is O(agents) plus \
-         amortized O(agents + components) replanning — independent of the vertex count, which \
-         is why the 100k-vertex row lands in the same range as the 406-vertex paper row at \
-         equal team sizes. 'deterministic' asserts byte-identical SimReport JSON at 1/2/4 \
-         repair threads. The paper row synthesizes its design with the full pipeline; the \
-         scaled rows execute direct cycle sets (the ILP does not reach 10k+ vertices). \
-         Regenerate with: cargo run --release -p wsp-bench --bin sim > BENCH_sim.json. \
-         Schema: docs/BENCHMARKS.md.\","
+         record OFF, event engine). ns_per_tick = wall nanoseconds per simulated tick over a \
+         timed stretch after a two-window warmup, replans amortized in; elided ticks count as \
+         simulated, so quiet stretches drive the figure down. The contract: executed ticks \
+         cost O(active agents) plus amortized O(agents + components) replanning — independent \
+         of the vertex count. ticks_elided / active_agent_ticks / events_processed expose the \
+         event engine's work profile (docs/BENCHMARKS.md defines each). 'deterministic' \
+         asserts byte-identical SimReport JSON at 1/2/4 repair threads. The -stalls10x row \
+         reruns the 105k-vertex floor with stalls ~x10 as frequent: the adversarial regime \
+         where agents keep getting knocked awake. The paper row synthesizes its design with \
+         the full pipeline; the scaled rows execute direct cycle sets (the ILP does not reach \
+         10k+ vertices). Regenerate with: cargo run --release -p wsp-bench --bin sim > \
+         BENCH_sim.json. Schema: docs/BENCHMARKS.md.\","
     );
     let all_deterministic = rows.iter().all(|r| r.deterministic);
     println!("  \"deterministic_across_thread_counts\": {all_deterministic},");
@@ -115,7 +166,8 @@ fn main() {
             "    {{ \"bench\": \"sim/{}\", \"vertices\": {}, \"agents\": {}, \"ticks\": {}, \
              \"ns_per_tick\": {:.0}, \"completed\": {}, \"delivered\": {}, \
              \"mean_latency_milliticks\": {}, \
-             \"throughput_per_kilotick\": {}, \"replans\": {}, \"repairs_applied\": {} }}{comma}",
+             \"throughput_per_kilotick\": {}, \"replans\": {}, \"repairs_applied\": {}, \
+             \"ticks_elided\": {}, \"active_agent_ticks\": {}, \"events_processed\": {} }}{comma}",
             r.label,
             r.vertices,
             r.agents,
@@ -127,6 +179,9 @@ fn main() {
             r.throughput_per_kilotick,
             r.replans,
             r.repairs_applied,
+            r.ticks_elided,
+            r.active_agent_ticks,
+            r.events_processed,
         );
     }
     println!("  ]");

@@ -316,6 +316,11 @@ const _: () = {
     // and candidate repair paths across its scoped repair workers.
     assert_send_sync::<AgentSnapshot>();
     assert_send_sync::<WindowOutcome>();
+    // The event-driven simulator hands whole realize scratches (and the
+    // window plans realized through them, `first_change` schedule
+    // included) to worker pipelines; its own queue/scheduler types are
+    // audited in `wsp_sim`'s mirror of this block.
+    assert_send_sync::<wsp_realize::RealizeScratch>();
     // The solver scratches live inside each worker's `Pipeline` and cross
     // the thread boundary with it.
     assert_send_sync::<IlpScratch>();

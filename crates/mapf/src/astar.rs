@@ -132,6 +132,14 @@ const UNVISITED: u32 = wsp_model::NO_INDEX;
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     heuristic: Vec<u32>,
+    /// Touched-list for the depth-bounded heuristic field; paired with
+    /// `heuristic` whenever the bounded BFS maintains it.
+    heuristic_touched: Vec<u32>,
+    /// Whether `heuristic` was last written by the full-graph BFS (every
+    /// entry finite where reachable) rather than the bounded one — the
+    /// bounded path must rebuild from scratch after a dense fill, since
+    /// its touched-list no longer covers the finite entries.
+    heuristic_dense: bool,
     layers: Vec<LayerMap>,
 }
 
@@ -298,8 +306,31 @@ impl SpaceTimeAstar {
         query: &PlanQuery<'_>,
         scratch: &mut SearchScratch,
     ) -> Option<SegmentPath> {
-        let SearchScratch { heuristic, layers } = scratch;
-        graph.bfs_distances_into(query.goal, heuristic);
+        let SearchScratch {
+            heuristic,
+            heuristic_touched,
+            heuristic_dense,
+            layers,
+        } = scratch;
+        // With no focal band (weight <= 1.0) a state whose heuristic
+        // exceeds the remaining time budget can never reach the goal in
+        // time nor outrank a viable state in the open-set order, so the
+        // field only needs exact values within the budget: a depth-bounded
+        // BFS with a touched-list reset makes deadline-capped searches
+        // (the sim's catch-up repairs) cost O(budget area), not
+        // O(vertices). Focal searches (ECBS) can expand beyond-budget
+        // states out of f-order and keep the full field.
+        if self.focal_weight <= 1.0 {
+            if *heuristic_dense {
+                heuristic.clear();
+            }
+            *heuristic_dense = false;
+            let cap = self.max_time.saturating_sub(query.start_time) as u32;
+            graph.bfs_distances_bounded_into(query.goal, cap, heuristic, heuristic_touched);
+        } else {
+            graph.bfs_distances_into(query.goal, heuristic);
+            *heuristic_dense = true;
+        }
         if heuristic[query.start.index()] == u32::MAX {
             return None;
         }

@@ -210,6 +210,52 @@ impl FloorplanGraph {
         }
     }
 
+    /// Depth-bounded [`bfs_distances_into`](Self::bfs_distances_into):
+    /// exact distances for vertices within `cap` steps of `source`,
+    /// `u32::MAX` beyond, maintained through a touched-list so repeated
+    /// shallow fields cost O(cells within `cap`) instead of O(vertices).
+    ///
+    /// `dist` and `touched` belong together: `dist` must either be empty
+    /// (it is sized and filled with `u32::MAX` once) or hold the result of
+    /// a previous call with the same `touched` list on this graph. The
+    /// call resets exactly the previously touched entries, then reuses
+    /// `touched` as the BFS queue (its final contents are the vertices
+    /// reached this time, in visit order).
+    pub fn bfs_distances_bounded_into(
+        &self,
+        source: VertexId,
+        cap: u32,
+        dist: &mut Vec<u32>,
+        touched: &mut Vec<u32>,
+    ) {
+        if dist.len() != self.vertex_count() {
+            dist.clear();
+            dist.resize(self.vertex_count(), u32::MAX);
+            touched.clear();
+        }
+        for &i in touched.iter() {
+            dist[i as usize] = u32::MAX;
+        }
+        touched.clear();
+        dist[source.index()] = 0;
+        touched.push(source.0);
+        let mut head = 0;
+        while head < touched.len() {
+            let v = VertexId(touched[head]);
+            head += 1;
+            let d = dist[v.index()];
+            if d >= cap {
+                continue;
+            }
+            for &n in self.neighbors(v) {
+                if dist[n.index()] == u32::MAX {
+                    dist[n.index()] = d + 1;
+                    touched.push(n.0);
+                }
+            }
+        }
+    }
+
     /// Whether every vertex can reach every other vertex.
     pub fn is_connected(&self) -> bool {
         if self.coords.is_empty() {

@@ -103,6 +103,15 @@ impl Plan {
         self.trajectories[agent].push(state);
     }
 
+    /// Reserves room for `additional` further states in every trajectory, so a
+    /// realization loop that appends one state per agent per tick does not pay
+    /// for doubling reallocations across thousands of small vectors.
+    pub fn reserve_states(&mut self, additional: usize) {
+        for t in &mut self.trajectories {
+            t.reserve(additional);
+        }
+    }
+
     /// Number of agents `c`.
     pub fn agent_count(&self) -> usize {
         self.trajectories.len()

@@ -33,6 +33,10 @@ struct AgentRt {
     cycle: usize,
     step: usize,
     pos: VertexId,
+    /// Offset of `pos` on the current component's path (0 = entry),
+    /// maintained incrementally (+1 on internal moves, 0 on hops) so the
+    /// stepping loop never pays a path scan; meaningless for strays.
+    path_off: u32,
     /// Timestep at which the agent entered its current component
     /// (`ADVANCE_T`); `-1` lets every agent hop in the very first period.
     advance_t: i64,
@@ -81,6 +85,13 @@ pub struct WindowOutcome {
     pub missed_advances: u64,
     /// Pickup steps hopped out of empty-handed during this window.
     pub pickup_misses: u64,
+    /// Per agent, the first window index `k ≥ 1` whose planned state
+    /// (position or carry) differs from the snapshot state at index 0, or
+    /// `u32::MAX` if the agent is scheduled to sit still, unchanged, for
+    /// the whole window. This is each [`AgentSnapshot`]'s *next scheduled
+    /// state change*: an event-driven executor may provably skip the agent
+    /// for the first `first_change - 1` ticks of an on-schedule window.
+    pub first_change: Vec<u32>,
 }
 
 /// Reusable scratch for [`realize`]: the per-timestep dense tables, the
@@ -107,6 +118,7 @@ pub struct RealizeScratch {
     by_component: Vec<Vec<usize>>,
     moves: Vec<(usize, VertexId, bool)>,
     move_hopped: Vec<bool>,
+    first_change: Vec<u32>,
 }
 
 impl RealizeScratch {
@@ -138,6 +150,7 @@ impl RealizeScratch {
         self.agents.clear();
         self.moves.clear();
         self.move_hopped.clear();
+        self.first_change.clear();
     }
 }
 
@@ -206,6 +219,7 @@ pub fn realize_with_scratch(
                 cycle: ci,
                 step: si,
                 pos,
+                path_off: j as u32,
                 advance_t: -1,
                 carry: None,
                 stray: false,
@@ -341,14 +355,17 @@ pub fn realize_window_with_scratch(
     let mut plan = Plan::new();
     for s in states {
         let comp = cycles.cycles()[s.cycle].steps()[s.step].component;
-        let stray = traffic.component(comp).position(s.pos).is_none();
+        // O(1) stray detection + path offset via the dense locate table
+        // (components are disjoint, so owning component ⇒ on its path).
+        let located = traffic.locate(s.pos).filter(|&(owner, _)| owner == comp);
         scratch.agents.push(AgentRt {
             cycle: s.cycle,
             step: s.step,
             pos: s.pos,
+            path_off: located.map_or(0, |(_, off)| off),
             advance_t: s.advance_t,
             carry: s.carry,
-            stray,
+            stray: located.is_none(),
         });
         plan.add_agent(AgentState {
             at: s.pos,
@@ -388,6 +405,7 @@ pub fn realize_window_with_scratch(
         final_states,
         missed_advances: run.missed_advances,
         pickup_misses: run.pickup_misses,
+        first_change: scratch.first_change.clone(),
     })
 }
 
@@ -476,6 +494,7 @@ fn run_ticks(
     scratch: &mut RealizeScratch,
 ) -> TickRun {
     const NO_AGENT: u32 = wsp_model::NO_INDEX;
+    const NO_CHANGE: u32 = u32::MAX;
     let tc = cycles.cycle_time().max(1);
     let RealizeScratch {
         residents_init: _,
@@ -489,8 +508,11 @@ fn run_ticks(
         by_component,
         moves,
         move_hopped,
+        first_change,
     } = scratch;
     let n_agents = agents.len();
+    first_change.resize(n_agents, NO_CHANGE);
+    first_change.fill(NO_CHANGE);
 
     let mut pickup_misses = 0u64;
     let mut missed_advances = 0u64;
@@ -501,6 +523,34 @@ fn run_ticks(
     // Per-agent hop flag for this step (diagnostics).
     move_hopped.resize(n_agents, false);
 
+    // One state per agent per tick lands in the plan; reserving up front keeps
+    // thousands of small trajectory vectors from doubling mid-loop.
+    plan.reserve_states(ticks);
+
+    // Occupancy and per-component resident lists, built once and then
+    // maintained incrementally by the move-apply pass. Within a component
+    // agents share one path and move exit-first, so they can never overtake:
+    // the descending-offset order is invariant across ticks, a hop removes
+    // the front entry (the unique maximum offset) and enters the next list
+    // at the back (offset 0, the unique minimum).
+    for list in by_component.iter_mut() {
+        list.clear();
+    }
+    for (idx, a) in agents.iter().enumerate() {
+        occupant[a.pos.index()] = idx as u32;
+        occupied_cells.push(a.pos.0);
+        // Strays block their cell but never move or act.
+        if !a.stray {
+            by_component[step_component(a).index()].push(idx);
+        }
+    }
+    for list in by_component.iter_mut() {
+        // Exit-first order: agents closest to the exit move first so
+        // followers can step into freshly vacated cells. Offsets are
+        // distinct (one agent per cell), so this order is unique.
+        list.sort_by_key(|&idx| std::cmp::Reverse(agents[idx].path_off));
+    }
+
     let mut executed = 0usize;
     for local_t in 0..ticks {
         let t = start_t + local_t;
@@ -510,23 +560,6 @@ fn run_ticks(
         executed = local_t + 1;
         let period_start = ((t / tc) * tc) as i64;
 
-        // Occupancy and per-component resident lists at time t (clearing
-        // only last step's entries).
-        for cell in occupied_cells.drain(..) {
-            occupant[cell as usize] = NO_AGENT;
-        }
-        for list in by_component.iter_mut() {
-            list.clear();
-        }
-        for (idx, a) in agents.iter().enumerate() {
-            occupant[a.pos.index()] = idx as u32;
-            occupied_cells.push(a.pos.0);
-            // Strays block their cell but never move or act.
-            if !a.stray {
-                by_component[step_component(a).index()].push(idx);
-            }
-        }
-
         // Movement decisions.
         for cell in touched_cells.drain(..) {
             claimed[cell as usize] = false;
@@ -535,25 +568,17 @@ fn run_ticks(
         moves.clear();
 
         for comp in traffic.components() {
-            let list = &mut by_component[comp.id().index()];
+            let list = &by_component[comp.id().index()];
             if list.is_empty() {
                 continue;
             }
-            // Exit-first order: agents closest to the exit move first so
-            // followers can step into freshly vacated cells.
-            list.sort_by_key(|&idx| {
-                std::cmp::Reverse(
-                    comp.position(agents[idx].pos)
-                        .expect("agent on its component"),
-                )
-            });
             for &idx in list.iter() {
                 let a = &agents[idx];
                 // Hop to the next component of the agent cycle: only from
                 // the exit, at most once per cycle period (ADVANCE_T < ts),
                 // and only into an entry cell that is free *at time t* and
                 // unclaimed (conservative, order-independent).
-                if a.pos == comp.exit() && a.advance_t < period_start {
+                if a.path_off as usize + 1 == comp.len() && a.advance_t < period_start {
                     let cycle = &cycles.cycles()[a.cycle];
                     let next_step = (a.step + 1) % cycle.steps().len();
                     let next_comp = traffic.component(cycle.steps()[next_step].component);
@@ -567,8 +592,9 @@ fn run_ticks(
                         continue;
                     }
                 }
-                // Internal move along the component path.
-                if let Some(v) = comp.next(a.pos) {
+                // Internal move along the component path (O(1) via the
+                // maintained offset).
+                if let Some(&v) = comp.path().get(a.path_off as usize + 1) {
                     let blocked = claimed[v.index()]
                         || (occupant[v.index()] != NO_AGENT && !vacated[v.index()]);
                     if !blocked {
@@ -604,6 +630,7 @@ fn run_ticks(
                     if agents[idx].carry.is_none() && stock.units_at(pos_t, p) > 0 {
                         stock.remove_units(pos_t, p, 1);
                         agents[idx].carry = Some(p);
+                        first_change[idx] = first_change[idx].min(local_t as u32 + 1);
                     }
                 }
                 CycleAction::Dropoff(p) => {
@@ -612,6 +639,7 @@ fn run_ticks(
                         if p.index() < delivered.len() {
                             delivered[p.index()] += 1;
                         }
+                        first_change[idx] = first_change[idx].min(local_t as u32 + 1);
                     }
                 }
                 CycleAction::Travel => {}
@@ -626,13 +654,29 @@ fn run_ticks(
             }
         }
 
+        // Release every vacated cell before recording re-occupations so a
+        // follower chain's old/new cells resolve in either order.
+        for &(idx, _, _) in moves.iter() {
+            occupant[agents[idx].pos.index()] = NO_AGENT;
+        }
         for &(idx, v, hopped) in moves.iter() {
-            agents[idx].pos = v;
+            first_change[idx] = first_change[idx].min(local_t as u32 + 1);
             if hopped {
+                // The hopper holds the component's maximum offset, so it is
+                // the front entry of its (descending-sorted) resident list.
+                let old_comp = step_component(&agents[idx]).index();
+                debug_assert_eq!(by_component[old_comp].first(), Some(&idx));
+                by_component[old_comp].remove(0);
                 let cycle = &cycles.cycles()[agents[idx].cycle];
                 agents[idx].step = (agents[idx].step + 1) % cycle.steps().len();
                 agents[idx].advance_t = (t + 1) as i64;
+                agents[idx].path_off = 0;
+                by_component[step_component(&agents[idx]).index()].push(idx);
+            } else {
+                agents[idx].path_off += 1;
             }
+            agents[idx].pos = v;
+            occupant[v.index()] = idx as u32;
         }
 
         // Period-boundary diagnostic: every agent should have advanced one
@@ -657,10 +701,13 @@ fn run_ticks(
     }
 
     // Restore the clean-tables invariant for the next reuse of the scratch
-    // (the loop leaves the final timestep's marks behind).
-    for cell in occupied_cells.drain(..) {
-        occupant[cell as usize] = NO_AGENT;
+    // (the loop leaves the final timestep's marks behind). Occupancy is
+    // maintained incrementally, so the live cells are the agents' current
+    // positions, not the entry-time `occupied_cells` snapshot.
+    for a in agents.iter() {
+        occupant[a.pos.index()] = NO_AGENT;
     }
+    occupied_cells.clear();
     for cell in touched_cells.drain(..) {
         claimed[cell as usize] = false;
         vacated[cell as usize] = false;
@@ -978,6 +1025,23 @@ mod tests {
             }
         }
         w.location_matrix().units_at(v, p) - picked
+    }
+
+    #[test]
+    fn first_change_names_the_next_scheduled_state_change() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 8);
+        let states = initial_snapshots(&ts, &cycles).unwrap();
+        let mut stock = w.location_matrix().clone();
+        let out = realize_window(&w, &ts, &cycles, 0, 40, &states, &mut stock).unwrap();
+        assert_eq!(out.first_change.len(), states.len());
+        for a in 0..states.len() {
+            let s0 = out.plan.state(a, 0).unwrap();
+            let scan = (1..=40).find(|&k| out.plan.state(a, k).unwrap() != s0);
+            let expect = scan.map_or(u32::MAX, |k| k as u32);
+            assert_eq!(out.first_change[a], expect, "agent {a}");
+        }
+        // At least someone is scheduled to do something in 40 ticks.
+        assert!(out.first_change.iter().any(|&k| k != u32::MAX));
     }
 
     #[test]

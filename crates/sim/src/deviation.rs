@@ -101,6 +101,14 @@ impl DeviationSchedule {
         })
     }
 
+    /// Tick of the next scheduled stall, if any — the event-driven
+    /// engine's "next deviation event" lookahead. Pure peek: the schedule
+    /// is a function of `(config, agents)` alone, so peeking never
+    /// perturbs it.
+    pub fn next_fire(&self) -> Option<u64> {
+        self.next.map(|s| s.at)
+    }
+
     /// Pops every stall firing at or before tick `t` (call with
     /// monotonically increasing `t`).
     pub fn fire_at(&mut self, t: u64, mut apply: impl FnMut(Stall)) {

@@ -33,6 +33,27 @@
 //! ([`Pipeline::realize_window`]) — deviation divergence heals at every
 //! replan, and in a deviation-free run the windows concatenate to exactly
 //! the one-shot realization (the differential tests pin this).
+//!
+//! # Event-driven stepping
+//!
+//! The default [`SimEngine::Event`] engine runs that tick model through a
+//! time-ordered event queue instead of sweeping every agent every tick.
+//! Agents whose next ticks are provably no-ops under the reference loop
+//! go to sleep ([`crate::event`] states the exact contract) with a
+//! wake-up — their next scheduled state change, read straight off the
+//! window realization's `first_change` schedule — filed in a monotone
+//! bucket queue ([`crate::queue`]); each executed tick then runs phases
+//! 1–5 over the *active set* only, and when the active set is empty the
+//! engine advances time directly to the next forced tick (queued event,
+//! task arrival, stall firing, window boundary, or a pending replan's
+//! minimum-gap expiry), bulk-accounting the skipped ticks.
+//!
+//! Elision is unobservable by construction: [`SimEngine::Reference`]
+//! keeps the original full-sweep loop (plus the same scheduler
+//! bookkeeping, run virtually, with `debug_assert`s that every sleeping
+//! agent really did stay quiescent) and the differential tests pin the
+//! two engines to byte-identical [`SimReport`] JSON at every repair
+//! thread count.
 
 use std::collections::VecDeque;
 
@@ -43,6 +64,8 @@ use wsp_model::{AgentState, Carry, LocationMatrix, Plan, ProductId, VertexId, NO
 use wsp_realize::AgentSnapshot;
 
 use crate::deviation::{DeviationConfig, DeviationSchedule, Stall};
+use crate::event::{self, SleepBook, SleepMode};
+use crate::queue::BucketQueue;
 use crate::repair::{accept_repairs, plan_repairs, RepairPath, RepairRequest};
 use crate::report::{Fnv, SimCounters, SimReport};
 use crate::stream::{StreamConfig, TaskStream};
@@ -94,6 +117,22 @@ impl Default for RepairConfig {
     }
 }
 
+/// Which stepping core drives the simulation. Both produce byte-identical
+/// [`SimReport`] JSON for identical `(instance, config)` at every repair
+/// thread count — the differential tests pin this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Event-driven (the default): quiescent agents sleep on a bucket
+    /// queue, fully quiescent ticks are skipped outright, and each
+    /// executed tick sweeps only the active set.
+    #[default]
+    Event,
+    /// The original full-sweep tick loop, kept as the oracle for the
+    /// event engine (it still runs the scheduler bookkeeping virtually so
+    /// the event counters match).
+    Reference,
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -114,8 +153,12 @@ pub struct SimConfig {
     /// Minimum ticks between early replans (boundary replans are exempt).
     pub min_replan_gap: u64,
     /// Record the executed trajectories as a [`Plan`] (for the
-    /// differential tests; costs O(agents × ticks) memory).
+    /// differential tests; costs O(agents × ticks) memory — and makes
+    /// elided ticks cost O(agents) each, since their unchanged states
+    /// still get recorded).
     pub record: bool,
+    /// The stepping core (event-driven by default).
+    pub engine: SimEngine,
 }
 
 impl Default for SimConfig {
@@ -129,6 +172,7 @@ impl Default for SimConfig {
             replan_lag: 0,
             min_replan_gap: 8,
             record: false,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -239,6 +283,18 @@ pub struct Simulation<'a> {
     projection: Vec<VertexId>,
     repair_table: ReservationTable,
 
+    // Event scheduler: the sleep ledger, the tick-keyed event queue, the
+    // active set rebuilt each executed tick, and the current window's
+    // per-agent first-change schedule from the realize stage. The
+    // reference engine maintains all of it virtually (its processing
+    // domain stays 0..n), which is what keeps the two engines'
+    // event/elision counters byte-identical.
+    sleep: SleepBook,
+    queue: BucketQueue,
+    active: Vec<u32>,
+    due_buf: Vec<u64>,
+    first_change: Vec<u32>,
+
     t: u64,
     last_replan: u64,
     replan_requested: bool,
@@ -336,7 +392,7 @@ impl<'a> Simulation<'a> {
             window_len,
             stream,
             deviations,
-            stall_buf: Vec::new(),
+            stall_buf: Vec::with_capacity(8),
             ledger: instance.warehouse.location_matrix().clone(),
             plan_ledger: LocationMatrix::new(),
             window_plan: Plan::new(),
@@ -354,19 +410,24 @@ impl<'a> Simulation<'a> {
             queues: (0..n_products).map(|_| VecDeque::new()).collect(),
             occupant,
             claimed: vec![false; n_vertices],
-            claimed_cells: Vec::new(),
+            claimed_cells: Vec::with_capacity(agents),
             desired: vec![VertexId(0); agents],
             granted: vec![false; agents],
             movers: Vec::with_capacity(agents),
             waiter_head: vec![NO_INDEX; n_vertices],
             waiter_tail: vec![NO_INDEX; n_vertices],
             waiter_next: vec![NO_INDEX; agents],
-            waiter_cells: Vec::new(),
+            waiter_cells: Vec::with_capacity(agents),
             grant_queue: Vec::with_capacity(agents),
-            requests: Vec::new(),
+            requests: Vec::with_capacity(config.repair.max_batch.max(1)),
             is_candidate: vec![false; agents],
-            projection: Vec::new(),
+            projection: Vec::with_capacity(config.repair.lookahead + 1),
             repair_table: ReservationTable::new(n_vertices),
+            sleep: SleepBook::new(agents),
+            queue: BucketQueue::new(window_len),
+            active: Vec::with_capacity(agents),
+            due_buf: Vec::with_capacity(16),
+            first_change: Vec::new(),
             t: 0,
             last_replan: 0,
             replan_requested: false,
@@ -400,6 +461,9 @@ impl<'a> Simulation<'a> {
     }
 
     /// Live counters (the conservation invariant holds after every tick).
+    /// `max_lag` folds lazily for sleeping agents under the event engine;
+    /// [`report`](Self::report) compensates — compare reports, not raw
+    /// counters, across engines.
     pub fn counters(&self) -> &SimCounters {
         &self.counters
     }
@@ -409,8 +473,14 @@ impl<'a> Simulation<'a> {
         self.executed.as_ref()
     }
 
-    /// The report at this instant (cheap; callable mid-run).
+    /// The report at this instant (cheap; callable mid-run). Sleeping
+    /// agents' accrued lag is folded in here without disturbing the run,
+    /// so mid-run reports match across engines too.
     pub fn report(&self) -> SimReport {
+        let mut counters = self.counters.clone();
+        if self.sleep.sleeping > 0 {
+            counters.max_lag = counters.max_lag.max(self.pending_sleep_lag());
+        }
         SimReport {
             agents: self.pos.len() as u64,
             vertices: self.instance.warehouse.graph().vertex_count() as u64,
@@ -418,7 +488,7 @@ impl<'a> Simulation<'a> {
             stream_seed: self.config.stream.seed,
             deviation_seed: self.config.deviations.seed,
             trajectory_checksum: self.checksum.0,
-            counters: self.counters.clone(),
+            counters,
         }
     }
 
@@ -428,9 +498,7 @@ impl<'a> Simulation<'a> {
     ///
     /// [`SimError::Pipeline`] if a window replan fails.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
-        while self.t < self.config.ticks {
-            self.step()?;
-        }
+        self.advance_until(self.config.ticks)?;
         Ok(self.report())
     }
 
@@ -440,10 +508,164 @@ impl<'a> Simulation<'a> {
     ///
     /// As for [`run`](Self::run).
     pub fn run_ticks(&mut self, n: u64) -> Result<(), SimError> {
-        for _ in 0..n {
-            self.step()?;
+        self.advance_until(self.t.saturating_add(n))
+    }
+
+    /// Advances simulated time to `until`, executing forced ticks and
+    /// (under the event engine) skipping provably quiescent stretches.
+    fn advance_until(&mut self, until: u64) -> Result<(), SimError> {
+        while self.t < until {
+            if self.sleep.sleeping == self.pos.len() {
+                let forced = self.next_forced_tick();
+                if forced > self.t {
+                    match self.config.engine {
+                        SimEngine::Event => {
+                            self.elide_to(forced.min(until));
+                            continue;
+                        }
+                        // The reference engine executes the tick anyway
+                        // and only keeps the elision ledger honest.
+                        SimEngine::Reference => self.counters.ticks_elided += 1,
+                    }
+                }
+            }
+            self.step_executed()?;
         }
         Ok(())
+    }
+
+    /// The earliest tick at or after `self.t` that must be executed: the
+    /// window-boundary tick, the next task arrival, the next stall
+    /// firing, the next queued wake-up / crossing check, and — while a
+    /// replan is pending (requested by a stray rejoin or held open by a
+    /// frozen sleeper past its lag crossing) — the tick the minimum
+    /// replan gap expires.
+    fn next_forced_tick(&self) -> u64 {
+        let mut forced = self.window_start + self.window_len as u64 - 1;
+        if let Some(t) = self.stream.next_arrival() {
+            forced = forced.min(t);
+        }
+        if let Some(t) = self.deviations.next_fire() {
+            forced = forced.min(t);
+        }
+        if self.replan_requested || self.sleep.frozen_over_replan > 0 {
+            let gap = (self.last_replan + self.config.min_replan_gap).saturating_sub(1);
+            forced = forced.min(gap);
+        }
+        if let Some(t) = self.queue.next_event(self.t, forced) {
+            forced = forced.min(t);
+        }
+        forced.max(self.t)
+    }
+
+    /// Skips `target - t` fully quiescent ticks in O(1) per counter
+    /// (plus O(agents) per tick when recording): every agent waits,
+    /// sleeping carriers keep carrying, nothing else can change.
+    fn elide_to(&mut self, target: u64) {
+        let n = self.pos.len() as u64;
+        let k = target - self.t;
+        self.counters.ticks += k;
+        self.counters.ticks_elided += k;
+        self.counters.waits += k * n;
+        self.counters.carrying_ticks += k * self.sleep.sleeping_carriers;
+        if let Some(plan) = self.executed.as_mut() {
+            for _ in 0..k {
+                for a in 0..n as usize {
+                    plan.push_state(
+                        a,
+                        AgentState {
+                            at: self.pos[a],
+                            carry: self.carry[a].map_or(Carry::Empty, Carry::Product),
+                        },
+                    );
+                }
+            }
+        }
+        self.t = target;
+    }
+
+    /// Largest lag any *sleeping* agent has analytically accrued up to
+    /// (not including) tick `self.t`. Sleep lag is non-decreasing, so the
+    /// peak is the latest value; folding this at replans and into
+    /// [`report`](Self::report) reproduces exactly what the reference
+    /// sweep folds tick by tick.
+    fn pending_sleep_lag(&self) -> u64 {
+        let elapsed = self.t.saturating_sub(self.window_start) as usize;
+        let mut worst = 0usize;
+        for a in 0..self.pos.len() {
+            if !self.sleep.is_awake(a) {
+                let settled = self.sleep.settled_cursor(a, self.t, self.window_len);
+                worst = worst.max(elapsed.saturating_sub(settled));
+            }
+        }
+        worst as u64
+    }
+
+    /// Pops every event due at tick `t`. Valid wake-ups re-activate their
+    /// agent (the event engine materializes the settled cursor; the
+    /// reference engine asserts it matches the truth); valid crossing
+    /// checks flip the frozen sleeper's over-replan flag. Stale payloads
+    /// (sequence mismatch) pop silently.
+    fn pop_due_events(&mut self, t: u64) {
+        let mut due = std::mem::take(&mut self.due_buf);
+        self.queue.drain_due(t, |payload| due.push(payload));
+        for payload in due.drain(..) {
+            let (is_check, a, seq) = event::unpack(payload);
+            if self.sleep.is_awake(a) || self.sleep.seq(a) != seq {
+                continue;
+            }
+            if is_check {
+                if self.sleep.mode(a) == SleepMode::Frozen && self.sleep.mark_over_replan(a) {
+                    self.counters.events_processed += 1;
+                }
+            } else {
+                self.wake(a, t);
+                self.counters.events_processed += 1;
+            }
+        }
+        self.due_buf = due;
+    }
+
+    /// Wakes `agent` at tick `t`, settling its cursor and banking the
+    /// lag peak its sleep accrued (the reference sweep folded it tick by
+    /// tick; sleep lag is monotone, so the final value is the peak — and
+    /// it must be banked *here* because the wake tick's own fold skips
+    /// the agent if a repair gets spliced onto it this very tick).
+    fn wake(&mut self, agent: usize, t: u64) {
+        let settled = self.sleep.settled_cursor(agent, t, self.window_len);
+        match self.config.engine {
+            SimEngine::Event => self.cursor[agent] = settled,
+            SimEngine::Reference => debug_assert_eq!(
+                settled, self.cursor[agent],
+                "virtual sleep of agent {agent} diverged from the reference sweep at t={t}"
+            ),
+        }
+        let elapsed = t.saturating_sub(self.window_start) as usize;
+        let slept_lag = elapsed.saturating_sub(settled) as u64;
+        self.counters.max_lag = self.counters.max_lag.max(slept_lag);
+        self.sleep.wake(agent, self.carry[agent].is_some());
+        self.granted[agent] = false;
+    }
+
+    /// Settles every sleeping agent's cursor in place (without waking)
+    /// so an outside observer — the repair projector — sees current
+    /// state. Queued wake-ups stay valid.
+    fn settle_sleepers(&mut self, t: u64) {
+        if self.sleep.sleeping == 0 {
+            return;
+        }
+        for a in 0..self.pos.len() {
+            if !self.sleep.is_awake(a) {
+                let settled = self.sleep.rebase(a, t, self.window_len);
+                match self.config.engine {
+                    SimEngine::Event => self.cursor[a] = settled,
+                    SimEngine::Reference => debug_assert_eq!(
+                        settled, self.cursor[a],
+                        "virtual sleep of agent {a} diverged at repair projection, t={t}"
+                    ),
+                }
+            }
+        }
     }
 
     /// Whether `agent`'s position matches its window-plan cursor cell (the
@@ -462,6 +684,14 @@ impl<'a> Simulation<'a> {
     /// from it through the pipeline's realize stage.
     fn replan(&mut self) -> Result<(), SimError> {
         let t = self.t;
+        // Sleep lag folds lazily; bank the accrued peak before the replan
+        // wipes the ledger (cursors need no materializing — they reset to
+        // zero below and the snapshots don't read them).
+        if self.sleep.sleeping > 0 {
+            self.counters.max_lag = self.counters.max_lag.max(self.pending_sleep_lag());
+        }
+        self.sleep.reset();
+        self.queue.clear(t);
         let snapshots: Vec<AgentSnapshot> = (0..self.pos.len())
             .map(|a| AgentSnapshot {
                 cycle: self.cycle_of[a],
@@ -481,11 +711,13 @@ impl<'a> Simulation<'a> {
             &mut self.plan_ledger,
         )?;
         self.window_plan = out.plan;
+        self.first_change = out.first_change;
         self.window_start = t;
         self.cursor.fill(0);
         self.last_replan = t;
         self.replan_requested = false;
         self.counters.replans += 1;
+        self.counters.events_processed += 1;
         // Repairs of on-component agents are healed by the replan itself;
         // off-component agents keep their detour but now rejoin as strays
         // (park until the next replan re-anchors them).
@@ -494,13 +726,12 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             let comp = self.cycles.cycles()[self.cycle_of[a]].steps()[self.step_of[a]].component;
-            if self
+            let on_component = self
                 .instance
                 .traffic
-                .component(comp)
-                .position(self.pos[a])
-                .is_some()
-            {
+                .locate(self.pos[a])
+                .is_some_and(|(owner, _)| owner == comp);
+            if on_component {
                 self.repair[a] = None;
             } else if let Some(r) = self.repair[a].as_mut() {
                 r.rejoin_cursor = STRAY_REJOIN;
@@ -509,33 +740,70 @@ impl<'a> Simulation<'a> {
         Ok(())
     }
 
-    /// Executes one tick.
+    /// Advances one tick (which the event engine may elide outright when
+    /// every agent is asleep and nothing is scheduled — observable state
+    /// is identical either way).
     ///
     /// # Errors
     ///
     /// [`SimError::Pipeline`] if the tick ends on a window boundary and
     /// the replan fails.
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.advance_until(self.t + 1)
+    }
+
+    /// Executes one tick for real: both engines share this body, the only
+    /// difference being the processing domain (`active`) it sweeps —
+    /// the awake set under [`SimEngine::Event`], every agent under
+    /// [`SimEngine::Reference`].
+    fn step_executed(&mut self) -> Result<(), SimError> {
         let t = self.t;
         let n = self.pos.len();
+        let reference = self.config.engine == SimEngine::Reference;
+
+        // 0. Scheduler: pop due wake-ups and crossing checks.
+        self.pop_due_events(t);
 
         // 1. Arrivals.
         for task in self.stream.arrivals_at(t) {
             self.queues[task.product.index()].push_back(task.arrival);
             self.counters.injected += 1;
             self.counters.queued += 1;
+            self.counters.events_processed += 1;
         }
 
-        // 2. Deviations.
+        // 2. Deviations. A stall ends a victim's sleep: its remaining
+        // ticks would no longer be cursor-advancing no-ops.
         self.stall_buf.clear();
         let buf = &mut self.stall_buf;
         self.deviations.fire_at(t, |s| buf.push(s));
-        for s in self.stall_buf.drain(..) {
+        for i in 0..self.stall_buf.len() {
+            let s = self.stall_buf[i];
             let until = t + u64::from(s.ticks);
             self.stall_until[s.agent] = self.stall_until[s.agent].max(until);
             self.counters.stalls_injected += 1;
             self.counters.stall_ticks_injected += u64::from(s.ticks);
+            self.counters.events_processed += 1;
+            if !self.sleep.is_awake(s.agent) {
+                self.wake(s.agent, t);
+            }
         }
+
+        // 2b. The processing domain: awake agents (ascending), or every
+        // agent under the reference sweep. Either way the *active* count
+        // this tick is agents-minus-sleepers.
+        self.active.clear();
+        if reference {
+            self.active.extend(0..n as u32);
+        } else {
+            for a in 0..n {
+                if self.sleep.is_awake(a) {
+                    self.active.push(a as u32);
+                }
+            }
+            debug_assert_eq!(self.active.len(), n - self.sleep.sleeping);
+        }
+        self.counters.active_agent_ticks += (n - self.sleep.sleeping) as u64;
 
         // 3. MAPF catch-up repair.
         if self.config.repair.enabled {
@@ -547,7 +815,8 @@ impl<'a> Simulation<'a> {
         for cell in self.claimed_cells.drain(..) {
             self.claimed[cell as usize] = false;
         }
-        for a in 0..n {
+        for i in 0..self.active.len() {
+            let a = self.active[i] as usize;
             self.granted[a] = false;
             let d = if t < self.stall_until[a] {
                 self.pos[a]
@@ -566,6 +835,14 @@ impl<'a> Simulation<'a> {
                 self.pos[a]
             };
             self.desired[a] = d;
+            if reference && !self.sleep.is_awake(a) {
+                // Oracle check: a virtually sleeping agent must be
+                // exactly as quiescent as its sleep mode promised.
+                debug_assert_eq!(
+                    d, self.pos[a],
+                    "virtually sleeping agent {a} wanted to move at t={t}"
+                );
+            }
             if d != self.pos[a] {
                 self.movers.push(a);
             }
@@ -637,10 +914,15 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // 7. Per-agent advancement, events, and counters.
+        // 7. Per-agent advancement, events, counters, and the per-change
+        // trajectory checksum (ascending agent order keeps the digest
+        // canonical; agents outside the domain can contribute no change
+        // by construction, so the two engines write identical streams).
         let mut max_lag = 0u64;
-        for a in 0..n {
+        for i in 0..self.active.len() {
+            let a = self.active[i] as usize;
             let old = self.pos[a];
+            let old_carry = self.carry[a];
             let moved = self.granted[a];
             if moved {
                 self.pos[a] = self.desired[a];
@@ -663,6 +945,7 @@ impl<'a> Simulation<'a> {
                 if done {
                     let rejoin = self.repair[a].as_ref().expect("checked").rejoin_cursor;
                     self.repair[a] = None;
+                    self.counters.events_processed += 1;
                     if rejoin == STRAY_REJOIN {
                         // Parked off-plan; ask for a replan to re-anchor.
                         self.replan_requested = true;
@@ -696,20 +979,32 @@ impl<'a> Simulation<'a> {
                 self.counters.carrying_ticks += 1;
             }
             // Lag of plan-following agents (repairing/stray agents are
-            // re-anchored by rejoin or replan instead).
+            // re-anchored by rejoin or replan instead). Sleeping agents
+            // are absent here under the event engine; their (monotone)
+            // lag folds at wake-up, replan, or report time instead.
             if self.repair[a].is_none() {
                 let scheduled = (t + 1).saturating_sub(self.window_start) as usize;
                 let lag = scheduled.saturating_sub(self.cursor[a]) as u64;
                 max_lag = max_lag.max(lag);
             }
+            // Checksum the state *change*, if any, at t + 1. Quiescent
+            // agents write nothing, which is exactly what lets elided
+            // ticks leave the digest untouched.
+            if self.pos[a] != old || self.carry[a] != old_carry {
+                self.checksum.write(((t + 1) << 21) | a as u64);
+                self.checksum.write(
+                    (u64::from(self.pos[a].0) << 32)
+                        | self.carry[a].map_or(0, |p| u64::from(p.0) + 1),
+                );
+            }
         }
         self.counters.max_lag = self.counters.max_lag.max(max_lag);
 
-        // 8. Record and checksum the executed configuration at t + 1.
-        for a in 0..n {
-            self.checksum.write(u64::from(self.pos[a].0));
-            self.checksum
-                .write(self.carry[a].map_or(0, |p| u64::from(p.0) + 1));
+        // 8. Sleeping agents under the event engine: bulk-account their
+        // waits and carries; record everyone at t + 1 when asked to.
+        if !reference && self.sleep.sleeping > 0 {
+            self.counters.waits += self.sleep.sleeping as u64;
+            self.counters.carrying_ticks += self.sleep.sleeping_carriers;
         }
         if let Some(plan) = self.executed.as_mut() {
             for a in 0..n {
@@ -735,16 +1030,150 @@ impl<'a> Simulation<'a> {
         );
 
         // 9. Window boundary / early replan (boundaries are mandatory;
-        // early replans respect the minimum gap).
+        // early replans respect the minimum gap). The frozen-crossing
+        // count stands in for sleeping agents whose lag passed the
+        // threshold — the awake sweep would have seen exactly them.
         self.t = t + 1;
         let boundary = (self.t - self.window_start) as usize >= self.window_len;
         let early = (self.replan_requested
-            || (self.config.replan_lag > 0 && max_lag as usize >= self.config.replan_lag))
+            || (self.config.replan_lag > 0 && max_lag as usize >= self.config.replan_lag)
+            || self.sleep.frozen_over_replan > 0)
             && self.t - self.last_replan >= self.config.min_replan_gap;
         if boundary || early {
             self.replan()?;
+        } else {
+            // 10. Sleep decisions for the agents just processed (under
+            // the reference sweep this books the sleep virtually; agents
+            // stay in the domain). After a replan everyone stays awake
+            // for the fresh window's first tick instead.
+            for i in 0..self.active.len() {
+                let a = self.active[i] as usize;
+                if self.sleep.is_awake(a) {
+                    self.maybe_sleep(a);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Decides whether `agent` — just processed, currently awake — can
+    /// sleep starting at tick `self.t`, and books the sleep plus its
+    /// wake-up/crossing events if so. Every guard here exists to keep a
+    /// sleeper's skipped ticks *provably* identical to what the reference
+    /// sweep would have done (see [`crate::event`] for the contract).
+    fn maybe_sleep(&mut self, agent: usize) {
+        if self.repair[agent].is_some() {
+            // Repairing agents advance their detour every tick.
+            return;
+        }
+        let from = self.t;
+        let cursor = self.cursor[agent];
+        let replan_lag = self.config.replan_lag;
+        let elapsed = from.saturating_sub(self.window_start) as usize;
+        let lag = elapsed.saturating_sub(cursor);
+        // An agent at or past the early-replan threshold must stay in the
+        // per-tick lag fold that re-arms the (possibly gap-deferred)
+        // replan trigger.
+        if replan_lag > 0 && lag >= replan_lag {
+            return;
+        }
+        let carrying = self.carry[agent].is_some();
+        if from < self.stall_until[agent] {
+            // Stalled: frozen until the stall ends; if its growing lag
+            // would cross the replan threshold first, file the check.
+            let wake = self.stall_until[agent];
+            let seq = self
+                .sleep
+                .sleep(agent, SleepMode::Frozen, from, cursor, carrying);
+            self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            if replan_lag > 0 {
+                let crossing = self.window_start + (cursor + replan_lag) as u64 - 1;
+                if crossing < wake {
+                    self.queue
+                        .push(crossing, event::pack(event::REPLAN_CHECK, agent, seq));
+                }
+            }
+            self.granted[agent] = false;
+            return;
+        }
+        if self.aligned(agent) {
+            if cursor >= self.window_len {
+                // Plan exhausted: parked until the boundary replan, which
+                // arrives before its lag could cross the threshold.
+                self.sleep
+                    .sleep(agent, SleepMode::Frozen, from, cursor, carrying);
+                self.granted[agent] = false;
+                return;
+            }
+            // A lagged aligned agent may become a repair candidate any
+            // tick (its constant lag stays over the threshold while its
+            // cooldown drains), so it must stay in the candidate scan.
+            if self.config.repair.enabled && lag >= self.config.repair.lag_threshold {
+                return;
+            }
+            match self.silent_run_len(agent, cursor) {
+                Some(1) => {} // next tick already changes state
+                Some(run) => {
+                    let seq = self
+                        .sleep
+                        .sleep(agent, SleepMode::Silent, from, cursor, carrying);
+                    self.queue
+                        .push(from + run as u64 - 1, event::pack(event::WAKE, agent, seq));
+                    self.granted[agent] = false;
+                }
+                None => {
+                    // Stationary through the whole remaining window: the
+                    // cursor analytically runs out and the boundary
+                    // replan wakes it (no event needed; the lag crossing
+                    // provably can't precede the boundary).
+                    self.sleep
+                        .sleep(agent, SleepMode::Silent, from, cursor, carrying);
+                    self.granted[agent] = false;
+                }
+            }
+            return;
+        }
+        // Unaligned (a stray parked off-plan): frozen until the next
+        // replan re-anchors it, with its lag crossing filed.
+        let seq = self
+            .sleep
+            .sleep(agent, SleepMode::Frozen, from, cursor, carrying);
+        if replan_lag > 0 {
+            let crossing = self.window_start + (cursor + replan_lag) as u64 - 1;
+            self.queue
+                .push(crossing, event::pack(event::REPLAN_CHECK, agent, seq));
+        }
+        self.granted[agent] = false;
+    }
+
+    /// Length of `agent`'s *silent run*: the smallest `j ≥ 1` whose
+    /// window-plan state differs from the current one in position or
+    /// carry (`None` if it stays identical through the window's end).
+    /// For a fresh cursor this is exactly the realize stage's
+    /// `first_change` schedule; otherwise a forward scan (amortized O(1)
+    /// per tick: each scanned index is slept past before it is rescanned).
+    fn silent_run_len(&self, agent: usize, cursor: usize) -> Option<usize> {
+        debug_assert!(cursor < self.window_len);
+        if cursor == 0 {
+            let j = self.first_change[agent];
+            return (j != u32::MAX).then_some(j as usize);
+        }
+        let pos = self.pos[agent];
+        let carry = self
+            .window_plan
+            .state(agent, cursor)
+            .expect("aligned cursor")
+            .carry;
+        for j in 1..=(self.window_len - cursor) {
+            let s = self
+                .window_plan
+                .state(agent, cursor + j)
+                .expect("within horizon");
+            if s.at != pos || s.carry != carry {
+                return Some(j);
+            }
+        }
+        None
     }
 
     /// Applies an executed carry transition: stock debit + task matching.
@@ -799,10 +1228,13 @@ impl<'a> Simulation<'a> {
         let n = self.pos.len();
         let cfg = self.config.repair.clone();
         self.requests.clear();
-        for flag in self.is_candidate.iter_mut() {
-            *flag = false;
-        }
-        for a in 0..n {
+        // Only awake agents can be candidates: a silent sleeper's lag is
+        // constant below the threshold (the sleep guard keeps lagged
+        // agents awake) and frozen sleepers are stalled, unaligned, or
+        // past the rejoin horizon — all disqualified below anyway. The
+        // reference sweep scans everyone and so double-checks this.
+        for i in 0..self.active.len() {
+            let a = self.active[i] as usize;
             if t < self.stall_until[a]
                 || self.repair[a].is_some()
                 || t < self.repair_cooldown_until[a]
@@ -842,6 +1274,10 @@ impl<'a> Simulation<'a> {
             if goal == self.pos[a] || cfg.slack == 0 {
                 continue;
             }
+            debug_assert!(
+                self.sleep.is_awake(a),
+                "virtually sleeping agent {a} qualified as a repair candidate at t={t}"
+            );
             self.requests.push(RepairRequest {
                 agent: a,
                 start: self.pos[a],
@@ -854,6 +1290,10 @@ impl<'a> Simulation<'a> {
         if self.requests.is_empty() {
             return;
         }
+        // The projection below reads every agent's cursor; materialize
+        // the sleepers' analytic ones first (they stay asleep — their
+        // trajectories are unchanged, the observer just needs them).
+        self.settle_sleepers(t);
         // Deepest-lagged first when the batch is over budget (ties break
         // toward the lowest agent index), then back to agent order so the
         // acceptance pass stays order-deterministic.
@@ -869,37 +1309,59 @@ impl<'a> Simulation<'a> {
             self.is_candidate[r.agent] = true;
         }
 
-        // Shared reservation table: everyone except the candidates,
-        // projected `lookahead` ticks ahead (stall first, then plan or
-        // active repair path, then parked forever). The table persists
-        // across repair events; `reset` clears it in O(touched), so the
-        // repair path stays vertex-count independent. (Temporarily moved
-        // out of `self` so the projection buffer can be borrowed
-        // alongside it.)
+        // Shared reservation table: everyone except the candidates whose
+        // reservations the searches could actually query, projected ahead
+        // (stall first, then plan or active repair path, then parked
+        // forever). The table persists across repair events; `reset`
+        // clears it in O(touched). (Temporarily moved out of `self` so the
+        // projection buffer can be borrowed alongside it.)
+        //
+        // Locality: a deadline-capped search expands states within
+        // `slack + 1` steps of its start and queries times up to
+        // `slack + 1`, while agent `b`'s projection at relative time `k`
+        // lies within `k` steps of `pos[b]` (one cell per tick, Manhattan
+        // distance bounds graph distance from below). So an agent beyond
+        // Manhattan distance `2 * (slack + 1)` of every candidate start
+        // can never collide with any query, and projected trajectories
+        // never need more than `slack + 2` cells (the `slack + 2`nd cell
+        // parks the agent at exactly the last queryable time, answering
+        // every in-budget query identically to the full projection).
+        // Both cuts are what keeps a repair event on a 100k-vertex floor
+        // O(neighbourhood), not O(agents × lookahead).
         let graph = self.instance.warehouse.graph();
         let mut table = std::mem::replace(&mut self.repair_table, ReservationTable::new(0));
         table.reset();
+        let radius = 2 * (cfg.slack as u64 + 1);
+        let span = cfg.lookahead.min(cfg.slack + 2);
         for b in 0..n {
             if self.is_candidate[b] {
+                continue;
+            }
+            let at = graph.coord(self.pos[b]);
+            let near = self.requests.iter().any(|r| {
+                let s = graph.coord(r.start);
+                u64::from(at.x.abs_diff(s.x)) + u64::from(at.y.abs_diff(s.y)) <= radius
+            });
+            if !near {
                 continue;
             }
             self.projection.clear();
             self.projection.push(self.pos[b]);
             let mut stall_left = self.stall_until[b].saturating_sub(t) as usize;
-            while stall_left > 0 && self.projection.len() < cfg.lookahead {
+            while stall_left > 0 && self.projection.len() < span {
                 self.projection.push(self.pos[b]);
                 stall_left -= 1;
             }
             if let Some(r) = &self.repair[b] {
                 for &v in r.path.iter().skip(r.at + 1) {
-                    if self.projection.len() >= cfg.lookahead {
+                    if self.projection.len() >= span {
                         break;
                     }
                     self.projection.push(v);
                 }
             } else if self.aligned(b) {
                 let mut k = self.cursor[b] + 1;
-                while self.projection.len() < cfg.lookahead && k <= self.window_len {
+                while self.projection.len() < span && k <= self.window_len {
                     self.projection
                         .push(self.window_plan.state(b, k).expect("within horizon").at);
                     k += 1;
@@ -917,6 +1379,11 @@ impl<'a> Simulation<'a> {
         for (agent, path) in accept_repairs(&self.requests, found) {
             self.repair[agent] = Some(path);
             self.counters.repairs_applied += 1;
+        }
+        // Clear the candidate flags through the request list instead of a
+        // full O(agents) sweep per call.
+        for i in 0..self.requests.len() {
+            self.is_candidate[self.requests[i].agent] = false;
         }
     }
 }

@@ -1,0 +1,250 @@
+//! Sleep bookkeeping for the event-driven engine: which agents are
+//! quiescent, how their plan cursors evolve analytically while they sleep,
+//! and how queued events are invalidated when reality intervenes.
+//!
+//! # The elision contract
+//!
+//! An agent may sleep only while every tick it skips would have been a
+//! no-op under the reference tick loop: no move, no pickup/drop-off, no
+//! repair-candidacy change, no early-replan trigger the awake engine
+//! would have seen. Two analytic regimes cover every such agent:
+//!
+//! * [`SleepMode::Silent`] — aligned, and the window plan holds it
+//!   stationary with constant carry. The reference loop would still
+//!   *advance its cursor* one index per tick (a stationary advance), so
+//!   the settled cursor is `cursor₀ + (t − from)`, capped at the window
+//!   length once the plan is exhausted. Its lag is constant while the
+//!   cursor advances.
+//! * [`SleepMode::Frozen`] — the reference loop would not advance the
+//!   cursor at all: the agent is stalled, unaligned (parked off-plan
+//!   until the next replan), or has exhausted its window plan. The
+//!   settled cursor is `cursor₀` and its lag grows one tick per tick —
+//!   which is why frozen sleepers may carry a *replan-lag crossing check*
+//!   event ([`REPLAN_CHECK`]) scheduled for the exact tick the awake
+//!   engine would first have observed `lag ≥ replan_lag`.
+//!
+//! Events carry a per-agent sequence number; waking or re-sleeping bumps
+//! it, so stale wake-ups pop harmlessly instead of requiring queue
+//! surgery. The reference engine maintains this book *virtually* (agents
+//! stay in the processing domain) and debug-asserts that every settled
+//! cursor matches the truth, which is what makes it an oracle for the
+//! event engine rather than a separate implementation.
+
+/// Event kind bit: the agent's next scheduled state change (end of a
+/// silent run or of a stall) — wake it and process it normally.
+pub(crate) const WAKE: u64 = 0;
+/// Event kind bit: a frozen sleeper's lag crosses `replan_lag` at this
+/// tick; mark it so the early-replan trigger stays observable.
+pub(crate) const REPLAN_CHECK: u64 = 1 << 63;
+
+/// Packs an event payload: kind bit | agent (bits 32..63) | sequence.
+pub(crate) fn pack(kind: u64, agent: usize, seq: u32) -> u64 {
+    debug_assert!(agent < (1 << 31));
+    kind | (agent as u64) << 32 | u64::from(seq)
+}
+
+/// Unpacks an event payload into `(is_replan_check, agent, seq)`.
+pub(crate) fn unpack(payload: u64) -> (bool, usize, u32) {
+    (
+        payload & REPLAN_CHECK != 0,
+        ((payload >> 32) & 0x7fff_ffff) as usize,
+        payload as u32,
+    )
+}
+
+/// How a sleeping agent's plan cursor evolves while it sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SleepMode {
+    /// Processed every executed tick.
+    Awake,
+    /// Aligned and stationary under the plan: cursor advances one index
+    /// per sleeping tick (capped at the window length).
+    Silent,
+    /// Stalled, unaligned, or plan-exhausted: cursor does not move.
+    Frozen,
+}
+
+/// The per-agent sleep ledger plus the aggregate counts the engine needs
+/// every tick (bulk wait/carry accounting, the all-asleep elision test,
+/// and the frozen-crossing early-replan trigger).
+#[derive(Debug)]
+pub(crate) struct SleepBook {
+    mode: Vec<SleepMode>,
+    /// First tick the current sleep covers.
+    from: Vec<u64>,
+    /// Cursor at `from` (indices into the window plan, so `u32` is ample).
+    cursor0: Vec<u32>,
+    /// Staleness sequence: queued events quote it and are void once the
+    /// agent woke or re-slept.
+    seq: Vec<u32>,
+    /// Whether this frozen sleeper's replan-lag crossing already fired.
+    over_replan: Vec<bool>,
+    /// Sleeping agents (all modes).
+    pub sleeping: usize,
+    /// Sleeping agents currently carrying a product (for bulk
+    /// `carrying_ticks` accounting on elided ticks).
+    pub sleeping_carriers: u64,
+    /// Frozen sleepers past their replan-lag crossing; while nonzero the
+    /// early-replan condition holds even with no awake agent lagging.
+    pub frozen_over_replan: usize,
+}
+
+impl SleepBook {
+    pub(crate) fn new(agents: usize) -> Self {
+        SleepBook {
+            mode: vec![SleepMode::Awake; agents],
+            from: vec![0; agents],
+            cursor0: vec![0; agents],
+            seq: vec![0; agents],
+            over_replan: vec![false; agents],
+            sleeping: 0,
+            sleeping_carriers: 0,
+            frozen_over_replan: 0,
+        }
+    }
+
+    pub(crate) fn is_awake(&self, agent: usize) -> bool {
+        self.mode[agent] == SleepMode::Awake
+    }
+
+    pub(crate) fn seq(&self, agent: usize) -> u32 {
+        self.seq[agent]
+    }
+
+    pub(crate) fn mode(&self, agent: usize) -> SleepMode {
+        self.mode[agent]
+    }
+
+    /// The cursor a sleeping agent has analytically reached at tick `t`
+    /// (i.e. before tick `t` is processed).
+    pub(crate) fn settled_cursor(&self, agent: usize, t: u64, window_len: usize) -> usize {
+        let c0 = self.cursor0[agent] as usize;
+        match self.mode[agent] {
+            SleepMode::Awake => unreachable!("settling an awake agent"),
+            SleepMode::Silent => (c0 + (t - self.from[agent]) as usize).min(window_len),
+            SleepMode::Frozen => c0,
+        }
+    }
+
+    /// Puts an awake agent to sleep from tick `from` with the given
+    /// cursor; returns the fresh sequence number to stamp onto any events
+    /// scheduled for it.
+    pub(crate) fn sleep(
+        &mut self,
+        agent: usize,
+        mode: SleepMode,
+        from: u64,
+        cursor: usize,
+        carrying: bool,
+    ) -> u32 {
+        debug_assert!(self.is_awake(agent) && mode != SleepMode::Awake);
+        self.mode[agent] = mode;
+        self.from[agent] = from;
+        self.cursor0[agent] = cursor as u32;
+        self.seq[agent] = self.seq[agent].wrapping_add(1);
+        self.sleeping += 1;
+        self.sleeping_carriers += u64::from(carrying);
+        self.seq[agent]
+    }
+
+    /// Wakes a sleeping agent (bumping its sequence, so any still-queued
+    /// event for it pops stale).
+    pub(crate) fn wake(&mut self, agent: usize, carrying: bool) {
+        debug_assert!(!self.is_awake(agent));
+        self.mode[agent] = SleepMode::Awake;
+        self.seq[agent] = self.seq[agent].wrapping_add(1);
+        self.sleeping -= 1;
+        self.sleeping_carriers -= u64::from(carrying);
+        if self.over_replan[agent] {
+            self.over_replan[agent] = false;
+            self.frozen_over_replan -= 1;
+        }
+    }
+
+    /// Re-anchors a sleeping agent's analytic cursor at tick `t` without
+    /// waking it (used when an outside observer — the repair projector —
+    /// needs every cursor materialized mid-sleep). Queued events stay
+    /// valid: the sequence is untouched.
+    pub(crate) fn rebase(&mut self, agent: usize, t: u64, window_len: usize) -> usize {
+        let settled = self.settled_cursor(agent, t, window_len);
+        self.cursor0[agent] = settled as u32;
+        self.from[agent] = t;
+        settled
+    }
+
+    /// Records a frozen sleeper's replan-lag crossing; returns whether it
+    /// was newly recorded.
+    pub(crate) fn mark_over_replan(&mut self, agent: usize) -> bool {
+        debug_assert!(self.mode[agent] == SleepMode::Frozen);
+        if self.over_replan[agent] {
+            return false;
+        }
+        self.over_replan[agent] = true;
+        self.frozen_over_replan += 1;
+        true
+    }
+
+    /// Wakes everyone (a replan re-anchors every agent, so all sleep
+    /// state and crossings are void). The caller clears the event queue.
+    pub(crate) fn reset(&mut self) {
+        for m in &mut self.mode {
+            *m = SleepMode::Awake;
+        }
+        self.over_replan.fill(false);
+        self.sleeping = 0;
+        self.sleeping_carriers = 0;
+        self.frozen_over_replan = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_round_trip() {
+        for &(kind, agent, seq) in &[
+            (WAKE, 0usize, 0u32),
+            (REPLAN_CHECK, 7, 1),
+            (WAKE, (1 << 31) - 1, u32::MAX),
+        ] {
+            let (is_check, a, s) = unpack(pack(kind, agent, seq));
+            assert_eq!(is_check, kind == REPLAN_CHECK);
+            assert_eq!(a, agent);
+            assert_eq!(s, seq);
+        }
+    }
+
+    #[test]
+    fn silent_cursor_advances_and_caps_while_frozen_holds() {
+        let mut book = SleepBook::new(2);
+        book.sleep(0, SleepMode::Silent, 10, 3, false);
+        book.sleep(1, SleepMode::Frozen, 10, 5, true);
+        assert_eq!(book.settled_cursor(0, 10, 8), 3);
+        assert_eq!(book.settled_cursor(0, 14, 8), 7);
+        assert_eq!(book.settled_cursor(0, 40, 8), 8); // capped
+        assert_eq!(book.settled_cursor(1, 40, 8), 5);
+        assert_eq!(book.sleeping, 2);
+        assert_eq!(book.sleeping_carriers, 1);
+        assert_eq!(book.rebase(0, 14, 8), 7);
+        assert_eq!(book.settled_cursor(0, 15, 8), 8);
+        book.wake(1, true);
+        assert_eq!(book.sleeping, 1);
+        assert_eq!(book.sleeping_carriers, 0);
+    }
+
+    #[test]
+    fn sequences_invalidate_and_crossings_count() {
+        let mut book = SleepBook::new(1);
+        let s1 = book.sleep(0, SleepMode::Frozen, 0, 0, false);
+        assert_eq!(book.seq(0), s1);
+        assert!(book.mark_over_replan(0));
+        assert!(!book.mark_over_replan(0));
+        assert_eq!(book.frozen_over_replan, 1);
+        book.wake(0, false);
+        assert_ne!(book.seq(0), s1);
+        assert_eq!(book.frozen_over_replan, 0);
+        book.reset();
+        assert_eq!(book.sleeping, 0);
+    }
+}

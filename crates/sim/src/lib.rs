@@ -9,11 +9,15 @@
 //!
 //! * a seeded stochastic **task stream** ([`TaskStream`]) drives arrivals,
 //!   typically from `MapInstance::zipf_workload` mixes;
-//! * the engine ([`Simulation`]) executes the design tick by tick,
-//!   **replanning rolling-horizon windows** by resuming the staged
-//!   pipeline from its realize stage
-//!   ([`wsp_core::Pipeline::realize_window`]) with per-pipeline scratch,
-//!   so steady-state ticks cost O(agents), independent of the map size;
+//! * the engine ([`Simulation`]) executes the design **event-driven**:
+//!   quiescent agents sleep on a time-ordered bucket queue, fully
+//!   quiescent ticks are skipped outright, and each executed tick sweeps
+//!   only the active set ([`SimEngine::Event`]; the original full sweep
+//!   survives as the [`SimEngine::Reference`] oracle), **replanning
+//!   rolling-horizon windows** by resuming the staged pipeline from its
+//!   realize stage ([`wsp_core::Pipeline::realize_window`]) with
+//!   per-pipeline scratch, so steady-state ticks cost O(active agents),
+//!   independent of the map size;
 //! * seeded **stall deviations** ([`DeviationSchedule`]) knock execution
 //!   off plan; a conflict-free movement resolver absorbs them (blocked
 //!   agents wait and lag, never collide), and **MAPF catch-up repair**
@@ -53,22 +57,30 @@
 mod cycles;
 mod deviation;
 mod engine;
+mod event;
+mod queue;
 mod repair;
 mod report;
 mod stream;
 
 pub use cycles::direct_cycle_set;
 pub use deviation::{DeviationConfig, DeviationSchedule, Stall};
-pub use engine::{RepairConfig, SimConfig, SimError, Simulation};
+pub use engine::{RepairConfig, SimConfig, SimEngine, SimError, Simulation};
+pub use queue::BucketQueue;
 pub use report::{SimCounters, SimReport, LATENCY_BUCKETS};
 pub use stream::{StreamConfig, Task, TaskStream};
 
 // Compile-time thread-safety audit for everything the repair fan-out
-// shares across its scoped workers (mirrors `wsp_core::pipeline`'s).
+// shares across its scoped workers, plus the event-scheduler types that
+// ride inside `Simulation` (mirrors `wsp_core::pipeline`'s block).
 const _: () = {
+    const fn assert_send<T: Send>() {}
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<wsp_mapf::ReservationTable>();
     assert_send_sync::<SimConfig>();
+    assert_send_sync::<SimEngine>();
     assert_send_sync::<SimReport>();
     assert_send_sync::<SimCounters>();
+    assert_send_sync::<BucketQueue>();
+    assert_send::<Simulation<'static>>();
 };

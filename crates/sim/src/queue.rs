@@ -1,0 +1,195 @@
+//! A monotone bucket (calendar) queue keyed by absolute tick.
+//!
+//! The event-driven engine schedules almost everything inside the current
+//! rolling-horizon window (wake-ups at most `window_len` ticks out,
+//! replan-lag crossings at most `window + replan_lag`), so a power-of-two
+//! ring of per-tick buckets indexed by `tick & mask` gives O(1) push and
+//! O(due span) drain with zero per-event allocation in steady state; the
+//! rare beyond-ring event (a long stall reaching past the window) falls
+//! into a linear `overflow` list that is almost always empty.
+//!
+//! The queue is *monotone*: `drain_due(t)` must be called with
+//! non-decreasing `t`, and pushes below the drain front are rejected
+//! (debug-asserted). Payloads are opaque `u64`s — the engine packs
+//! event kind, agent, and a staleness sequence number into them (see
+//! [`crate::event`]), so cancelling an event is just letting its stale
+//! payload pop and fail the sequence check.
+
+/// Monotone tick-keyed bucket queue with opaque `u64` payloads.
+#[derive(Debug)]
+pub struct BucketQueue {
+    /// Ring of per-tick buckets; `buckets[tick & mask]` holds the
+    /// payloads due at `tick` for every in-ring tick.
+    buckets: Vec<Vec<u64>>,
+    /// Index mask (`buckets.len() - 1`; the length is a power of two).
+    mask: u64,
+    /// Drain front: every stored entry is due at `base` or later, and
+    /// ring entries are due strictly before `base + buckets.len()`.
+    base: u64,
+    /// Events due at or beyond `base + buckets.len()` at push time.
+    overflow: Vec<(u64, u64)>,
+    /// Total stored payloads (ring + overflow).
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Builds a queue whose ring spans at least `min_span + 2` ticks
+    /// (enough for a full window of wake-ups plus the boundary tick).
+    pub fn new(min_span: usize) -> Self {
+        let slots = (min_span + 2).next_power_of_two().max(8);
+        BucketQueue {
+            buckets: (0..slots).map(|_| Vec::new()).collect(),
+            mask: slots as u64 - 1,
+            base: 0,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Stored payload count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no payloads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `payload` at absolute `tick` (which must be at or after
+    /// the current drain front).
+    pub fn push(&mut self, tick: u64, payload: u64) {
+        debug_assert!(
+            tick >= self.base,
+            "event scheduled at {tick}, behind the drain front {}",
+            self.base
+        );
+        if tick < self.base + self.buckets.len() as u64 {
+            self.buckets[(tick & self.mask) as usize].push(payload);
+        } else {
+            self.overflow.push((tick, payload));
+        }
+        self.len += 1;
+    }
+
+    /// Pops every payload due at or before `t` (in push order per tick,
+    /// ascending ticks first, overflow stragglers last) and advances the
+    /// drain front to `t + 1`. `t` must be non-decreasing across calls.
+    pub fn drain_due(&mut self, t: u64, mut apply: impl FnMut(u64)) {
+        if self.len > 0 {
+            // Ring entries live in [base, base + slots); once `t` passes
+            // the ring end they are all due, so one lap suffices.
+            for tick in self.base..=t.min(self.base + self.mask) {
+                let bucket = &mut self.buckets[(tick & self.mask) as usize];
+                self.len -= bucket.len();
+                for payload in bucket.drain(..) {
+                    apply(payload);
+                }
+            }
+            if !self.overflow.is_empty() {
+                // Overflow entries are never re-filed into the ring; a
+                // linear sweep here keeps them honest as the front moves.
+                let mut i = 0;
+                while i < self.overflow.len() {
+                    if self.overflow[i].0 <= t {
+                        let (_, payload) = self.overflow.swap_remove(i);
+                        self.len -= 1;
+                        apply(payload);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        self.base = self.base.max(t + 1);
+    }
+
+    /// Earliest tick in `[from, cap]` holding an event, if any. `from`
+    /// must be at or after the drain front.
+    pub fn next_event(&self, from: u64, cap: u64) -> Option<u64> {
+        debug_assert!(from >= self.base);
+        if self.len == 0 {
+            return None;
+        }
+        let mut best = None;
+        let ring_cap = cap.min(self.base + self.mask);
+        let mut tick = from.max(self.base);
+        while tick <= ring_cap {
+            if !self.buckets[(tick & self.mask) as usize].is_empty() {
+                best = Some(tick);
+                break;
+            }
+            tick += 1;
+        }
+        for &(tick, _) in &self.overflow {
+            if tick >= from && tick <= cap {
+                best = Some(best.map_or(tick, |b| b.min(tick)));
+            }
+        }
+        best
+    }
+
+    /// Drops every stored event and re-anchors the drain front at `base`
+    /// (the engine does this at each replan: the replan wakes everyone, so
+    /// every outstanding wake-up and crossing check is void).
+    pub fn clear(&mut self, base: u64) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+        self.base = base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order_with_intra_tick_fifo() {
+        let mut q = BucketQueue::new(16);
+        q.push(5, 50);
+        q.push(3, 30);
+        q.push(5, 51);
+        q.push(0, 1);
+        let mut out = Vec::new();
+        q.drain_due(4, |p| out.push(p));
+        assert_eq!(out, [1, 30]);
+        assert_eq!(q.len(), 2);
+        out.clear();
+        q.drain_due(9, |p| out.push(p));
+        assert_eq!(out, [50, 51]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_event_scans_ring_and_overflow() {
+        let mut q = BucketQueue::new(4);
+        assert_eq!(q.next_event(0, 100), None);
+        q.push(6, 60);
+        q.push(200, 7); // far beyond the 8-slot ring: overflow
+        assert_eq!(q.next_event(0, 100), Some(6));
+        assert_eq!(q.next_event(7, 100), None);
+        assert_eq!(q.next_event(7, 300), Some(200));
+        let mut out = Vec::new();
+        q.drain_due(6, |p| out.push(p));
+        assert_eq!(out, [60]);
+        // The front has moved; the overflow entry surfaces once due.
+        out.clear();
+        q.drain_due(200, |p| out.push(p));
+        assert_eq!(out, [7]);
+    }
+
+    #[test]
+    fn clear_reanchors_the_front() {
+        let mut q = BucketQueue::new(8);
+        q.push(2, 20);
+        q.clear(40);
+        assert!(q.is_empty());
+        q.push(41, 410);
+        let mut out = Vec::new();
+        q.drain_due(41, |p| out.push(p));
+        assert_eq!(out, [410]);
+    }
+}

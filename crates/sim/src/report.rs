@@ -53,6 +53,23 @@ pub struct SimCounters {
     pub repairs_applied: u64,
     /// Largest agent lag (ticks behind the window plan) ever observed.
     pub max_lag: u64,
+    /// Discrete events processed: task injections, stall firings, valid
+    /// wake-ups and replan-lag crossing checks popped from the event
+    /// queue, window replans (including the construction-time one), and
+    /// completed catch-up detours. Identical under the event-driven and
+    /// reference engines — the reference engine runs the same virtual
+    /// scheduler bookkeeping.
+    pub events_processed: u64,
+    /// Ticks the event-driven engine skipped outright (every agent
+    /// provably quiescent and nothing scheduled). The reference engine
+    /// counts the ticks it *would* have skipped, so this too is
+    /// byte-identical across engines; `ticks` always includes them.
+    pub ticks_elided: u64,
+    /// Sum over executed ticks of the number of awake agents — the work
+    /// the grant pass actually did. `active_agent_ticks + waits_of_sleepers`
+    /// style identities don't hold in general; compare against
+    /// `agents × ticks` for the elision win.
+    pub active_agent_ticks: u64,
 }
 
 impl SimCounters {
@@ -92,9 +109,12 @@ pub struct SimReport {
     pub stream_seed: u64,
     /// Deviation seed.
     pub deviation_seed: u64,
-    /// FNV-1a checksum over every executed `(tick, agent, vertex, carry)`
-    /// state — two runs with equal checksums executed identical
-    /// trajectories without either run recording them.
+    /// Word-wise FNV-1a checksum over the initial configuration plus
+    /// every executed *state change* `(tick, agent) → (vertex, carry)` —
+    /// two runs with equal checksums executed identical trajectories
+    /// without either run recording them. Change-based rather than
+    /// per-tick, so a quiescent tick contributes nothing and the
+    /// event-driven engine can skip it without perturbing the digest.
     pub trajectory_checksum: u64,
     /// The final counters.
     pub counters: SimCounters,
@@ -175,6 +195,9 @@ impl SimReport {
         field(&mut out, "repairs_attempted", c.repairs_attempted, true);
         field(&mut out, "repairs_applied", c.repairs_applied, true);
         field(&mut out, "max_lag", c.max_lag, true);
+        field(&mut out, "events_processed", c.events_processed, true);
+        field(&mut out, "ticks_elided", c.ticks_elided, true);
+        field(&mut out, "active_agent_ticks", c.active_agent_ticks, true);
         let hist: Vec<String> = c.latency_hist.iter().map(|b| b.to_string()).collect();
         let _ = writeln!(out, "  \"latency_hist\": [{}],", hist.join(", "));
         field(
@@ -212,7 +235,12 @@ impl fmt::Display for SimReport {
     }
 }
 
-/// Incremental FNV-1a trajectory checksum.
+/// Incremental word-wise FNV-1a trajectory checksum: one xor-multiply
+/// round per `u64`, so a checksummed word costs a couple of cycles
+/// instead of eight byte rounds. The engine feeds it the initial
+/// configuration plus one `(tick, agent) → (vertex, carry)` pair per
+/// *state change*, which is what lets fully quiescent ticks be elided
+/// without perturbing the digest.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Fnv(pub u64);
 
@@ -222,12 +250,7 @@ impl Fnv {
     }
 
     pub(crate) fn write(&mut self, word: u64) {
-        let mut h = self.0;
-        for byte in word.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
+        self.0 = (self.0 ^ word).wrapping_mul(0x0000_0100_0000_01b3);
     }
 }
 

@@ -90,6 +90,13 @@ impl TaskStream {
         self.tasks.last().map(|t| t.arrival)
     }
 
+    /// Tick of the next undelivered arrival, if any — the event-driven
+    /// engine's "next task event" lookahead; never earlier than the last
+    /// `arrivals_at` tick.
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.tasks.get(self.next).map(|t| t.arrival)
+    }
+
     /// Pops every task arriving at tick `t` (call with strictly increasing
     /// `t`; earlier stragglers are delivered too, so a skipped tick loses
     /// nothing).

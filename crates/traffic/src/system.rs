@@ -242,17 +242,18 @@ impl TrafficSystemBuilder {
         let graph = warehouse.graph();
         let n = self.paths.len();
 
-        // Rule: simple, disjoint, adjacent paths. The owner table is the
-        // dense per-vertex component map the built system ships with; it
-        // doubles as the duplicate detector here.
+        // Rule: simple, disjoint, adjacent paths. The owner and offset
+        // tables are the dense per-vertex maps the built system ships
+        // with; the owner table doubles as the duplicate detector here.
         let mut owner: Vec<u32> = vec![NO_COMPONENT; graph.vertex_count()];
+        let mut offset: Vec<u32> = vec![0; graph.vertex_count()];
         for (i, path) in self.paths.iter().enumerate() {
             let id = ComponentId(i as u32);
             if path.is_empty() {
                 errors.push(TrafficError::EmptyComponent { component: id });
                 continue;
             }
-            for &v in path {
+            for (k, &v) in path.iter().enumerate() {
                 if v.index() >= owner.len() {
                     errors.push(TrafficError::UnknownVertex {
                         component: id,
@@ -260,6 +261,7 @@ impl TrafficSystemBuilder {
                     });
                     continue;
                 }
+                offset[v.index()] = k as u32;
                 match owner[v.index()] {
                     NO_COMPONENT => owner[v.index()] = id.0,
                     prev if prev == id.0 => errors.push(TrafficError::RepeatedVertex {
@@ -378,6 +380,7 @@ impl TrafficSystemBuilder {
             inlets,
             outlets,
             owner,
+            offset,
         })
     }
 }
@@ -411,6 +414,11 @@ pub struct TrafficSystem {
     /// Dense per-vertex owner table, sized by the floorplan graph's
     /// `vertex_count()`; [`NO_COMPONENT`] marks unused vertices.
     owner: Vec<u32>,
+    /// Dense per-vertex path offset (0 = entry) within the owning
+    /// component; meaningless (0) for unused vertices. Components are
+    /// disjoint simple paths, so the offset is well-defined and makes
+    /// `position`/`next` queries O(1) instead of a path scan.
+    offset: Vec<u32>,
 }
 
 impl TrafficSystem {
@@ -470,6 +478,26 @@ impl TrafficSystem {
             Some(&id) if id != NO_COMPONENT => Some(ComponentId(id)),
             _ => None,
         }
+    }
+
+    /// The owning component and path offset (0 = entry) of a vertex, both
+    /// O(1) via dense tables — the fast form of
+    /// [`Component::position`](crate::Component::position) for hot loops.
+    pub fn locate(&self, v: VertexId) -> Option<(ComponentId, u32)> {
+        match self.owner.get(v.index()) {
+            Some(&id) if id != NO_COMPONENT => Some((ComponentId(id), self.offset[v.index()])),
+            _ => None,
+        }
+    }
+
+    /// The vertex following `v` on its owning component's path (the
+    /// paper's `NEXT`), `None` for exits and unused vertices; O(1).
+    pub fn next_on_component(&self, v: VertexId) -> Option<VertexId> {
+        let (comp, at) = self.locate(v)?;
+        self.components[comp.index()]
+            .path()
+            .get(at as usize + 1)
+            .copied()
     }
 
     /// The length `m` of the longest component.
@@ -623,6 +651,26 @@ mod tests {
         assert!(unused.is_some()); // station is covered
         let interior = w.graph().vertex_at(wsp_model::Coord::new(1, 0)).unwrap();
         assert!(ts.component_of(interior).is_some());
+    }
+
+    #[test]
+    fn locate_agrees_with_path_scans_everywhere() {
+        let w = demo();
+        let (b, _) = valid_loop(&w);
+        let ts = b.build(&w).unwrap();
+        for v in (0..w.graph().vertex_count()).map(|i| VertexId(i as u32)) {
+            match ts.component_of(v) {
+                Some(comp) => {
+                    let c = ts.component(comp);
+                    assert_eq!(ts.locate(v), Some((comp, c.position(v).unwrap() as u32)));
+                    assert_eq!(ts.next_on_component(v), c.next(v));
+                }
+                None => {
+                    assert_eq!(ts.locate(v), None);
+                    assert_eq!(ts.next_on_component(v), None);
+                }
+            }
+        }
     }
 
     #[test]

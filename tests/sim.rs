@@ -84,6 +84,47 @@ fn golden_scaled_warehouse_10k_lifelong() {
     golden_check("sim_scaled_warehouse_10k", &report.to_json());
 }
 
+/// Nightly elision guard: 200k simulated ticks on the ~11k-vertex scaled
+/// warehouse must fit a generous wall-clock budget. The event engine covers
+/// quiescent stretches in O(events), so a regression that silently falls
+/// back to per-tick sweeps blows the budget by an order of magnitude and
+/// fails loudly. Run with `cargo test --release --test sim -- --ignored`.
+#[test]
+#[ignore = "nightly: 200k-tick release-profile smoke with a wall-clock budget"]
+fn nightly_event_engine_200k_tick_smoke() {
+    const TICKS: u64 = 200_000;
+    const WALL_BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
+    let scenario = sim_scenario_scaled(31, 320, 400, 5);
+    assert!(
+        scenario.instance.warehouse.graph().vertex_count() >= 10_000,
+        "scenario must stay production-scale"
+    );
+    let mut sim = Simulation::from_cycles(
+        &scenario.instance,
+        scenario.cycles.clone(),
+        scenario.config(TICKS),
+    )
+    .expect("scaled scenario simulates");
+    let start = std::time::Instant::now();
+    let report = sim.run().expect("runs to the tick budget");
+    let elapsed = start.elapsed();
+    assert!(report.counters.conserved());
+    assert_eq!(report.counters.ticks, TICKS);
+    assert!(
+        report.counters.ticks_elided > 0,
+        "quiescent stretches should be elided on this instance"
+    );
+    println!(
+        "200k-tick smoke: {elapsed:?} wall, {} ticks elided, {} events",
+        report.counters.ticks_elided, report.counters.events_processed
+    );
+    assert!(
+        elapsed < WALL_BUDGET,
+        "200k simulated ticks took {elapsed:?}, budget {WALL_BUDGET:?} — \
+         elision regression?"
+    );
+}
+
 #[test]
 fn lifelong_smoke_full_engine() {
     // A quick end-to-end pass over every engine feature: pipeline
