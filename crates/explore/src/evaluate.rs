@@ -60,6 +60,12 @@ pub struct SimScoring {
     pub mean_gap: u32,
     /// Seed for both the mix permutation and the arrival gaps.
     pub seed: u64,
+    /// Task-assignment policy the scored simulation runs under — a
+    /// co-design knob: the same floorplan scores differently when agents
+    /// follow their synthesized cycles ([`wsp_sim::AssignPolicy::Static`])
+    /// versus bidding on queued tasks
+    /// ([`wsp_sim::AssignPolicy::Auction`]). Deterministic either way.
+    pub policy: wsp_sim::AssignPolicy,
 }
 
 impl Default for SimScoring {
@@ -71,6 +77,7 @@ impl Default for SimScoring {
             zipf_exponent: 1.0,
             mean_gap: 2,
             seed: 7,
+            policy: wsp_sim::AssignPolicy::Static,
         }
     }
 }
@@ -310,6 +317,10 @@ fn simulate_candidate(
             mean_gap: scoring.mean_gap,
             seed: scoring.seed,
         },
+        assign: wsp_sim::AssignConfig {
+            policy: scoring.policy,
+            ..wsp_sim::AssignConfig::default()
+        },
         ..wsp_sim::SimConfig::default()
     };
     let mut sim = wsp_sim::Simulation::from_cycles(instance, cycles, config)?;
@@ -511,6 +522,35 @@ mod tests {
         let plain = evaluate_batch(&candidates, &tiny_options(1));
         for r in &plain.reports {
             assert_eq!(r.outcome.eval().unwrap().objective().sim_latency, 0);
+        }
+    }
+
+    #[test]
+    fn assignment_policy_is_a_deterministic_codesign_knob() {
+        // Scoring the same candidates under the auction policy must stay
+        // byte-reproducible across thread counts, and the knob must
+        // actually reach the simulator (auction runs complete work too).
+        let candidates = tiny_candidates();
+        let scored = |threads: usize| ExploreOptions {
+            sim: Some(SimScoring {
+                ticks: 200,
+                units: 60,
+                policy: wsp_sim::AssignPolicy::Auction,
+                ..SimScoring::default()
+            }),
+            ..tiny_options(threads)
+        };
+        let one = evaluate_batch(&candidates, &scored(1));
+        let two = evaluate_batch(&candidates, &scored(2));
+        assert_eq!(one.fingerprint(), two.fingerprint());
+        for r in &one.reports {
+            let eval = r.outcome.eval().expect("tiny candidates solve");
+            let sim = eval.sim.as_ref().expect("lifelong scoring on");
+            assert!(
+                sim.completed > 0,
+                "{}: auction scoring completed nothing",
+                r.candidate.label()
+            );
         }
     }
 

@@ -65,6 +65,13 @@ pub struct AgentSnapshot {
     /// Absolute timestep at which the agent last entered a component
     /// (`-1` allows a hop in the very first period).
     pub advance_t: i64,
+    /// Detached from cycle execution: the realization treats the agent
+    /// exactly like a stray — parked in place as a static obstacle for
+    /// the whole window, moving nothing and counting toward no
+    /// diagnostics — even when it sits on its component's path. Set by
+    /// callers that drive the agent outside the window plan (the
+    /// simulator's auction missions) while keeping the replan cadence.
+    pub detached: bool,
 }
 
 /// The result of realizing one rolling-horizon window from a set of
@@ -286,6 +293,7 @@ pub fn initial_snapshots(
                 pos: comp.path()[j],
                 carry: None,
                 advance_t: -1,
+                detached: false,
             });
         }
     }
@@ -365,7 +373,7 @@ pub fn realize_window_with_scratch(
             path_off: located.map_or(0, |(_, off)| off),
             advance_t: s.advance_t,
             carry: s.carry,
-            stray: located.is_none(),
+            stray: s.detached || located.is_none(),
         });
         plan.add_agent(AgentState {
             at: s.pos,
@@ -389,12 +397,16 @@ pub fn realize_window_with_scratch(
     let final_states = scratch
         .agents
         .iter()
-        .map(|a| AgentSnapshot {
+        .zip(states)
+        .map(|(a, s)| AgentSnapshot {
             cycle: a.cycle,
             step: a.step,
             pos: a.pos,
             carry: a.carry,
             advance_t: a.advance_t,
+            // Detachment is the caller's flag, not execution state:
+            // carry it through unchanged.
+            detached: s.detached,
         })
         .collect();
 
@@ -1070,6 +1082,33 @@ mod tests {
         }
         assert_eq!(out.final_states[0].pos, stray_pos);
         // The emitted window is still collision-free.
+        wsp_model::PlanChecker::new(&w).check(&out.plan).unwrap();
+    }
+
+    #[test]
+    fn detached_snapshots_realize_as_a_constant_window() {
+        let (w, ts, cycles, _) = pipeline_fixture(1000, 8);
+        let mut states = initial_snapshots(&ts, &cycles).unwrap();
+        for s in &mut states {
+            s.detached = true;
+        }
+        let mut stock = w.location_matrix().clone();
+        let before = stock.clone();
+        let out = realize_window(&w, &ts, &cycles, 0, 24, &states, &mut stock).unwrap();
+        // Every agent parks for the whole window (on-path positions and
+        // all): no moves, no pickups, no first change ever scheduled.
+        for (a, s0) in states.iter().enumerate() {
+            for k in 0..=24 {
+                let s = out.plan.state(a, k).unwrap();
+                assert_eq!(s.at, s0.pos, "agent {a} moved at k={k}");
+                assert_eq!(s.carry, Carry::Empty, "agent {a} acted at k={k}");
+            }
+            assert_eq!(out.first_change[a], u32::MAX, "agent {a}");
+        }
+        assert!(out.delivered.iter().all(|&d| d == 0));
+        assert_eq!(stock, before, "detached agents must not touch stock");
+        // Detachment survives the round-trip into final states.
+        assert!(out.final_states.iter().all(|s| s.detached));
         wsp_model::PlanChecker::new(&w).check(&out.plan).unwrap();
     }
 

@@ -1,0 +1,605 @@
+//! Lifelong task assignment: the policy layer deciding *which* agent
+//! serves *which* queued task.
+//!
+//! [`AssignPolicy::Static`] keeps the seed behavior bit-for-bit: tasks sit
+//! in per-product FIFO queues and attach to whichever agent's synthesized
+//! cycle happens to execute a matching pickup — assignment is implicit in
+//! the design, and on production-scale floors (where `direct_cycle_set`
+//! pairs shelving rows with stations over ring distances of tens of
+//! thousands of ticks) throughput starves.
+//!
+//! [`AssignPolicy::Auction`] adds an explicit dispatcher, after Shi et
+//! al.'s adaptive task planning for large-scale robotized warehouses
+//! (arXiv:2205.00831): each queued task is auctioned to the cheapest
+//! eligible agent over BFS-distance costs
+//! ([`FloorplanGraph::bfs_distances_bounded_into`] probes the idle
+//! neighbourhood of the chosen shelf slot at escalating caps), compatible
+//! same-product tasks are batched onto one agent, and idle agents are
+//! rebalanced toward high-pressure stations. Every decision is a pure
+//! function of `(queue, agent states, tick)` — index-deterministic
+//! tie-breaks, no wall clock, no thread count — so the simulation's
+//! byte-identical-report contract survives intact.
+//!
+//! # Deadlock-free routing: the parity direction field
+//!
+//! Mission routes ignore the synthesized traffic system (that is the
+//! point: the static pairing is what starves), so they need their own
+//! defense against head-on meetings in one-agent-wide aisles, which the
+//! engine's grant pass — correctly — never resolves. Routes follow a
+//! *direction field* over the grid: a horizontal edge may be traversed
+//! east iff its row index is even (west iff odd), a vertical edge north
+//! iff its column index is even (south iff odd). Adjacent corridors
+//! alternate direction like one-way streets, so two field-following
+//! agents can never meet head-on inside a corridor; cells the parity
+//! rule would leave without an entry or an exit (map corners) are
+//! *relaxed* to bidirectional, keeping the field usable on arbitrary
+//! floorplans. Unroutable (site, station) pairs are skipped
+//! deterministically — assignment degrades gracefully rather than
+//! wedging.
+//!
+//! Residual contention (a parked agent occupying a corridor cell, convoy
+//! pile-ups behind a stall) is handled by the engine's yield/reroute
+//! pass: blocked mission agents nudge parked blockers into a
+//! field-following drift walk toward the next junction, and reroute
+//! around cells that stay contested.
+
+use std::collections::VecDeque;
+
+use wsp_model::{Coord, FloorplanGraph, LocationMatrix, ProductId, VertexId, Warehouse, NO_INDEX};
+
+/// Which task-assignment policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignPolicy {
+    /// The seed behavior, bit-for-bit: tasks attach to whichever agent's
+    /// synthesized cycle executes a matching pickup. Golden files pin
+    /// this rendering.
+    #[default]
+    Static,
+    /// Deterministic auction dispatch: queued tasks are matched to idle
+    /// (or re-targetable) agents over BFS-distance costs, batched per
+    /// station, with idle-agent rebalancing toward high-pressure
+    /// stations.
+    Auction,
+}
+
+/// Configuration of the task-assignment layer.
+#[derive(Debug, Clone)]
+pub struct AssignConfig {
+    /// The policy (Static by default — existing configs are unchanged).
+    pub policy: AssignPolicy,
+    /// Most tasks batched onto one agent per assignment (the first task
+    /// plus up to `batch - 1` queued same-product followers).
+    pub batch: usize,
+    /// Idle agents staged near each station by the rebalancer (`0`
+    /// disables rebalancing).
+    pub rebalance_per_station: usize,
+    /// Station-pressure weight: each already-assigned undelivered task at
+    /// a station adds this many BFS steps to its bid, spreading load.
+    pub station_bias: u32,
+    /// Ticks a mission agent stays blocked before nudging a parked
+    /// blocker into a drift walk.
+    pub yield_after: u32,
+    /// Ticks blocked before a task mission reroutes around the contested
+    /// cell (repositioning missions give up and park instead).
+    pub reroute_after: u32,
+}
+
+impl Default for AssignConfig {
+    fn default() -> Self {
+        AssignConfig {
+            policy: AssignPolicy::Static,
+            batch: 4,
+            rebalance_per_station: 2,
+            station_bias: 8,
+            yield_after: 2,
+            reroute_after: 8,
+        }
+    }
+}
+
+/// One agent's bid for a task: its index and its BFS-distance cost from
+/// the task's pickup slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentBid {
+    /// Agent index.
+    pub agent: u32,
+    /// BFS distance from the pickup site to the agent (engine bids use
+    /// [`FloorplanGraph::bfs_distances_bounded_into`] fields).
+    pub cost: u32,
+}
+
+/// The auction's winner rule, factored out as a pure function: the
+/// minimum bid by `(cost, agent)`. Any permutation of `bids` yields the
+/// same winner — the property test in `tests/assign_properties.rs`
+/// shuffles the slate and pins exactly this invariant, which is what
+/// makes the matching independent of internal iteration order.
+pub fn select_agent(bids: &[AgentBid]) -> Option<AgentBid> {
+    bids.iter().copied().min_by_key(|b| (b.cost, b.agent))
+}
+
+/// A task waiting for assignment (product plus arrival tick, FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingTask {
+    pub product: ProductId,
+    pub arrival: u64,
+}
+
+/// A carry transition a mission executes on its next tick transition,
+/// with the pre-move cell as the action vertex (the plan checker's
+/// condition (3) convention, shared with window-plan execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LegAction {
+    /// Pick one unit of `product` up; the task arrived at `arrival`.
+    Pickup { product: ProductId, arrival: u64 },
+    /// Drop the carried unit at a station, completing the task that
+    /// arrived at `arrival`; `station` indexes the auction's station
+    /// table for pressure bookkeeping.
+    Drop { arrival: u64, station: u16 },
+}
+
+/// One mission leg: travel to `goal`, then execute `action` on the next
+/// transition out of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Leg {
+    pub goal: VertexId,
+    pub action: LegAction,
+}
+
+/// What a mission is for — task service, station staging, or a nudge out
+/// of somebody's way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MissionKind {
+    /// Serving one or more assigned tasks (pickup/drop leg pairs).
+    Task,
+    /// Rebalancing toward the station with this index's anchor.
+    Reposition(u16),
+    /// A field-following drift walk clearing a contested cell (also the
+    /// automatic walk-off after a mission's final drop).
+    Drift,
+}
+
+/// An agent's current auction mission: the route to the front leg's goal
+/// plus the remaining legs. `path[at]` is the agent's expected position;
+/// legs are popped on arrival, and the popped leg's action fires on the
+/// following transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Mission {
+    pub kind: MissionKind,
+    pub path: Vec<VertexId>,
+    pub at: usize,
+    pub legs: VecDeque<Leg>,
+    /// Carry transition pending on the next tick transition.
+    pub action: Option<LegAction>,
+    /// Consecutive ticks this mission wanted a move and was not granted.
+    pub blocked: u32,
+}
+
+impl Mission {
+    /// Whether assignment may replace this mission with a task mission
+    /// (staging and drifting are best-effort; a pending carry action is
+    /// not).
+    pub(crate) fn replaceable(&self) -> bool {
+        !matches!(self.kind, MissionKind::Task) && self.action.is_none()
+    }
+
+    /// The next cell this mission wants, or `at` when the route is done.
+    pub(crate) fn desired(&self, at: VertexId) -> VertexId {
+        if self.at + 1 < self.path.len() {
+            self.path[self.at + 1]
+        } else {
+            at
+        }
+    }
+}
+
+/// Whether the parity direction field permits traversing the edge
+/// `a -> b` (adjacent grid cells): horizontal edges run east on even
+/// rows and west on odd rows; vertical edges run north on even columns
+/// and south on odd columns.
+#[inline]
+fn parity_allows(a: Coord, b: Coord) -> bool {
+    if a.y == b.y {
+        if b.x > a.x {
+            a.y & 1 == 0
+        } else {
+            a.y & 1 == 1
+        }
+    } else if b.y > a.y {
+        a.x & 1 == 0
+    } else {
+        a.x & 1 == 1
+    }
+}
+
+/// All mutable and precomputed state behind [`AssignPolicy::Auction`],
+/// boxed into the engine only when the policy is on — `Static` runs pay
+/// nothing.
+#[derive(Debug)]
+pub(crate) struct AuctionState {
+    /// Tasks awaiting assignment, in arrival order (arrivals are
+    /// redirected here instead of the per-product execution queues).
+    pub pending: VecDeque<PendingTask>,
+    /// Assignment-time stock reservations: debited when a task is
+    /// assigned a slot, so concurrent missions never over-commit a slot
+    /// and executed pickups never underflow the authoritative ledger.
+    pub reserved: LocationMatrix,
+    /// Station vertices, in warehouse order.
+    pub stations: Vec<VertexId>,
+    /// Per station: assigned-but-undelivered tasks (the pressure term).
+    pub open: Vec<u32>,
+    /// Per station: idle agents staged at (or repositioning toward) its
+    /// anchor.
+    pub staged: Vec<u32>,
+    /// Which station each agent is staged under, if any.
+    pub staged_of: Vec<Option<u16>>,
+    /// Per-agent current mission.
+    pub missions: Vec<Option<Mission>>,
+    /// Per station: the staging cell repositioned agents park at (a
+    /// junction cell a few steps off the station, so staged agents leave
+    /// the station approach clear).
+    pub anchors: Vec<VertexId>,
+    /// Set when an agent went idle (mission completed) — the rebalancer
+    /// runs on the next assignment pass and idle agents stay awake until
+    /// it has; both are what keep tick elision unobservable.
+    pub idle_dirty: bool,
+
+    /// Stocked slots per product, ascending vertex order.
+    sites: Vec<Vec<VertexId>>,
+    /// Per station: field-directed distance from every vertex *to* the
+    /// station (reverse BFS over the direction field).
+    to_station: Vec<Vec<u32>>,
+    /// Per station: field-directed distance from the station to every
+    /// vertex (forward BFS; sizes follow-up batch legs).
+    from_station: Vec<Vec<u32>>,
+    /// Cells where the parity rule is relaxed to bidirectional (no entry
+    /// or no exit otherwise — map corners and degenerate dead ends).
+    relaxed: Vec<bool>,
+
+    // Route scratch (epoch-stamped dense arrays, O(visited) per search).
+    seen: Vec<u32>,
+    parent: Vec<u32>,
+    epoch: u32,
+    frontier: VecDeque<u32>,
+    // Scratch for the bounded idle-neighbourhood probes.
+    pub probe_dist: Vec<u32>,
+    pub probe_touched: Vec<u32>,
+}
+
+impl AuctionState {
+    /// Builds the auction tables for a warehouse and team size: direction
+    /// field relaxation, per-station distance fields, per-product site
+    /// lists, and staging anchors.
+    pub(crate) fn new(warehouse: &Warehouse, agents: usize) -> Self {
+        let graph = warehouse.graph();
+        let n = graph.vertex_count();
+
+        // Relax cells the parity rule would leave unenterable or
+        // unleavable (corners): all their edges become bidirectional,
+        // which cannot de-relax any other cell (edges only get added).
+        let mut relaxed = vec![false; n];
+        for v in graph.vertices() {
+            let a = graph.coord(v);
+            let mut out = 0usize;
+            let mut inc = 0usize;
+            for &w in graph.neighbors(v) {
+                let b = graph.coord(w);
+                if parity_allows(a, b) {
+                    out += 1;
+                }
+                if parity_allows(b, a) {
+                    inc += 1;
+                }
+            }
+            relaxed[v.index()] = out == 0 || inc == 0;
+        }
+
+        let stations: Vec<VertexId> = warehouse.stations().to_vec();
+        let to_station: Vec<Vec<u32>> = stations
+            .iter()
+            .map(|&s| directed_distances(graph, &relaxed, s, true))
+            .collect();
+        let from_station: Vec<Vec<u32>> = stations
+            .iter()
+            .map(|&s| directed_distances(graph, &relaxed, s, false))
+            .collect();
+
+        let mut sites: Vec<Vec<VertexId>> = vec![Vec::new(); warehouse.catalog().len()];
+        for (v, p, units) in warehouse.location_matrix().iter() {
+            if units > 0 {
+                sites[p.index()].push(v);
+            }
+        }
+        for list in &mut sites {
+            list.sort_unstable_by_key(|v| v.index());
+            list.dedup();
+        }
+
+        // Anchor per station: the lowest-indexed junction cell (3+ free
+        // neighbors) a few field-steps out and able to route back, so
+        // staged agents wait beside the flow instead of inside it.
+        let anchors: Vec<VertexId> = (0..stations.len())
+            .map(|q| {
+                let pick = |lo: u32, hi: u32, need_junction: bool| {
+                    graph.vertices().find(|&v| {
+                        let d = from_station[q][v.index()];
+                        (lo..=hi).contains(&d)
+                            && to_station[q][v.index()] != u32::MAX
+                            && !warehouse.is_station(v)
+                            && (!need_junction || graph.neighbors(v).len() >= 3)
+                    })
+                };
+                pick(2, 8, true)
+                    .or_else(|| pick(1, 16, false))
+                    .unwrap_or(stations[q])
+            })
+            .collect();
+
+        AuctionState {
+            pending: VecDeque::new(),
+            reserved: warehouse.location_matrix().clone(),
+            open: vec![0; stations.len()],
+            staged: vec![0; stations.len()],
+            staged_of: vec![None; agents],
+            missions: (0..agents).map(|_| None).collect(),
+            // Dirty at construction: the first executed tick runs one
+            // rebalance pass over the initial placement.
+            idle_dirty: true,
+            anchors,
+            stations,
+            sites,
+            to_station,
+            from_station,
+            relaxed,
+            seen: vec![0; n],
+            parent: vec![NO_INDEX; n],
+            epoch: 0,
+            frontier: VecDeque::new(),
+            probe_dist: Vec::new(),
+            probe_touched: Vec::new(),
+        }
+    }
+
+    /// Whether a mission may traverse `u -> v` (parity rule, or either
+    /// endpoint relaxed).
+    #[inline]
+    pub(crate) fn edge_allowed(&self, graph: &FloorplanGraph, u: VertexId, v: VertexId) -> bool {
+        parity_allows(graph.coord(u), graph.coord(v))
+            || self.relaxed[u.index()]
+            || self.relaxed[v.index()]
+    }
+
+    /// The cheapest `(station, site)` pair for a task of `product`:
+    /// minimizes field-directed site-to-station distance plus
+    /// `bias × open[station]`, over sites with unreserved stock.
+    /// Tie-breaks by station index then site index — pure and
+    /// order-independent.
+    pub(crate) fn pick_station_site(
+        &self,
+        product: ProductId,
+        bias: u32,
+    ) -> Option<(u16, VertexId)> {
+        let mut best: Option<(u64, u16, VertexId)> = None;
+        for q in 0..self.stations.len() {
+            let table = &self.to_station[q];
+            let mut site: Option<(u32, VertexId)> = None;
+            for &s in &self.sites[product.index()] {
+                if self.reserved.units_at(s, product) == 0 {
+                    continue;
+                }
+                let d = table[s.index()];
+                if d == u32::MAX {
+                    continue;
+                }
+                if site.is_none_or(|(bd, bs)| (d, s.index()) < (bd, bs.index())) {
+                    site = Some((d, s));
+                }
+            }
+            let Some((d, s)) = site else { continue };
+            let cost = u64::from(d) + u64::from(bias) * u64::from(self.open[q]);
+            if best.is_none_or(|(bc, bq, _)| (cost, q as u16) < (bc, bq)) {
+                best = Some((cost, q as u16, s));
+            }
+        }
+        best.map(|(_, q, s)| (q, s))
+    }
+
+    /// A follow-up `(station, site)` pair for batching: like
+    /// [`pick_station_site`](Self::pick_station_site) but the agent
+    /// starts from station `from`'s vertex, so the site leg is priced
+    /// with the forward field distance out of that station.
+    pub(crate) fn pick_followup(
+        &self,
+        product: ProductId,
+        from: u16,
+        bias: u32,
+    ) -> Option<(u16, VertexId)> {
+        let out = &self.from_station[from as usize];
+        let mut best: Option<(u64, u16, VertexId)> = None;
+        for q in 0..self.stations.len() {
+            let table = &self.to_station[q];
+            for &s in &self.sites[product.index()] {
+                if self.reserved.units_at(s, product) == 0 {
+                    continue;
+                }
+                let (d_out, d_in) = (out[s.index()], table[s.index()]);
+                if d_out == u32::MAX || d_in == u32::MAX {
+                    continue;
+                }
+                let cost =
+                    u64::from(d_out) + u64::from(d_in) + u64::from(bias) * u64::from(self.open[q]);
+                if best
+                    .is_none_or(|(bc, bq, bs)| (cost, q as u16, s.index()) < (bc, bq, bs.index()))
+                {
+                    best = Some((cost, q as u16, s));
+                }
+            }
+        }
+        best.map(|(_, q, s)| (q, s))
+    }
+
+    /// Field-directed BFS route from `from` to `to`, optionally banning
+    /// one cell (reroutes ban the contested cell). Returns the vertex
+    /// path including both endpoints, or `None` when the field admits no
+    /// route. Deterministic: CSR neighbor order, dense parent table.
+    pub(crate) fn route(
+        &mut self,
+        graph: &FloorplanGraph,
+        from: VertexId,
+        to: VertexId,
+        ban: Option<VertexId>,
+    ) -> Option<Vec<VertexId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.frontier.clear();
+        self.seen[from.index()] = epoch;
+        self.frontier.push_back(from.0);
+        while let Some(u) = self.frontier.pop_front() {
+            let u = VertexId(u);
+            for &v in graph.neighbors(u) {
+                if self.seen[v.index()] == epoch
+                    || Some(v) == ban
+                    || !self.edge_allowed(graph, u, v)
+                {
+                    continue;
+                }
+                self.seen[v.index()] = epoch;
+                self.parent[v.index()] = u.0;
+                if v == to {
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while cur != from {
+                        cur = VertexId(self.parent[cur.index()]);
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                self.frontier.push_back(v.0);
+            }
+        }
+        None
+    }
+
+    /// A drift walk out of `from`: one field-allowed step (preferring an
+    /// empty cell, then the lowest vertex index), then straight along the
+    /// field while the corridor stays one cell wide, stopping at the
+    /// first junction (3+ free neighbors — room for traffic to pass).
+    /// Used to clear nudged blockers and to walk agents off stations
+    /// after their final drop. Always returns a path starting at `from`
+    /// (length 1 when the cell has no exit).
+    pub(crate) fn drift_walk(
+        &self,
+        graph: &FloorplanGraph,
+        from: VertexId,
+        occupant: &[u32],
+    ) -> Vec<VertexId> {
+        let mut path = vec![from];
+        let mut first: Option<(bool, u32)> = None;
+        for &v in graph.neighbors(from) {
+            if !self.edge_allowed(graph, from, v) {
+                continue;
+            }
+            let occupied = occupant[v.index()] != NO_INDEX;
+            if first.is_none_or(|(bo, bv)| (occupied, v.0) < (bo, bv)) {
+                first = Some((occupied, v.0));
+            }
+        }
+        let Some((_, v)) = first else { return path };
+        let mut prev = from;
+        let mut cur = VertexId(v);
+        path.push(cur);
+        while path.len() < 2_048 && graph.neighbors(cur).len() < 3 {
+            let next = graph
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| w != prev && self.edge_allowed(graph, cur, w));
+            let Some(w) = next else { break };
+            if w == from {
+                break;
+            }
+            path.push(w);
+            prev = cur;
+            cur = w;
+        }
+        path
+    }
+}
+
+/// Field-directed BFS distances over the whole graph: from `source`
+/// outward (`reverse == false`, "how far from the station") or from
+/// everywhere into `source` (`reverse == true`, "how far to the
+/// station").
+fn directed_distances(
+    graph: &FloorplanGraph,
+    relaxed: &[bool],
+    source: VertexId,
+    reverse: bool,
+) -> Vec<u32> {
+    let allowed = |u: VertexId, v: VertexId| {
+        parity_allows(graph.coord(u), graph.coord(v)) || relaxed[u.index()] || relaxed[v.index()]
+    };
+    let mut dist = vec![u32::MAX; graph.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        for &w in graph.neighbors(u) {
+            let ok = if reverse {
+                allowed(w, u)
+            } else {
+                allowed(u, w)
+            };
+            if ok && dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_agent_is_a_pure_min_by_cost_then_index() {
+        let bids = [
+            AgentBid { agent: 7, cost: 3 },
+            AgentBid { agent: 2, cost: 3 },
+            AgentBid { agent: 5, cost: 1 },
+        ];
+        assert_eq!(select_agent(&bids), Some(AgentBid { agent: 5, cost: 1 }));
+        let mut rev = bids;
+        rev.reverse();
+        assert_eq!(select_agent(&rev), select_agent(&bids));
+        assert_eq!(select_agent(&[]), None);
+        // Equal costs break toward the lower agent index.
+        assert_eq!(
+            select_agent(&bids[..2]),
+            Some(AgentBid { agent: 2, cost: 3 })
+        );
+    }
+
+    #[test]
+    fn parity_field_is_antisymmetric_on_unrelaxed_edges() {
+        // One cell per quadrant of parity: exactly one direction each.
+        for (a, b) in [
+            (Coord::new(4, 2), Coord::new(5, 2)), // even row: east only
+            (Coord::new(4, 3), Coord::new(5, 3)), // odd row: west only
+            (Coord::new(4, 2), Coord::new(4, 3)), // even col: north only
+            (Coord::new(5, 2), Coord::new(5, 3)), // odd col: south only
+        ] {
+            assert_ne!(parity_allows(a, b), parity_allows(b, a));
+        }
+    }
+}

@@ -8,24 +8,38 @@
 //! Each tick `t`, in order:
 //!
 //! 1. **Arrivals** — the seeded [`TaskStream`] delivers this tick's tasks
-//!    into per-product FIFO queues.
+//!    into per-product FIFO queues (under
+//!    [`AssignPolicy::Auction`](crate::AssignPolicy), into the auction's
+//!    pending queue instead).
 //! 2. **Deviations** — the seeded [`DeviationSchedule`] freezes victims in
 //!    place for a few ticks.
-//! 3. **Repair** — agents far enough behind their window plan get a
+//! 3. **Assignment** (`Auction` only) — a deterministic auction matches
+//!    pending tasks to idle or soon-idle agents by minimum
+//!    `(BFS-distance, agent index)` bid, batches same-product tasks onto
+//!    the winner, and stages leftover idle agents toward pressured
+//!    stations ([`crate::assign`] states the exact cost model); matched
+//!    agents receive pickup→drop *missions* that replace the window plan
+//!    as their movement source.
+//! 4. **Repair** — agents far enough behind their window plan get a
 //!    space-time A* catch-up path planned against a reservation table of
 //!    everyone else's projected trajectory (parallel fan-out, slot-indexed
-//!    for determinism).
-//! 4. **Movement** — every agent names its desired next cell (its repair
-//!    path, else its window plan); a fixpoint grant pass then executes all
+//!    for determinism). Skipped under `Auction`: missions re-route
+//!    themselves, and plan lag is undefined off-plan.
+//! 5. **Movement** — every agent names its desired next cell (its repair
+//!    path, else its mission path under `Auction`, else its window plan);
+//!    a fixpoint grant pass then executes all
 //!    conflict-free chains simultaneously. Grants require the target cell
 //!    empty or its occupant granted away, and one grant per cell, so
 //!    vertex collisions and edge swaps are impossible *by construction*
 //!    regardless of how badly deviations scrambled the schedule — blocked
 //!    agents simply wait and accrue lag.
-//! 5. **Bookkeeping** — executed pickups debit the authoritative stock
-//!    ledger and attach the oldest queued task; executed drop-offs
+//! 6. **Bookkeeping** — executed pickups debit the authoritative stock
+//!    ledger and attach the oldest queued task (mission legs fire their
+//!    own pickup/drop actions); executed drop-offs
 //!    complete tasks and record latency; conservation
-//!    (`injected == completed + in_flight + queued`) is asserted.
+//!    (`injected == completed + in_flight + queued`) is asserted. Mission
+//!    agents blocked long enough file deferred nudges, applied after the
+//!    sweep (phase 8b) so wake ordering stays engine-independent.
 //!
 //! When the window is exhausted (or lag crosses the early-replan
 //! threshold) the engine snapshots the *actual* agent states and resumes
@@ -43,7 +57,7 @@
 //! wake-up — their next scheduled state change, read straight off the
 //! window realization's `first_change` schedule — filed in a monotone
 //! bucket queue ([`crate::queue`]); each executed tick then runs phases
-//! 1–5 over the *active set* only, and when the active set is empty the
+//! 1–6 over the *active set* only, and when the active set is empty the
 //! engine advances time directly to the next forced tick (queued event,
 //! task arrival, stall firing, window boundary, or a pending replan's
 //! minimum-gap expiry), bulk-accounting the skipped ticks.
@@ -63,6 +77,10 @@ use wsp_mapf::ReservationTable;
 use wsp_model::{AgentState, Carry, LocationMatrix, Plan, ProductId, VertexId, NO_INDEX};
 use wsp_realize::AgentSnapshot;
 
+use crate::assign::{
+    select_agent, AgentBid, AssignConfig, AssignPolicy, AuctionState, Leg, LegAction, Mission,
+    MissionKind, PendingTask,
+};
 use crate::deviation::{DeviationConfig, DeviationSchedule, Stall};
 use crate::event::{self, SleepBook, SleepMode};
 use crate::queue::BucketQueue;
@@ -143,6 +161,9 @@ pub struct SimConfig {
     pub ticks: u64,
     /// The task arrival stream.
     pub stream: StreamConfig,
+    /// The task-assignment layer ([`AssignPolicy::Static`] by default —
+    /// the seed pickup-attach behavior, bit-for-bit).
+    pub assign: AssignConfig,
     /// The stall-deviation process.
     pub deviations: DeviationConfig,
     /// The MAPF catch-up repair stage.
@@ -167,6 +188,7 @@ impl Default for SimConfig {
             window: 0,
             ticks: 1_000,
             stream: StreamConfig::default(),
+            assign: AssignConfig::default(),
             deviations: DeviationConfig::default(),
             repair: RepairConfig::default(),
             replan_lag: 0,
@@ -295,6 +317,15 @@ pub struct Simulation<'a> {
     due_buf: Vec<u64>,
     first_change: Vec<u32>,
 
+    // Auction task-assignment state (`None` under
+    // [`AssignPolicy::Static`] — static runs pay nothing for the layer).
+    // `nudge_buf` defers yield-nudges of parked blockers to the end of
+    // the tick so mid-sweep sleep accounting stays phase-stable, and
+    // `bids` is the auction's candidate scratch.
+    auction: Option<Box<AuctionState>>,
+    nudge_buf: Vec<u32>,
+    bids: Vec<AgentBid>,
+
     t: u64,
     last_replan: u64,
     replan_requested: bool,
@@ -385,6 +416,8 @@ impl<'a> Simulation<'a> {
 
         let stream = TaskStream::new(&config.stream);
         let deviations = DeviationSchedule::new(&config.deviations, agents);
+        let auction = (config.assign.policy == AssignPolicy::Auction)
+            .then(|| Box::new(AuctionState::new(&instance.warehouse, agents)));
         let mut sim = Simulation {
             instance,
             cycles,
@@ -428,6 +461,9 @@ impl<'a> Simulation<'a> {
             active: Vec::with_capacity(agents),
             due_buf: Vec::with_capacity(16),
             first_change: Vec::new(),
+            auction,
+            nudge_buf: Vec::new(),
+            bids: Vec::with_capacity(agents),
             t: 0,
             last_replan: 0,
             replan_requested: false,
@@ -478,7 +514,9 @@ impl<'a> Simulation<'a> {
     /// so mid-run reports match across engines too.
     pub fn report(&self) -> SimReport {
         let mut counters = self.counters.clone();
-        if self.sleep.sleeping > 0 {
+        // Under the auction policy agents don't follow the window plan,
+        // so plan lag is meaningless and `max_lag` stays 0 by contract.
+        if self.sleep.sleeping > 0 && self.config.assign.policy == AssignPolicy::Static {
             counters.max_lag = counters.max_lag.max(self.pending_sleep_lag());
         }
         SimReport {
@@ -487,6 +525,7 @@ impl<'a> Simulation<'a> {
             window: self.window_len as u64,
             stream_seed: self.config.stream.seed,
             deviation_seed: self.config.deviations.seed,
+            policy: self.config.assign.policy,
             trajectory_checksum: self.checksum.0,
             counters,
         }
@@ -640,9 +679,15 @@ impl<'a> Simulation<'a> {
                 "virtual sleep of agent {agent} diverged from the reference sweep at t={t}"
             ),
         }
-        let elapsed = t.saturating_sub(self.window_start) as usize;
-        let slept_lag = elapsed.saturating_sub(settled) as u64;
-        self.counters.max_lag = self.counters.max_lag.max(slept_lag);
+        // Policy (not `self.auction.is_none()`): assignment temporarily
+        // takes the auction state out of its Option while it runs, and it
+        // wakes agents from inside that window — the Option test would
+        // wrongly bank plan lag for them.
+        if self.config.assign.policy == AssignPolicy::Static {
+            let elapsed = t.saturating_sub(self.window_start) as usize;
+            let slept_lag = elapsed.saturating_sub(settled) as u64;
+            self.counters.max_lag = self.counters.max_lag.max(slept_lag);
+        }
         self.sleep.wake(agent, self.carry[agent].is_some());
         self.granted[agent] = false;
     }
@@ -687,11 +732,17 @@ impl<'a> Simulation<'a> {
         // Sleep lag folds lazily; bank the accrued peak before the replan
         // wipes the ledger (cursors need no materializing — they reset to
         // zero below and the snapshots don't read them).
-        if self.sleep.sleeping > 0 {
+        if self.sleep.sleeping > 0 && self.config.assign.policy == AssignPolicy::Static {
             self.counters.max_lag = self.counters.max_lag.max(self.pending_sleep_lag());
         }
         self.sleep.reset();
         self.queue.clear(t);
+        // Under the auction policy agents execute missions instead of the
+        // window plan, so the realize stage is told to treat every agent
+        // as detached: the window realizes with all of them parked as
+        // static obstacles and the replan machinery (boundary cadence,
+        // ledger snapshots, counters) keeps running unchanged.
+        let detached = self.auction.is_some();
         let snapshots: Vec<AgentSnapshot> = (0..self.pos.len())
             .map(|a| AgentSnapshot {
                 cycle: self.cycle_of[a],
@@ -699,6 +750,7 @@ impl<'a> Simulation<'a> {
                 pos: self.pos[a],
                 carry: self.carry[a],
                 advance_t: self.advance_t[a],
+                detached,
             })
             .collect();
         self.plan_ledger.clone_from(&self.ledger);
@@ -764,9 +816,17 @@ impl<'a> Simulation<'a> {
         // 0. Scheduler: pop due wake-ups and crossing checks.
         self.pop_due_events(t);
 
-        // 1. Arrivals.
+        // 1. Arrivals. Under the auction policy tasks land in the global
+        // assignment queue instead of the per-product execution queues.
         for task in self.stream.arrivals_at(t) {
-            self.queues[task.product.index()].push_back(task.arrival);
+            if let Some(auc) = self.auction.as_mut() {
+                auc.pending.push_back(PendingTask {
+                    product: task.product,
+                    arrival: task.arrival,
+                });
+            } else {
+                self.queues[task.product.index()].push_back(task.arrival);
+            }
             self.counters.injected += 1;
             self.counters.queued += 1;
             self.counters.events_processed += 1;
@@ -789,6 +849,14 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // 2c. Auction task assignment (both engines, identically: its
+        // decisions are a pure function of the queue and agent states).
+        // Runs before the active set is built so fresh assignees are
+        // swept — and can move — this very tick.
+        if self.auction.is_some() {
+            self.run_assignment(t);
+        }
+
         // 2b. The processing domain: awake agents (ascending), or every
         // agent under the reference sweep. Either way the *active* count
         // this tick is agents-minus-sleepers.
@@ -805,8 +873,10 @@ impl<'a> Simulation<'a> {
         }
         self.counters.active_agent_ticks += (n - self.sleep.sleeping) as u64;
 
-        // 3. MAPF catch-up repair.
-        if self.config.repair.enabled {
+        // 3. MAPF catch-up repair. Auction agents don't follow the
+        // window plan, so there is no schedule to catch up to — the
+        // candidate filter would reject everyone anyway; skip the scan.
+        if self.config.repair.enabled && self.auction.is_none() {
             self.try_repairs(t);
         }
 
@@ -820,6 +890,11 @@ impl<'a> Simulation<'a> {
             self.granted[a] = false;
             let d = if t < self.stall_until[a] {
                 self.pos[a]
+            } else if let Some(auc) = self.auction.as_deref() {
+                // Mission route next hop; idle auction agents park.
+                auc.missions[a]
+                    .as_ref()
+                    .map_or(self.pos[a], |m| m.desired(self.pos[a]))
             } else if let Some(r) = &self.repair[a] {
                 if r.at + 1 < r.path.len() {
                     r.path[r.at + 1]
@@ -932,7 +1007,9 @@ impl<'a> Simulation<'a> {
             }
 
             if t < self.stall_until[a] {
-                // Frozen: no cursor/repair progress, no events.
+                // Frozen: no cursor/repair/mission progress, no events.
+            } else if self.auction.is_some() {
+                self.step_mission(a, old, moved, t);
             } else if self.repair[a].is_some() {
                 let done = {
                     let r = self.repair[a].as_mut().expect("checked");
@@ -979,10 +1056,12 @@ impl<'a> Simulation<'a> {
                 self.counters.carrying_ticks += 1;
             }
             // Lag of plan-following agents (repairing/stray agents are
-            // re-anchored by rejoin or replan instead). Sleeping agents
-            // are absent here under the event engine; their (monotone)
-            // lag folds at wake-up, replan, or report time instead.
-            if self.repair[a].is_none() {
+            // re-anchored by rejoin or replan instead; auction agents
+            // don't follow the plan at all, so their lag is undefined
+            // and `max_lag` stays 0 by contract). Sleeping agents are
+            // absent here under the event engine; their (monotone) lag
+            // folds at wake-up, replan, or report time instead.
+            if self.config.assign.policy == AssignPolicy::Static && self.repair[a].is_none() {
                 let scheduled = (t + 1).saturating_sub(self.window_start) as usize;
                 let lag = scheduled.saturating_sub(self.cursor[a]) as u64;
                 max_lag = max_lag.max(lag);
@@ -1029,6 +1108,16 @@ impl<'a> Simulation<'a> {
             self.counters.queued,
         );
 
+        // 8b. Apply deferred yield-nudges: blocked mission agents asked
+        // parked blockers to drift clear. Applied here — after the
+        // sweep's wait/carry accounting — so waking a sleeping blocker
+        // cannot skew this tick's bulk bookkeeping; the buffer order is
+        // the sweep's ascending blocked-agent order, identical under
+        // both engines (only mission agents, always awake, file nudges).
+        if self.auction.is_some() && !self.nudge_buf.is_empty() {
+            self.apply_nudges(t);
+        }
+
         // 9. Window boundary / early replan (boundaries are mandatory;
         // early replans respect the minimum gap). The frozen-crossing
         // count stands in for sleeping agents whose lag passed the
@@ -1049,11 +1138,498 @@ impl<'a> Simulation<'a> {
             for i in 0..self.active.len() {
                 let a = self.active[i] as usize;
                 if self.sleep.is_awake(a) {
-                    self.maybe_sleep(a);
+                    if self.auction.is_some() {
+                        self.maybe_sleep_auction(a);
+                    } else {
+                        self.maybe_sleep(a);
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Auction assignment phase, run identically by both engines at the
+    /// top of every executed tick: one rotation over the pending queue
+    /// matching each task to its cheapest `(station, site)` pair and the
+    /// nearest eligible agent, with same-product batching; then, when
+    /// the queue is drained and an agent just went idle, an idle-
+    /// rebalance pass staging agents near high-pressure stations.
+    ///
+    /// Everything here is a pure index-deterministic function of the
+    /// queue, the agent states, and the tick: candidate order is agent
+    /// order, winners come from [`select_agent`]'s `(cost, agent)`
+    /// minimum, and unassignable tasks rotate to the queue's back in
+    /// arrival order. No wall clock, no thread count — and no per-tick
+    /// work caps, so elided quiescent stretches provably contain no
+    /// assignment the reference sweep would have made (idle agents stay
+    /// awake while assignable work pends; see
+    /// [`maybe_sleep_auction`](Self::maybe_sleep_auction)).
+    fn run_assignment(&mut self, t: u64) {
+        let Some(mut auc) = self.auction.take() else {
+            return;
+        };
+        let cfg = self.config.assign.clone();
+        let graph = self.instance.warehouse.graph();
+        let n = self.pos.len();
+
+        let mut rounds = auc.pending.len();
+        'tasks: while rounds > 0 {
+            rounds -= 1;
+            let Some(&task) = auc.pending.front() else {
+                break;
+            };
+            let Some((q, site)) = auc.pick_station_site(task.product, cfg.station_bias) else {
+                // No stocked, field-reachable site right now: rotate the
+                // task to the back and look at the next one.
+                let task = auc.pending.pop_front().expect("front checked");
+                auc.pending.push_back(task);
+                continue;
+            };
+            // The nearest eligible agent by undirected BFS distance from
+            // the pickup site, probing escalating neighbourhood caps so
+            // the common case never scans the whole floor.
+            self.bids.clear();
+            for cap in [32u32, 128, 512, u32::MAX] {
+                graph.bfs_distances_bounded_into(
+                    site,
+                    cap,
+                    &mut auc.probe_dist,
+                    &mut auc.probe_touched,
+                );
+                self.bids.clear();
+                let mut any_eligible = false;
+                for a in 0..n {
+                    let eligible = t >= self.stall_until[a]
+                        && auc.missions[a].as_ref().is_none_or(Mission::replaceable);
+                    if !eligible {
+                        continue;
+                    }
+                    any_eligible = true;
+                    let d = auc.probe_dist[self.pos[a].index()];
+                    if d != u32::MAX {
+                        self.bids.push(AgentBid {
+                            agent: a as u32,
+                            cost: d,
+                        });
+                    }
+                }
+                if !any_eligible {
+                    // Eligibility is task-independent: nobody can take
+                    // any task this tick.
+                    break 'tasks;
+                }
+                if !self.bids.is_empty() {
+                    break;
+                }
+            }
+            // Auction order over the probed slate; a winner without a
+            // field route (rare: the field strongly connects these maps)
+            // falls through to the next-best bid.
+            let mut commit = None;
+            while let Some(bid) = select_agent(&self.bids) {
+                self.bids.retain(|b| b.agent != bid.agent);
+                let from = self.pos[bid.agent as usize];
+                if let Some(path) = auc.route(graph, from, site, None) {
+                    commit = Some((bid.agent as usize, path));
+                    break;
+                }
+            }
+            let Some((a, path)) = commit else {
+                // Eligible agents exist but none can reach this site;
+                // rotate and retry later (stock or topology may change).
+                let task = auc.pending.pop_front().expect("front checked");
+                auc.pending.push_back(task);
+                continue;
+            };
+
+            // Commit: reserve stock, build the leg list (batching queued
+            // same-product tasks onto this agent), install the mission.
+            auc.pending.pop_front();
+            auc.reserved.remove_units(site, task.product, 1);
+            auc.open[q as usize] += 1;
+            let mut legs = VecDeque::with_capacity(2 * cfg.batch.max(1));
+            legs.push_back(Leg {
+                goal: site,
+                action: LegAction::Pickup {
+                    product: task.product,
+                    arrival: task.arrival,
+                },
+            });
+            legs.push_back(Leg {
+                goal: auc.stations[q as usize],
+                action: LegAction::Drop {
+                    arrival: task.arrival,
+                    station: q,
+                },
+            });
+            self.counters.assignments_made += 1;
+            self.counters.events_processed += 1;
+            let mut q_prev = q;
+            let mut extras = cfg.batch.saturating_sub(1);
+            let mut i = 0;
+            while extras > 0 && i < auc.pending.len() {
+                if auc.pending[i].product != task.product {
+                    i += 1;
+                    continue;
+                }
+                let Some((q2, s2)) = auc.pick_followup(task.product, q_prev, cfg.station_bias)
+                else {
+                    break;
+                };
+                let extra = auc.pending.remove(i).expect("index in range");
+                auc.reserved.remove_units(s2, task.product, 1);
+                auc.open[q2 as usize] += 1;
+                legs.push_back(Leg {
+                    goal: s2,
+                    action: LegAction::Pickup {
+                        product: extra.product,
+                        arrival: extra.arrival,
+                    },
+                });
+                legs.push_back(Leg {
+                    goal: auc.stations[q2 as usize],
+                    action: LegAction::Drop {
+                        arrival: extra.arrival,
+                        station: q2,
+                    },
+                });
+                self.counters.assignments_made += 1;
+                self.counters.events_processed += 1;
+                q_prev = q2;
+                extras -= 1;
+            }
+            if let Some(qq) = auc.staged_of[a].take() {
+                auc.staged[qq as usize] -= 1;
+            }
+            auc.missions[a] = Some(Mission {
+                kind: MissionKind::Task,
+                path,
+                at: 0,
+                legs,
+                action: None,
+                blocked: 0,
+            });
+            if !self.sleep.is_awake(a) {
+                self.wake(a, t);
+            }
+        }
+
+        // Idle rebalance: only when the queue is drained (pending tasks
+        // outrank staging for every idle agent) and an agent went idle
+        // since the last pass.
+        if auc.pending.is_empty() && auc.idle_dirty {
+            auc.idle_dirty = false;
+            let per = cfg.rebalance_per_station as u32;
+            if per > 0 && !auc.stations.is_empty() {
+                let mut pool = 0u32;
+                for a in 0..n {
+                    if auc.missions[a].is_none()
+                        && auc.staged_of[a].is_none()
+                        && t >= self.stall_until[a]
+                    {
+                        pool += 1;
+                    }
+                }
+                let mut order: Vec<u16> = (0..auc.stations.len() as u16).collect();
+                order.sort_unstable_by_key(|&q| {
+                    (
+                        auc.staged[q as usize],
+                        std::cmp::Reverse(auc.open[q as usize]),
+                        q,
+                    )
+                });
+                'stations: for &q in &order {
+                    while auc.staged[q as usize] < per {
+                        if pool == 0 {
+                            break 'stations;
+                        }
+                        let anchor = auc.anchors[q as usize];
+                        self.bids.clear();
+                        for cap in [32u32, 128, 512, u32::MAX] {
+                            graph.bfs_distances_bounded_into(
+                                anchor,
+                                cap,
+                                &mut auc.probe_dist,
+                                &mut auc.probe_touched,
+                            );
+                            self.bids.clear();
+                            for a in 0..n {
+                                if auc.missions[a].is_some()
+                                    || auc.staged_of[a].is_some()
+                                    || t < self.stall_until[a]
+                                {
+                                    continue;
+                                }
+                                let d = auc.probe_dist[self.pos[a].index()];
+                                if d != u32::MAX {
+                                    self.bids.push(AgentBid {
+                                        agent: a as u32,
+                                        cost: d,
+                                    });
+                                }
+                            }
+                            if !self.bids.is_empty() {
+                                break;
+                            }
+                        }
+                        let mut commit = None;
+                        while let Some(bid) = select_agent(&self.bids) {
+                            self.bids.retain(|b| b.agent != bid.agent);
+                            let from = self.pos[bid.agent as usize];
+                            if let Some(path) = auc.route(graph, from, anchor, None) {
+                                commit = Some((bid.agent as usize, path));
+                                break;
+                            }
+                        }
+                        let Some((a, path)) = commit else {
+                            // The remaining pool can't reach any anchor
+                            // worth staging; stop the pass.
+                            break 'stations;
+                        };
+                        auc.missions[a] = Some(Mission {
+                            kind: MissionKind::Reposition(q),
+                            path,
+                            at: 0,
+                            legs: VecDeque::new(),
+                            action: None,
+                            blocked: 0,
+                        });
+                        auc.staged_of[a] = Some(q);
+                        auc.staged[q as usize] += 1;
+                        pool -= 1;
+                        self.counters.rebalance_moves += 1;
+                        self.counters.events_processed += 1;
+                        if !self.sleep.is_awake(a) {
+                            self.wake(a, t);
+                        }
+                    }
+                }
+            }
+        }
+        self.auction = Some(auc);
+    }
+
+    /// Advances `agent`'s auction mission after the move phase: fires a
+    /// carry action pending from last tick's arrival (on the *pre-move*
+    /// cell, the plan checker's condition (3) convention), tracks route
+    /// progress and blocking (yield-nudges and reroutes), pops legs on
+    /// arrival, and retires the mission when the last leg is done. No-op
+    /// for idle agents.
+    fn step_mission(&mut self, a: usize, old: VertexId, moved: bool, t: u64) {
+        let Some(mut auc) = self.auction.take() else {
+            return;
+        };
+        let Some(mut m) = auc.missions[a].take() else {
+            self.auction = Some(auc);
+            return;
+        };
+        let graph = self.instance.warehouse.graph();
+
+        // 1. Pending carry action fires on this transition.
+        if let Some(act) = m.action.take() {
+            match act {
+                LegAction::Pickup { product, arrival } => {
+                    debug_assert!(
+                        self.ledger.units_at(old, product) > 0,
+                        "assigned pickup of {product} at {old} with an empty ledger"
+                    );
+                    debug_assert!(self.carry[a].is_none(), "pickup while carrying");
+                    self.ledger.remove_units(old, product, 1);
+                    self.carry[a] = Some(product);
+                    self.attached[a] = Some(arrival);
+                    self.counters.queued -= 1;
+                    self.counters.in_flight += 1;
+                }
+                LegAction::Drop { arrival, station } => {
+                    debug_assert!(self.carry[a].is_some(), "drop while empty");
+                    self.carry[a] = None;
+                    self.attached[a] = None;
+                    self.counters.delivered += 1;
+                    self.counters.in_flight -= 1;
+                    self.counters.record_latency(t + 1 - arrival);
+                    let open = &mut auc.open[station as usize];
+                    *open = open.saturating_sub(1);
+                }
+            }
+        }
+
+        // 2. Route progress / blocking.
+        if moved {
+            m.at += 1;
+            debug_assert_eq!(m.path[m.at], self.pos[a], "mission route desync");
+            m.blocked = 0;
+        } else if m.at + 1 < m.path.len() {
+            m.blocked += 1;
+            let cfg = &self.config.assign;
+            let want = m.path[m.at + 1];
+            let b = self.occupant[want.index()];
+            if m.blocked >= cfg.yield_after && b != NO_INDEX {
+                // Deferred to phase 8b; idle blockers drift clear, moving
+                // or stalled ones are filtered at application time.
+                self.nudge_buf.push(b);
+            }
+            if m.blocked >= cfg.reroute_after {
+                match m.kind {
+                    MissionKind::Task => {
+                        if m.blocked % cfg.reroute_after == 0 {
+                            let goal = *m.path.last().expect("non-empty route");
+                            if let Some(path) = auc.route(graph, self.pos[a], goal, Some(want)) {
+                                m.path = path;
+                                m.at = 0;
+                                m.blocked = 0;
+                            }
+                        }
+                    }
+                    // Staging and drifting are best-effort: park here.
+                    MissionKind::Reposition(_) | MissionKind::Drift => {
+                        m.path.truncate(m.at + 1);
+                    }
+                }
+            }
+        }
+
+        // 3. Arrival at the route's end: pop the next leg (its action
+        // fires on the next transition), plan the following hop, or
+        // retire the mission.
+        let mut done = false;
+        if m.at + 1 >= m.path.len() && m.action.is_none() {
+            match m.legs.pop_front() {
+                Some(leg) => {
+                    debug_assert_eq!(leg.goal, self.pos[a], "mission leg desync");
+                    m.action = Some(leg.action);
+                    if let Some(&Leg { goal, .. }) = m.legs.front() {
+                        match auc.route(graph, self.pos[a], goal, None) {
+                            Some(path) => {
+                                m.path = path;
+                                m.at = 0;
+                                m.blocked = 0;
+                            }
+                            None => {
+                                // Defensive only: assignment verified
+                                // field reachability for every leg. Shed
+                                // the remaining legs back to the queue.
+                                while let Some(l2) = m.legs.pop_front() {
+                                    match l2.action {
+                                        LegAction::Pickup { product, arrival } => {
+                                            auc.pending
+                                                .push_front(PendingTask { product, arrival });
+                                        }
+                                        LegAction::Drop { station, .. } => {
+                                            let open = &mut auc.open[station as usize];
+                                            *open = open.saturating_sub(1);
+                                        }
+                                    }
+                                }
+                                if let Some(LegAction::Pickup { product, arrival }) = m.action {
+                                    // Its drop leg was just shed: don't
+                                    // execute the pickup either.
+                                    m.action = None;
+                                    auc.pending.push_front(PendingTask { product, arrival });
+                                }
+                            }
+                        }
+                    }
+                    if m.legs.is_empty() {
+                        if matches!(m.action, Some(LegAction::Drop { .. })) {
+                            // Final drop: walk off along the field while
+                            // it fires, so the station clears for the
+                            // next delivery instead of being parked on.
+                            m.kind = MissionKind::Drift;
+                            m.path = auc.drift_walk(graph, self.pos[a], &self.occupant);
+                            m.at = 0;
+                            m.blocked = 0;
+                        } else if m.action.is_none() {
+                            done = true;
+                        }
+                    }
+                }
+                None => done = true,
+            }
+        }
+
+        if done {
+            self.counters.events_processed += 1;
+            auc.idle_dirty = true;
+        } else {
+            auc.missions[a] = Some(m);
+        }
+        self.auction = Some(auc);
+    }
+
+    /// Applies the yield-nudges deferred during phase 7: each still-idle,
+    /// unstalled blocker gets a drift mission toward the next junction
+    /// (waking it if asleep). Duplicates collapse on the mission check.
+    fn apply_nudges(&mut self, t: u64) {
+        let mut buf = std::mem::take(&mut self.nudge_buf);
+        for &b in &buf {
+            let b = b as usize;
+            if t < self.stall_until[b] {
+                continue;
+            }
+            let Some(mut auc) = self.auction.take() else {
+                break;
+            };
+            if auc.missions[b].is_some() {
+                self.auction = Some(auc);
+                continue;
+            }
+            let path = auc.drift_walk(self.instance.warehouse.graph(), self.pos[b], &self.occupant);
+            let nudged = path.len() > 1;
+            if nudged {
+                auc.missions[b] = Some(Mission {
+                    kind: MissionKind::Drift,
+                    path,
+                    at: 0,
+                    legs: VecDeque::new(),
+                    action: None,
+                    blocked: 0,
+                });
+                self.counters.events_processed += 1;
+            }
+            self.auction = Some(auc);
+            if nudged && !self.sleep.is_awake(b) {
+                self.wake(b, t);
+            }
+        }
+        buf.clear();
+        self.nudge_buf = buf;
+    }
+
+    /// Sleep decision under the auction policy. Mission agents advance
+    /// every tick and stay awake. Stalled agents freeze with a wake-up at
+    /// the stall's end. Idle agents freeze only when no assignable work
+    /// could touch them next tick: the pending queue must be empty (the
+    /// assignment pass runs only on executed ticks, so an idle sleeper
+    /// next to a pending task would desynchronize the engines) and no
+    /// agent may have gone idle this tick (the rebalance pass gets one
+    /// executed tick to see them). Every wake path — assignment,
+    /// rebalance, nudge, stall, boundary replan — runs identically under
+    /// both engines, which is what keeps elision unobservable.
+    fn maybe_sleep_auction(&mut self, agent: usize) {
+        let auc = self.auction.as_deref().expect("auction engine");
+        if auc.missions[agent].is_some() {
+            return;
+        }
+        let quiet = auc.pending.is_empty() && !auc.idle_dirty;
+        let from = self.t;
+        let carrying = self.carry[agent].is_some();
+        if from < self.stall_until[agent] {
+            let wake = self.stall_until[agent];
+            let seq =
+                self.sleep
+                    .sleep(agent, SleepMode::Frozen, from, self.cursor[agent], carrying);
+            self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            self.granted[agent] = false;
+            return;
+        }
+        if quiet {
+            // Frozen with no event: assignment, a stall, or the boundary
+            // replan wakes it (the plan-exhausted precedent).
+            self.sleep
+                .sleep(agent, SleepMode::Frozen, from, self.cursor[agent], carrying);
+            self.granted[agent] = false;
+        }
     }
 
     /// Decides whether `agent` — just processed, currently awake — can

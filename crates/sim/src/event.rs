@@ -29,6 +29,15 @@
 //! stay in the processing domain) and debug-asserts that every settled
 //! cursor matches the truth, which is what makes it an oracle for the
 //! event engine rather than a separate implementation.
+//!
+//! Under [`crate::AssignPolicy::Auction`] agents execute missions instead
+//! of the window plan, and the contract tightens: an idle mission-less
+//! agent sleeps [`SleepMode::Frozen`] only while the assignment phase is
+//! provably a no-op (no pending tasks, rebalancer not dirty) — otherwise
+//! it must stay awake, because an assignment could hand it a mission on
+//! any executed tick. Sleepers are woken exclusively through this event
+//! machinery (assignment and the deferred phase-8b nudges call the same
+//! `wake`), so elision stays unobservable with missions in play.
 
 /// Event kind bit: the agent's next scheduled state change (end of a
 /// silent run or of a stall) — wake it and process it normally.

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+mod assign;
 mod cycles;
 mod deviation;
 mod engine;
@@ -63,6 +64,7 @@ mod repair;
 mod report;
 mod stream;
 
+pub use assign::{select_agent, AgentBid, AssignConfig, AssignPolicy};
 pub use cycles::direct_cycle_set;
 pub use deviation::{DeviationConfig, DeviationSchedule, Stall};
 pub use engine::{RepairConfig, SimConfig, SimEngine, SimError, Simulation};
@@ -77,6 +79,8 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<wsp_mapf::ReservationTable>();
+    assert_send_sync::<AssignConfig>();
+    assert_send_sync::<AssignPolicy>();
     assert_send_sync::<SimConfig>();
     assert_send_sync::<SimEngine>();
     assert_send_sync::<SimReport>();

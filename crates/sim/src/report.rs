@@ -5,6 +5,8 @@
 
 use std::fmt;
 
+use crate::assign::AssignPolicy;
+
 /// Power-of-two latency histogram: bucket `k` counts completed tasks whose
 /// latency `ℓ` (ticks from arrival to drop-off) satisfies
 /// `2^k ≤ ℓ < 2^(k+1)`; the last bucket absorbs everything larger.
@@ -51,6 +53,13 @@ pub struct SimCounters {
     pub repairs_attempted: u64,
     /// Repairs whose catch-up path was accepted and spliced in.
     pub repairs_applied: u64,
+    /// Tasks explicitly matched to an agent by the auction dispatcher
+    /// (`AssignPolicy::Auction` only; stays 0 under `Static`, where
+    /// assignment is implicit in cycle execution).
+    pub assignments_made: u64,
+    /// Idle agents dispatched toward a station anchor by the auction's
+    /// rebalance pass (`AssignPolicy::Auction` only).
+    pub rebalance_moves: u64,
     /// Largest agent lag (ticks behind the window plan) ever observed.
     pub max_lag: u64,
     /// Discrete events processed: task injections, stall firings, valid
@@ -109,6 +118,12 @@ pub struct SimReport {
     pub stream_seed: u64,
     /// Deviation seed.
     pub deviation_seed: u64,
+    /// The task-assignment policy the run executed. Only
+    /// [`AssignPolicy::Auction`] reports render the assignment counters
+    /// — [`AssignPolicy::Static`] renderings are bit-for-bit what they
+    /// were before the assignment layer existed, which is what keeps the
+    /// pre-existing golden files binding.
+    pub policy: AssignPolicy,
     /// Word-wise FNV-1a checksum over the initial configuration plus
     /// every executed *state change* `(tick, agent) → (vertex, carry)` —
     /// two runs with equal checksums executed identical trajectories
@@ -194,6 +209,10 @@ impl SimReport {
         field(&mut out, "replans", c.replans, true);
         field(&mut out, "repairs_attempted", c.repairs_attempted, true);
         field(&mut out, "repairs_applied", c.repairs_applied, true);
+        if self.policy == AssignPolicy::Auction {
+            field(&mut out, "assignments_made", c.assignments_made, true);
+            field(&mut out, "rebalance_moves", c.rebalance_moves, true);
+        }
         field(&mut out, "max_lag", c.max_lag, true);
         field(&mut out, "events_processed", c.events_processed, true);
         field(&mut out, "ticks_elided", c.ticks_elided, true);
@@ -279,6 +298,7 @@ mod tests {
             window: 32,
             stream_seed: 7,
             deviation_seed: 9,
+            policy: AssignPolicy::Static,
             trajectory_checksum: 0xdead_beef,
             counters,
         }
@@ -321,5 +341,26 @@ mod tests {
         let mut c = sample();
         c.counters.moves += 1;
         assert_ne!(a.to_json(), c.to_json());
+    }
+
+    #[test]
+    fn assignment_counters_render_only_under_auction() {
+        let stat = sample();
+        assert!(!stat.to_json().contains("assignments_made"));
+        assert!(!stat.to_json().contains("rebalance_moves"));
+        let mut auc = sample();
+        auc.policy = AssignPolicy::Auction;
+        auc.counters.assignments_made = 5;
+        auc.counters.rebalance_moves = 2;
+        assert!(auc.to_json().contains("\"assignments_made\": 5,"));
+        assert!(auc.to_json().contains("\"rebalance_moves\": 2,"));
+        // The shared prefix up to `repairs_applied` is unchanged.
+        let prefix = stat
+            .to_json()
+            .split("\"repairs_applied\"")
+            .next()
+            .expect("prefix")
+            .to_string();
+        assert!(auc.to_json().starts_with(&prefix));
     }
 }

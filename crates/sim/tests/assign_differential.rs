@@ -1,0 +1,184 @@
+//! Differential harness for the lifelong assignment layer
+//! ([`wsp_sim::AssignPolicy`]):
+//!
+//! * **Static is bit-for-bit the pre-assignment engine.** The production
+//!   10k-vertex scenario must render byte-identically to the golden file
+//!   committed *before* the assignment layer landed — this test reads the
+//!   umbrella crate's golden directly and never re-blesses, so any drift
+//!   in the default policy is a hard failure, not a golden update.
+//! * **Auction executions are feasible.** The recorded trajectory of an
+//!   auction run passes the independent [`wsp_model::PlanChecker`]
+//!   (movement feasibility, stock conservation, delivery accounting).
+//! * **Auction keeps the determinism contract.** [`SimEngine::Event`]
+//!   and [`SimEngine::Reference`] render byte-identical reports at 1, 2,
+//!   and 4 repair threads — elision and repair parallelism stay
+//!   unobservable under the new policy too.
+//!
+//! The 10k scenario is inlined (map, direct cycle set, arrival mix,
+//! config) rather than imported: `wsp-bench` depends on `wsp-sim`, so the
+//! scenario constructors there would be a dependency cycle. The inlined
+//! values mirror `wsp_bench::sim_scenario_scaled(31, 320, 400, 5)` +
+//! `SimScenario::config(600)` exactly; the byte-comparison against the
+//! golden is what keeps them from drifting apart.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use wsp_core::WspInstance;
+use wsp_model::{PlanChecker, ProductId, Workload};
+use wsp_sim::{
+    direct_cycle_set, AssignPolicy, DeviationConfig, RepairConfig, SimConfig, SimEngine,
+    Simulation, StreamConfig,
+};
+
+/// The production 10k-vertex scenario, inlined from `wsp-bench` (see the
+/// module docs for why). Returns the instance, cycle set, and arrival mix.
+fn scaled_10k_scenario() -> (WspInstance, wsp_flow::AgentCycleSet, Workload) {
+    let map = wsp_maps::scaled_warehouse(31, 320, 3, 5).expect("scaled map builds");
+    let instance = WspInstance::new(map.warehouse, map.traffic, Workload::zeros(0), 0);
+    let cycles = direct_cycle_set(&instance.warehouse, &instance.traffic, 400);
+    assert!(
+        cycles.total_agents() > 0,
+        "direct cycles produced no agents"
+    );
+    let mut mix = Workload::zeros(instance.warehouse.catalog().len());
+    let delivered: BTreeSet<ProductId> = cycles
+        .cycles()
+        .iter()
+        .flat_map(|c| c.delivered_products())
+        .collect();
+    for &p in &delivered {
+        mix.set(p, 400 / delivered.len() as u64 + 1);
+    }
+    (instance, cycles, mix)
+}
+
+/// The bench config for the scenario above (`SimScenario::config`),
+/// inlined for the same reason.
+fn scaled_config(mix: Workload, ticks: u64) -> SimConfig {
+    SimConfig {
+        ticks,
+        stream: StreamConfig {
+            mix,
+            mean_gap: 2,
+            seed: 7,
+        },
+        deviations: DeviationConfig::stalls(64, 2, 8, 9),
+        repair: RepairConfig {
+            enabled: true,
+            ..RepairConfig::default()
+        },
+        replan_lag: 24,
+        ..SimConfig::default()
+    }
+}
+
+/// A small (~400-vertex) scenario with the same shape, sized so the
+/// Reference oracle is cheap enough to run repeatedly.
+fn small_scenario() -> (WspInstance, wsp_flow::AgentCycleSet, Workload) {
+    let map = wsp_maps::scaled_warehouse(5, 40, 3, 5).expect("small scaled map builds");
+    let instance = WspInstance::new(map.warehouse, map.traffic, Workload::zeros(0), 0);
+    let cycles = direct_cycle_set(&instance.warehouse, &instance.traffic, 24);
+    assert!(
+        cycles.total_agents() > 0,
+        "direct cycles produced no agents"
+    );
+    let mut mix = Workload::zeros(instance.warehouse.catalog().len());
+    let delivered: BTreeSet<ProductId> = cycles
+        .cycles()
+        .iter()
+        .flat_map(|c| c.delivered_products())
+        .collect();
+    for &p in &delivered {
+        mix.set(p, 60 / delivered.len() as u64 + 1);
+    }
+    (instance, cycles, mix)
+}
+
+/// Default (`Static`) policy must stay byte-identical to the golden file
+/// blessed before the assignment layer existed. Read-only: this test has
+/// no bless path on purpose — a mismatch here means the Static engine
+/// changed behavior, which the assignment PR promises not to do.
+#[test]
+fn static_policy_matches_the_pre_assignment_golden_byte_for_byte() {
+    let (instance, cycles, mix) = scaled_10k_scenario();
+    assert!(
+        instance.warehouse.graph().vertex_count() >= 10_000,
+        "scenario must stay production-scale"
+    );
+    let config = scaled_config(mix, 600);
+    assert_eq!(config.assign.policy, AssignPolicy::Static, "default policy");
+    let mut sim = Simulation::from_cycles(&instance, cycles, config).expect("scenario simulates");
+    let report = sim.run().expect("runs to the tick budget");
+    let golden: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "..",
+        "..",
+        "tests",
+        "golden",
+        "sim_scaled_warehouse_10k.json",
+    ]
+    .iter()
+    .collect();
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e})", golden.display()));
+    assert_eq!(
+        report.to_json(),
+        expected,
+        "Static policy diverged from the pre-assignment golden — the \
+         assignment layer must leave the default engine bit-for-bit alone"
+    );
+}
+
+/// Auction executions stay feasible: the recorded trajectory passes the
+/// independent plan checker, and the policy actually completes work.
+#[test]
+fn auction_execution_passes_the_plan_checker() {
+    let (instance, cycles, mix) = small_scenario();
+    let warehouse = instance.warehouse.clone();
+    let mut config = scaled_config(mix, 600);
+    config.assign.policy = AssignPolicy::Auction;
+    config.record = true;
+    let mut sim = Simulation::from_cycles(&instance, cycles, config).expect("scenario simulates");
+    let report = sim.run().expect("runs to the tick budget");
+    assert!(report.counters.conserved(), "{report}");
+    assert!(
+        report.counters.completed > 0,
+        "auction completed nothing: {report}"
+    );
+    assert!(
+        report.counters.assignments_made > 0,
+        "auction made no assignments: {report}"
+    );
+    let executed = sim.executed_plan().expect("recording on");
+    PlanChecker::new(&warehouse)
+        .check(executed)
+        .expect("auction execution stays feasible");
+}
+
+/// The determinism contract under Auction: event engine vs reference
+/// oracle, byte-identical reports at 1, 2, and 4 repair threads, with
+/// deviations and repair enabled throughout.
+#[test]
+fn auction_event_engine_matches_reference_at_every_thread_count() {
+    let (instance, cycles, mix) = small_scenario();
+    for threads in [1usize, 2, 4] {
+        let run = |engine| {
+            let mut config = scaled_config(mix.clone(), 600);
+            config.assign.policy = AssignPolicy::Auction;
+            config.engine = engine;
+            config.repair.threads = Some(threads);
+            let mut sim = Simulation::from_cycles(&instance, cycles.clone(), config)
+                .expect("scenario simulates");
+            sim.run().expect("runs to the tick budget")
+        };
+        let event = run(SimEngine::Event);
+        let reference = run(SimEngine::Reference);
+        assert!(event.counters.conserved());
+        assert_eq!(
+            event.to_json(),
+            reference.to_json(),
+            "auction event engine diverged from reference at {threads} threads"
+        );
+    }
+}

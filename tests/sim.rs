@@ -20,35 +20,92 @@ use std::path::PathBuf;
 use wsp_bench::{sim_scenario_paper, sim_scenario_scaled};
 use wsp_sim::Simulation;
 
-fn golden_check(name: &str, actual: &str) {
-    let golden: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden"]
-        .iter()
-        .collect::<PathBuf>()
-        .join(format!("{name}.json"));
-    if std::env::var_os("WSP_BLESS").is_some() {
-        std::fs::write(&golden, actual).expect("write golden");
-        return;
+/// Directory-parameterized core of [`golden_check`], so the bless and
+/// mismatch paths are testable against temp directories. Creates both
+/// directories as needed — a fresh checkout has no `target/golden-actual`,
+/// and `WSP_BLESS=1` on a pruned tree must not fail on a missing
+/// `tests/golden` either.
+fn golden_check_at(
+    golden_dir: &std::path::Path,
+    actual_dir: &std::path::Path,
+    name: &str,
+    actual: &str,
+    bless: bool,
+) -> Result<(), String> {
+    let golden = golden_dir.join(format!("{name}.json"));
+    if bless {
+        std::fs::create_dir_all(golden_dir)
+            .map_err(|e| format!("create golden dir {}: {e}", golden_dir.display()))?;
+        std::fs::write(&golden, actual)
+            .map_err(|e| format!("write golden {}: {e}", golden.display()))?;
+        return Ok(());
     }
-    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
-        panic!(
+    let expected = std::fs::read_to_string(&golden).map_err(|e| {
+        format!(
             "missing golden file {} ({e}); regenerate with WSP_BLESS=1 cargo test --test sim",
             golden.display()
         )
-    });
+    })?;
     if actual != expected {
-        let out_dir: PathBuf = [env!("CARGO_MANIFEST_DIR"), "target", "golden-actual"]
-            .iter()
-            .collect();
-        std::fs::create_dir_all(&out_dir).expect("create golden-actual dir");
-        let out = out_dir.join(format!("{name}.json"));
-        std::fs::write(&out, actual).expect("write actual");
-        panic!(
+        std::fs::create_dir_all(actual_dir)
+            .map_err(|e| format!("create actual dir {}: {e}", actual_dir.display()))?;
+        let out = actual_dir.join(format!("{name}.json"));
+        std::fs::write(&out, actual).map_err(|e| format!("write actual {}: {e}", out.display()))?;
+        return Err(format!(
             "golden mismatch for {name}: expected {}, actual written to {}\n\
              (intentional change? review the diff, then WSP_BLESS=1 cargo test --test sim)",
             golden.display(),
             out.display()
-        );
+        ));
     }
+    Ok(())
+}
+
+fn golden_check(name: &str, actual: &str) {
+    let golden_dir: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden"]
+        .iter()
+        .collect();
+    let actual_dir: PathBuf = [env!("CARGO_MANIFEST_DIR"), "target", "golden-actual"]
+        .iter()
+        .collect();
+    let bless = std::env::var_os("WSP_BLESS").is_some();
+    if let Err(msg) = golden_check_at(&golden_dir, &actual_dir, name, actual, bless) {
+        panic!("{msg}");
+    }
+}
+
+/// Regression test for the bless/mismatch plumbing itself: both paths
+/// must create their target directories on a fresh checkout (the actual
+/// dir under `target/` never exists in CI until a mismatch writes it).
+#[test]
+fn golden_check_creates_missing_directories() {
+    let root: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "target",
+        "golden-selftest",
+        concat!("pid-", env!("CARGO_PKG_VERSION")),
+    ]
+    .iter()
+    .collect();
+    let _ = std::fs::remove_dir_all(&root);
+    let golden_dir = root.join("golden");
+    let actual_dir = root.join("actual");
+
+    // Bless into a directory that does not exist yet.
+    golden_check_at(&golden_dir, &actual_dir, "g", "{\"x\": 1}\n", true).expect("bless creates");
+    // Match against the blessed file.
+    golden_check_at(&golden_dir, &actual_dir, "g", "{\"x\": 1}\n", false).expect("match passes");
+    // Mismatch must create the actual dir and write the rendering.
+    let err = golden_check_at(&golden_dir, &actual_dir, "g", "{\"x\": 2}\n", false)
+        .expect_err("mismatch reported");
+    assert!(err.contains("golden mismatch"), "{err}");
+    let written = std::fs::read_to_string(actual_dir.join("g.json")).expect("actual written");
+    assert_eq!(written, "{\"x\": 2}\n");
+    // Missing golden without bless is an error, not a panic.
+    let err = golden_check_at(&golden_dir, &actual_dir, "absent", "{}", false)
+        .expect_err("missing golden reported");
+    assert!(err.contains("missing golden file"), "{err}");
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
@@ -82,6 +139,28 @@ fn golden_scaled_warehouse_10k_lifelong() {
     let report = sim.run().expect("runs to the tick budget");
     assert!(report.counters.conserved());
     golden_check("sim_scaled_warehouse_10k", &report.to_json());
+}
+
+/// The same production-scale scenario under the auction assignment
+/// policy: queued tasks are matched to idle agents instead of waiting for
+/// a cycle to happen past their pickup, so the completed count must be a
+/// different (far larger) number than the Static golden's — pinned in its
+/// own golden file.
+#[test]
+fn golden_scaled_warehouse_10k_auction() {
+    let scenario = sim_scenario_scaled(31, 320, 400, 5);
+    let mut config = scenario.config(600);
+    config.assign.policy = wsp_sim::AssignPolicy::Auction;
+    let mut sim = Simulation::from_cycles(&scenario.instance, scenario.cycles.clone(), config)
+        .expect("scaled scenario simulates");
+    let report = sim.run().expect("runs to the tick budget");
+    assert!(report.counters.conserved());
+    assert!(
+        report.counters.completed > 0,
+        "auction must complete work on the production map: {report}"
+    );
+    assert!(report.counters.assignments_made > 0);
+    golden_check("sim_scaled_warehouse_10k_auction", &report.to_json());
 }
 
 /// Nightly elision guard: 200k simulated ticks on the ~11k-vertex scaled
