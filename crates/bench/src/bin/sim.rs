@@ -31,6 +31,7 @@ struct Row {
     ticks_elided: u64,
     active_agent_ticks: u64,
     events_processed: u64,
+    cache_bytes: usize,
     deterministic: bool,
 }
 
@@ -82,6 +83,7 @@ fn measure(case: &Case) -> Row {
         case_config(case, u64::MAX),
     )
     .expect("scenario simulates");
+    let cache_bytes = sim.auction_cache_bytes();
     let warmup = 2 * sim.window_len() as u64;
     sim.run_ticks(warmup).expect("warmup runs");
     // Snapshot before the stretch so every reported counter is a
@@ -111,6 +113,7 @@ fn measure(case: &Case) -> Row {
         ticks_elided: after.ticks_elided - before.ticks_elided,
         active_agent_ticks: after.active_agent_ticks - before.active_agent_ticks,
         events_processed: after.events_processed - before.events_processed,
+        cache_bytes,
         deterministic,
     }
 }
@@ -159,6 +162,18 @@ fn main() {
             policy: wsp_sim::AssignPolicy::Auction,
             label_suffix: "-auction",
         },
+        // The auction under adversarial deviations: stalls ~x10 as often
+        // keep knocking sleepers awake and dirtying the assignment
+        // inputs, so the dirty-set skip and tick elision rarely engage —
+        // the upper bound on what the auction costs when quiet stretches
+        // never materialize.
+        Case {
+            scenario: sim_scenario_scaled(101, 1000, 2000, 3),
+            ticks: 2_000,
+            stall_gap: Some(6),
+            policy: wsp_sim::AssignPolicy::Auction,
+            label_suffix: "-auction-stalls10x",
+        },
     ];
 
     let rows: Vec<Row> = cases.iter().map(measure).collect();
@@ -178,7 +193,14 @@ fn main() {
          reruns the 105k-vertex floor with stalls ~x10 as frequent: the adversarial regime \
          where agents keep getting knocked awake. The -auction row reruns the same floor \
          under AssignPolicy::Auction — lifelong matching of queued tasks to bidding agents \
-         — and must complete >= 100x the static row's tasks. The paper row synthesizes its design with \
+         — and must complete >= 100x the static row's tasks; its assignment phase is \
+         dirty-set gated (skipped outright on ticks where no input changed), station and \
+         site distances come from fields precomputed at build (cache_bytes reports their \
+         resident size, 0 for static rows), and once the queue drains the whole floor \
+         sleeps and ticks elide (asserted in-binary: the -auction row must report \
+         ticks_elided > 0). The -auction-stalls10x row combines both regimes — lifelong \
+         matching with x10 stalls — the upper bound when quiet stretches never \
+         materialize. The paper row synthesizes its design with \
          the full pipeline; the scaled rows execute direct cycle sets (the ILP does not reach \
          10k+ vertices). Regenerate with: cargo run --release -p wsp-bench --bin sim > \
          BENCH_sim.json. Schema: docs/BENCHMARKS.md.\","
@@ -194,7 +216,8 @@ fn main() {
              \"delivered\": {}, \
              \"mean_latency_milliticks\": {}, \
              \"throughput_per_kilotick\": {}, \"replans\": {}, \"repairs_applied\": {}, \
-             \"ticks_elided\": {}, \"active_agent_ticks\": {}, \"events_processed\": {} }}{comma}",
+             \"ticks_elided\": {}, \"active_agent_ticks\": {}, \"events_processed\": {}, \
+             \"cache_bytes\": {} }}{comma}",
             r.label,
             r.vertices,
             r.agents,
@@ -210,6 +233,7 @@ fn main() {
             r.ticks_elided,
             r.active_agent_ticks,
             r.events_processed,
+            r.cache_bytes,
         );
     }
     println!("  ]");
@@ -238,5 +262,20 @@ fn main() {
     assert!(
         auction_completed >= 100 * static_completed,
         "auction throughput regression on the 105k floor: {auction_completed} completed          vs {static_completed} static (need >= 100x)"
+    );
+
+    // The auction cost contract: O(dirty work), not O(ticks). With the
+    // default stall gap the stream's quiet stretches must actually elide
+    // under the auction policy — a zero here means the dirty-set skip or
+    // the idle sleep rule regressed and every tick is paying for a full
+    // assignment pass again.
+    let auction_elided = rows
+        .iter()
+        .find(|r| r.vertices > 100_000 && r.label.ends_with("-auction"))
+        .map(|r| r.ticks_elided)
+        .expect("105k auction row present");
+    assert!(
+        auction_elided > 0,
+        "the 105k -auction row elided no ticks — quiet stretches are being executed"
     );
 }

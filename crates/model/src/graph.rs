@@ -41,6 +41,15 @@ impl fmt::Display for VertexId {
     }
 }
 
+/// Resume point of a bounded BFS (see
+/// [`FloorplanGraph::bfs_bounded_begin`]): the index into the `touched`
+/// list of the first visited-but-unexpanded vertex. Only meaningful with
+/// the exact `dist`/`touched` buffers the begin call populated.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedBfsCursor {
+    head: usize,
+}
+
 /// Sentinel marking an empty slot in the dense `u32` tables this
 /// workspace's flat-graph convention indexes by vertex, agent, or
 /// component id (see the module docs); no valid id reaches `u32::MAX`.
@@ -228,6 +237,23 @@ impl FloorplanGraph {
         dist: &mut Vec<u32>,
         touched: &mut Vec<u32>,
     ) {
+        let _ = self.bfs_bounded_begin(source, cap, dist, touched);
+    }
+
+    /// Starts a *resumable* bounded BFS: identical to
+    /// [`bfs_distances_bounded_into`](Self::bfs_distances_bounded_into),
+    /// but returns a cursor that
+    /// [`bfs_bounded_resume`](Self::bfs_bounded_resume) can continue at a
+    /// larger cap without re-expanding any visited vertex. Cap-escalation
+    /// callers (the auction's 32 → 128 → 512 → ∞ neighbourhood probes)
+    /// pay each BFS layer exactly once across the whole escalation.
+    pub fn bfs_bounded_begin(
+        &self,
+        source: VertexId,
+        cap: u32,
+        dist: &mut Vec<u32>,
+        touched: &mut Vec<u32>,
+    ) -> BoundedBfsCursor {
         if dist.len() != self.vertex_count() {
             dist.clear();
             dist.resize(self.vertex_count(), u32::MAX);
@@ -239,14 +265,35 @@ impl FloorplanGraph {
         touched.clear();
         dist[source.index()] = 0;
         touched.push(source.0);
-        let mut head = 0;
+        let mut cursor = BoundedBfsCursor { head: 0 };
+        self.bfs_bounded_resume(&mut cursor, cap, dist, touched);
+        cursor
+    }
+
+    /// Continues a bounded BFS started by
+    /// [`bfs_bounded_begin`](Self::bfs_bounded_begin) up to a larger
+    /// `cap`, with `dist`/`touched` exactly as that call left them. After
+    /// the call the field is byte-identical to a fresh bounded run at
+    /// `cap`: exact distances within `cap` steps, `u32::MAX` beyond.
+    /// Caps must be non-decreasing across resumes; a smaller cap is a
+    /// no-op (the already-expanded field is a superset).
+    pub fn bfs_bounded_resume(
+        &self,
+        cursor: &mut BoundedBfsCursor,
+        cap: u32,
+        dist: &mut [u32],
+        touched: &mut Vec<u32>,
+    ) {
+        let mut head = cursor.head;
         while head < touched.len() {
             let v = VertexId(touched[head]);
-            head += 1;
             let d = dist[v.index()];
             if d >= cap {
-                continue;
+                // Visit order is by depth, so the unexpanded suffix
+                // starts here; remember it for the next escalation.
+                break;
             }
+            head += 1;
             for &n in self.neighbors(v) {
                 if dist[n.index()] == u32::MAX {
                     dist[n.index()] = d + 1;
@@ -254,6 +301,7 @@ impl FloorplanGraph {
                 }
             }
         }
+        cursor.head = head;
     }
 
     /// Whether every vertex can reach every other vertex.
@@ -378,6 +426,38 @@ mod tests {
             for &n in g.neighbors(v) {
                 assert!(g.has_edge(n, v));
             }
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_resume_matches_fresh_runs_at_every_cap() {
+        // An obstacle-riddled grid so BFS layers are irregular, swept from
+        // every source: after each escalation step the resumed field must
+        // be byte-identical to a from-scratch bounded run at that cap.
+        let grid = GridMap::from_ascii("......\n.x.x..\n...x..\n.x....\n......").unwrap();
+        let g = FloorplanGraph::from_grid(&grid);
+        for source in g.vertices() {
+            let (mut dist, mut touched) = (Vec::new(), Vec::new());
+            let mut cursor = None;
+            for cap in [1u32, 2, 3, 5, 9, u32::MAX] {
+                match cursor.as_mut() {
+                    None => {
+                        cursor = Some(g.bfs_bounded_begin(source, cap, &mut dist, &mut touched))
+                    }
+                    Some(c) => g.bfs_bounded_resume(c, cap, &mut dist, &mut touched),
+                }
+                let (mut fresh, mut fresh_touched) = (Vec::new(), Vec::new());
+                g.bfs_distances_bounded_into(source, cap, &mut fresh, &mut fresh_touched);
+                assert_eq!(
+                    dist, fresh,
+                    "resumed field diverged at cap {cap} from {source}"
+                );
+            }
+            assert_eq!(
+                dist,
+                g.bfs_distances(source),
+                "uncapped resume is the full field"
+            );
         }
     }
 }

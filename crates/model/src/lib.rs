@@ -42,7 +42,7 @@ mod workload;
 
 pub use coord::{Coord, Direction};
 pub use error::ModelError;
-pub use graph::{FloorplanGraph, VertexId, NO_INDEX};
+pub use graph::{BoundedBfsCursor, FloorplanGraph, VertexId, NO_INDEX};
 pub use grid::{CellKind, GridMap};
 pub use inventory::LocationMatrix;
 pub use plan::{

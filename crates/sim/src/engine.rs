@@ -531,6 +531,23 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Resident bytes of the auction's precomputed distance-field cache
+    /// (0 under the static policy) — for bench memory accounting.
+    pub fn auction_cache_bytes(&self) -> usize {
+        self.auction.as_deref().map_or(0, |a| a.fields.bytes())
+    }
+
+    /// Test hook: force the assignment pass to run on every executed
+    /// tick instead of skipping provably-no-op ones. The dirty-set
+    /// property test drives one simulation with the skip disabled as the
+    /// always-run oracle and compares it tick for tick.
+    #[doc(hidden)]
+    pub fn disable_auction_dirty_skip(&mut self) {
+        if let Some(auc) = self.auction.as_deref_mut() {
+            auc.dirty_skip = false;
+        }
+    }
+
     /// Runs until `config.ticks` and returns the final report.
     ///
     /// # Errors
@@ -690,6 +707,13 @@ impl<'a> Simulation<'a> {
         }
         self.sleep.wake(agent, self.carry[agent].is_some());
         self.granted[agent] = false;
+        if let Some(auc) = self.auction.as_deref_mut() {
+            // A wake changes the eligible pool (run_assignment's own
+            // winner-wakes happen while the state is taken out of the
+            // Option and are covered by the commit clearing the clean
+            // flag instead).
+            auc.dirty = true;
+        }
     }
 
     /// Settles every sleeping agent's cursor in place (without waking)
@@ -743,6 +767,11 @@ impl<'a> Simulation<'a> {
         // static obstacles and the replan machinery (boundary cadence,
         // ledger snapshots, counters) keeps running unchanged.
         let detached = self.auction.is_some();
+        if let Some(auc) = self.auction.as_deref_mut() {
+            // The replan wakes every agent (sleep ledger reset) — the
+            // eligible pool changes, so the next pass must really run.
+            auc.dirty = true;
+        }
         let snapshots: Vec<AgentSnapshot> = (0..self.pos.len())
             .map(|a| AgentSnapshot {
                 cycle: self.cycle_of[a],
@@ -824,6 +853,7 @@ impl<'a> Simulation<'a> {
                     product: task.product,
                     arrival: task.arrival,
                 });
+                auc.dirty = true;
             } else {
                 self.queues[task.product.index()].push_back(task.arrival);
             }
@@ -844,6 +874,10 @@ impl<'a> Simulation<'a> {
             self.counters.stalls_injected += 1;
             self.counters.stall_ticks_injected += u64::from(s.ticks);
             self.counters.events_processed += 1;
+            if let Some(auc) = self.auction.as_deref_mut() {
+                // Eligibility (`t >= stall_until`) just changed.
+                auc.dirty = true;
+            }
             if !self.sleep.is_awake(s.agent) {
                 self.wake(s.agent, t);
             }
@@ -852,8 +886,12 @@ impl<'a> Simulation<'a> {
         // 2c. Auction task assignment (both engines, identically: its
         // decisions are a pure function of the queue and agent states).
         // Runs before the active set is built so fresh assignees are
-        // swept — and can move — this very tick.
-        if self.auction.is_some() {
+        // swept — and can move — this very tick. Skipped outright when
+        // the pass is provably a no-op (see [`Self::auction_phase_skippable`]):
+        // this is what makes quiet stretches O(dirty work) instead of
+        // O(ticks), and — with every idle agent asleep — lets the event
+        // engine elide them entirely.
+        if self.auction.is_some() && !self.auction_phase_skippable() {
             self.run_assignment(t);
         }
 
@@ -1162,9 +1200,14 @@ impl<'a> Simulation<'a> {
     /// minimum, and unassignable tasks rotate to the queue's back in
     /// arrival order. No wall clock, no thread count — and no per-tick
     /// work caps, so elided quiescent stretches provably contain no
-    /// assignment the reference sweep would have made (idle agents stay
-    /// awake while assignable work pends; see
-    /// [`maybe_sleep_auction`](Self::maybe_sleep_auction)).
+    /// assignment the reference sweep would have made (see
+    /// [`maybe_sleep_auction`](Self::maybe_sleep_auction) and the
+    /// dirty-set skip in [`auction_phase_skippable`](Self::auction_phase_skippable)).
+    ///
+    /// On exit the pass records whether it was *clean* — committed
+    /// nothing and left the queue in arrival order (a full dry rotation
+    /// or an immediate no-eligible-agents bail) — which, with the dirty
+    /// flag staying clear, licenses skipping the next pass outright.
     fn run_assignment(&mut self, t: u64) {
         let Some(mut auc) = self.auction.take() else {
             return;
@@ -1172,6 +1215,9 @@ impl<'a> Simulation<'a> {
         let cfg = self.config.assign.clone();
         let graph = self.instance.warehouse.graph();
         let n = self.pos.len();
+        auc.dirty = false;
+        let mut rotations = 0usize;
+        let mut committed = false;
 
         let mut rounds = auc.pending.len();
         'tasks: while rounds > 0 {
@@ -1184,19 +1230,33 @@ impl<'a> Simulation<'a> {
                 // task to the back and look at the next one.
                 let task = auc.pending.pop_front().expect("front checked");
                 auc.pending.push_back(task);
+                rotations += 1;
                 continue;
             };
             // The nearest eligible agent by undirected BFS distance from
             // the pickup site, probing escalating neighbourhood caps so
-            // the common case never scans the whole floor.
+            // the common case never scans the whole floor; each
+            // escalation resumes the previous cap's frontier instead of
+            // re-running the BFS from scratch.
             self.bids.clear();
+            let mut probe = None;
             for cap in [32u32, 128, 512, u32::MAX] {
-                graph.bfs_distances_bounded_into(
-                    site,
-                    cap,
-                    &mut auc.probe_dist,
-                    &mut auc.probe_touched,
-                );
+                match probe.as_mut() {
+                    None => {
+                        probe = Some(graph.bfs_bounded_begin(
+                            site,
+                            cap,
+                            &mut auc.probe_dist,
+                            &mut auc.probe_touched,
+                        ));
+                    }
+                    Some(cursor) => graph.bfs_bounded_resume(
+                        cursor,
+                        cap,
+                        &mut auc.probe_dist,
+                        &mut auc.probe_touched,
+                    ),
+                }
                 self.bids.clear();
                 let mut any_eligible = false;
                 for a in 0..n {
@@ -1223,14 +1283,18 @@ impl<'a> Simulation<'a> {
                     break;
                 }
             }
-            // Auction order over the probed slate; a winner without a
-            // field route (rare: the field strongly connects these maps)
-            // falls through to the next-best bid.
+            // Auction order over the probed slate; a winner whose field
+            // route is missing (rare: the field strongly connects these
+            // maps) or longer than the route cap (a pathological
+            // floor-width detour) falls through to the next-best bid.
             let mut commit = None;
             while let Some(bid) = select_agent(&self.bids) {
                 self.bids.retain(|b| b.agent != bid.agent);
                 let from = self.pos[bid.agent as usize];
-                if let Some(path) = auc.route(graph, from, site, None) {
+                if let Some(path) = auc
+                    .route(graph, from, site, None)
+                    .filter(|p| p.len() <= cfg.route_cap as usize)
+                {
                     commit = Some((bid.agent as usize, path));
                     break;
                 }
@@ -1240,8 +1304,10 @@ impl<'a> Simulation<'a> {
                 // rotate and retry later (stock or topology may change).
                 let task = auc.pending.pop_front().expect("front checked");
                 auc.pending.push_back(task);
+                rotations += 1;
                 continue;
             };
+            committed = true;
 
             // Commit: reserve stock, build the leg list (batching queued
             // same-product tasks onto this agent), install the mission.
@@ -1309,6 +1375,7 @@ impl<'a> Simulation<'a> {
                 legs,
                 action: None,
                 blocked: 0,
+                wedged: false,
             });
             if !self.sleep.is_awake(a) {
                 self.wake(a, t);
@@ -1345,15 +1412,30 @@ impl<'a> Simulation<'a> {
                             break 'stations;
                         }
                         let anchor = auc.anchors[q as usize];
+                        // The bid slate the retired escalating-cap BFS
+                        // probes produced, reconstructed exactly from the
+                        // anchor's cached full field: the slate is every
+                        // eligible idle agent within the first cap that
+                        // catches the nearest one (bounded BFS yields
+                        // exact distances within its cap, so field
+                        // lookups are value-identical).
                         self.bids.clear();
-                        for cap in [32u32, 128, 512, u32::MAX] {
-                            graph.bfs_distances_bounded_into(
-                                anchor,
-                                cap,
-                                &mut auc.probe_dist,
-                                &mut auc.probe_touched,
-                            );
-                            self.bids.clear();
+                        let field = auc.fields.anchor_field(q as usize);
+                        let mut dmin = u32::MAX;
+                        for a in 0..n {
+                            if auc.missions[a].is_some()
+                                || auc.staged_of[a].is_some()
+                                || t < self.stall_until[a]
+                            {
+                                continue;
+                            }
+                            dmin = dmin.min(field[self.pos[a].index()]);
+                        }
+                        if dmin != u32::MAX {
+                            let cap = *[32u32, 128, 512, u32::MAX]
+                                .iter()
+                                .find(|&&c| dmin <= c)
+                                .expect("u32::MAX cap catches everything");
                             for a in 0..n {
                                 if auc.missions[a].is_some()
                                     || auc.staged_of[a].is_some()
@@ -1361,16 +1443,13 @@ impl<'a> Simulation<'a> {
                                 {
                                     continue;
                                 }
-                                let d = auc.probe_dist[self.pos[a].index()];
-                                if d != u32::MAX {
+                                let d = field[self.pos[a].index()];
+                                if d <= cap {
                                     self.bids.push(AgentBid {
                                         agent: a as u32,
                                         cost: d,
                                     });
                                 }
-                            }
-                            if !self.bids.is_empty() {
-                                break;
                             }
                         }
                         let mut commit = None;
@@ -1394,10 +1473,12 @@ impl<'a> Simulation<'a> {
                             legs: VecDeque::new(),
                             action: None,
                             blocked: 0,
+                            wedged: false,
                         });
                         auc.staged_of[a] = Some(q);
                         auc.staged[q as usize] += 1;
                         pool -= 1;
+                        committed = true;
                         self.counters.rebalance_moves += 1;
                         self.counters.events_processed += 1;
                         if !self.sleep.is_awake(a) {
@@ -1407,7 +1488,35 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        // Clean = nothing committed and the queue is back in arrival
+        // order: either untouched (an immediate no-eligible bail before
+        // any rotation) or rotated all the way around. A partial
+        // rotation (bail after some site-less tasks already moved back)
+        // leaves a reordered queue, so the next pass must really run.
+        auc.pass_clean = !committed && (rotations == 0 || rotations == auc.pending.len());
         self.auction = Some(auc);
+    }
+
+    /// Whether this tick's assignment phase is provably a byte-identical
+    /// no-op and may be skipped outright: the last pass was clean, no
+    /// assignment input changed since (arrivals, sheds, drops, mission
+    /// retirements, nudges, stalls, wakes, replans all set the dirty
+    /// flag), and no awake agent carries a replaceable mission — those
+    /// are eligible bidders whose positions (and so bid costs and route
+    /// outcomes) change every tick. Awake *idle* agents park in place
+    /// and awake task-mission agents are not bidders, so neither
+    /// perturbs a dry pass. Both engines evaluate the same predicate,
+    /// which keeps skipping — like elision — unobservable.
+    fn auction_phase_skippable(&self) -> bool {
+        let Some(auc) = self.auction.as_deref() else {
+            return true;
+        };
+        if !auc.dirty_skip || auc.dirty || !auc.pass_clean {
+            return false;
+        }
+        (0..self.pos.len()).all(|a| {
+            !self.sleep.is_awake(a) || !auc.missions[a].as_ref().is_some_and(Mission::replaceable)
+        })
     }
 
     /// Advances `agent`'s auction mission after the move phase: fires a
@@ -1450,6 +1559,7 @@ impl<'a> Simulation<'a> {
                     self.counters.record_latency(t + 1 - arrival);
                     let open = &mut auc.open[station as usize];
                     *open = open.saturating_sub(1);
+                    auc.dirty = true;
                 }
             }
         }
@@ -1459,6 +1569,7 @@ impl<'a> Simulation<'a> {
             m.at += 1;
             debug_assert_eq!(m.path[m.at], self.pos[a], "mission route desync");
             m.blocked = 0;
+            m.wedged = false;
         } else if m.at + 1 < m.path.len() {
             m.blocked += 1;
             let cfg = &self.config.assign;
@@ -1474,10 +1585,22 @@ impl<'a> Simulation<'a> {
                     MissionKind::Task => {
                         if m.blocked % cfg.reroute_after == 0 {
                             let goal = *m.path.last().expect("non-empty route");
-                            if let Some(path) = auc.route(graph, self.pos[a], goal, Some(want)) {
-                                m.path = path;
-                                m.at = 0;
-                                m.blocked = 0;
+                            match auc.route(graph, self.pos[a], goal, Some(want)) {
+                                Some(path) if path.len() <= cfg.route_cap as usize => {
+                                    m.path = path;
+                                    m.at = 0;
+                                    m.blocked = 0;
+                                    m.wedged = false;
+                                }
+                                Some(_) => {
+                                    // A detour this long means the direct
+                                    // corridor is walled off by parked
+                                    // agents; taking it would tour the
+                                    // floor. Wedge instead: park frozen
+                                    // and retry when something moves.
+                                    m.wedged = true;
+                                }
+                                None => {}
                             }
                         }
                     }
@@ -1499,7 +1622,10 @@ impl<'a> Simulation<'a> {
                     debug_assert_eq!(leg.goal, self.pos[a], "mission leg desync");
                     m.action = Some(leg.action);
                     if let Some(&Leg { goal, .. }) = m.legs.front() {
-                        match auc.route(graph, self.pos[a], goal, None) {
+                        match auc
+                            .route(graph, self.pos[a], goal, None)
+                            .filter(|p| p.len() <= self.config.assign.route_cap as usize)
+                        {
                             Some(path) => {
                                 m.path = path;
                                 m.at = 0;
@@ -1509,6 +1635,7 @@ impl<'a> Simulation<'a> {
                                 // Defensive only: assignment verified
                                 // field reachability for every leg. Shed
                                 // the remaining legs back to the queue.
+                                auc.dirty = true;
                                 while let Some(l2) = m.legs.pop_front() {
                                     match l2.action {
                                         LegAction::Pickup { product, arrival } => {
@@ -1551,6 +1678,7 @@ impl<'a> Simulation<'a> {
         if done {
             self.counters.events_processed += 1;
             auc.idle_dirty = true;
+            auc.dirty = true;
         } else {
             auc.missions[a] = Some(m);
         }
@@ -1584,7 +1712,9 @@ impl<'a> Simulation<'a> {
                     legs: VecDeque::new(),
                     action: None,
                     blocked: 0,
+                    wedged: false,
                 });
+                auc.dirty = true;
                 self.counters.events_processed += 1;
             }
             self.auction = Some(auc);
@@ -1597,21 +1727,39 @@ impl<'a> Simulation<'a> {
     }
 
     /// Sleep decision under the auction policy. Mission agents advance
-    /// every tick and stay awake. Stalled agents freeze with a wake-up at
-    /// the stall's end. Idle agents freeze only when no assignable work
-    /// could touch them next tick: the pending queue must be empty (the
-    /// assignment pass runs only on executed ticks, so an idle sleeper
-    /// next to a pending task would desynchronize the engines) and no
-    /// agent may have gone idle this tick (the rebalance pass gets one
+    /// every tick and stay awake — except a wedged one (its reroute is
+    /// cap-rejected), which parks frozen until a replan or stall retries
+    /// it. Stalled agents freeze with a wake-up at the stall's end. Idle
+    /// agents freeze when no assignable work could touch them next tick:
+    /// either the pending queue is empty (the assignment pass runs only
+    /// on executed ticks, so an idle sleeper next to a pending task
+    /// would desynchronize the engines), or the last pass was clean and
+    /// nothing has dirtied its inputs since — a re-run provably assigns
+    /// nothing, so sleeping through it is safe. In both arms no agent
+    /// may have gone idle this tick (the rebalance pass gets one
     /// executed tick to see them). Every wake path — assignment,
     /// rebalance, nudge, stall, boundary replan — runs identically under
     /// both engines, which is what keeps elision unobservable.
     fn maybe_sleep_auction(&mut self, agent: usize) {
         let auc = self.auction.as_deref().expect("auction engine");
-        if auc.missions[agent].is_some() {
+        if let Some(m) = &auc.missions[agent] {
+            if m.wedged && self.t >= self.stall_until[agent] {
+                // Wedged mission: its reroute is rejected and its blocker
+                // is not yielding. Park frozen (no event); the boundary
+                // replan or a stall wakes it for the next retry.
+                let carrying = self.carry[agent].is_some();
+                self.sleep.sleep(
+                    agent,
+                    SleepMode::Frozen,
+                    self.t,
+                    self.cursor[agent],
+                    carrying,
+                );
+                self.granted[agent] = false;
+            }
             return;
         }
-        let quiet = auc.pending.is_empty() && !auc.idle_dirty;
+        let quiet = !auc.idle_dirty && (auc.pending.is_empty() || (auc.pass_clean && !auc.dirty));
         let from = self.t;
         let carrying = self.carry[agent].is_some();
         if from < self.stall_until[agent] {

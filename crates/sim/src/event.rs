@@ -33,11 +33,18 @@
 //! Under [`crate::AssignPolicy::Auction`] agents execute missions instead
 //! of the window plan, and the contract tightens: an idle mission-less
 //! agent sleeps [`SleepMode::Frozen`] only while the assignment phase is
-//! provably a no-op (no pending tasks, rebalancer not dirty) — otherwise
-//! it must stay awake, because an assignment could hand it a mission on
-//! any executed tick. Sleepers are woken exclusively through this event
-//! machinery (assignment and the deferred phase-8b nudges call the same
-//! `wake`), so elision stays unobservable with missions in play.
+//! provably a no-op — either the pending queue is empty and the
+//! rebalancer is not dirty, or the last pass was *clean* (committed
+//! nothing, left the queue in arrival order) and no assignment input has
+//! been dirtied since (the dirty-set skip: the engine then skips the
+//! phase outright rather than re-running a provable no-op). A wedged
+//! mission (its reroute rejected by the uniform route cap) also parks
+//! `Frozen` until a replan or stall retries it. Otherwise the agent must
+//! stay awake, because an assignment could hand it a mission on any
+//! executed tick. Sleepers remain assignable: when a sleeping idle agent
+//! wins a bid, the assignment pass wakes it through this same event
+//! machinery (as do the deferred phase-8b nudges), so elision stays
+//! unobservable with missions in play.
 
 /// Event kind bit: the agent's next scheduled state change (end of a
 /// silent run or of a stall) — wake it and process it normally.

@@ -57,6 +57,7 @@
 mod assign;
 mod cycles;
 mod deviation;
+mod distfield;
 mod engine;
 mod event;
 mod queue;

@@ -140,6 +140,50 @@ proptest! {
         prop_assert_eq!(baseline.cost, reordered.cost);
     }
 
+    /// The dirty-set skip is unobservable: a simulation that skips
+    /// provably-no-op assignment passes stays tick-for-tick identical —
+    /// same `assignments_made` and `rebalance_moves` after every single
+    /// tick, byte-identical final report — to an always-run oracle with
+    /// the skip disabled, under both engines and adversarial stalls.
+    #[test]
+    fn dirty_set_skip_matches_always_run_oracle(
+        map_seed in 0u64..50,
+        stream_seed in 0u64..1_000,
+        dev_seed in 0u64..1_000,
+        stall_gap in 8u32..64,
+    ) {
+        let (instance, cycles, mix) = small_scenario(map_seed);
+        for engine in [SimEngine::Event, SimEngine::Reference] {
+            let mut config =
+                auction_config(mix.clone(), 400, stream_seed, dev_seed, stall_gap, 2);
+            config.engine = engine;
+            let mut skipping =
+                Simulation::from_cycles(&instance, cycles.clone(), config.clone()).unwrap();
+            let mut oracle =
+                Simulation::from_cycles(&instance, cycles.clone(), config).unwrap();
+            oracle.disable_auction_dirty_skip();
+            for tick in 0..400u64 {
+                skipping.run_ticks(1).unwrap();
+                oracle.run_ticks(1).unwrap();
+                let (s, o) = (skipping.counters(), oracle.counters());
+                prop_assert_eq!(
+                    (s.assignments_made, s.rebalance_moves),
+                    (o.assignments_made, o.rebalance_moves),
+                    "dirty-set skip diverged from the always-run oracle after tick \
+                     {} ({:?})",
+                    tick,
+                    engine
+                );
+            }
+            prop_assert_eq!(
+                skipping.report().to_json(),
+                oracle.report().to_json(),
+                "final report diverged ({:?})",
+                engine
+            );
+        }
+    }
+
     /// Repair thread count never changes the auction matching or the
     /// report: byte-identical renderings at 1, 2, and 4 threads.
     #[test]

@@ -17,7 +17,9 @@ use proptest::prelude::*;
 use wsp_core::{PipelineOptions, WspInstance};
 use wsp_maps::{sorting_center_variant, SortingCenterParams};
 use wsp_model::Workload;
-use wsp_sim::{DeviationConfig, RepairConfig, SimConfig, SimEngine, Simulation, StreamConfig};
+use wsp_sim::{
+    AssignPolicy, DeviationConfig, RepairConfig, SimConfig, SimEngine, Simulation, StreamConfig,
+};
 
 fn small_instance() -> WspInstance {
     let params = SortingCenterParams {
@@ -155,6 +157,61 @@ fn quiet_tail_is_elided_but_unobservable() {
     assert!(
         event.counters.ticks_elided > 0,
         "quiet tail produced no elision: {}",
+        event
+    );
+    assert!(
+        event.counters.active_agent_ticks < event.counters.ticks * event.agents / 2,
+        "active-agent work did not shrink: {} of {}",
+        event.counters.active_agent_ticks,
+        event.counters.ticks * event.agents,
+    );
+}
+
+/// The auction-policy version of the quiet-tail check: once the stream
+/// drains and every mission retires, the dirty-set skip lets idle agents
+/// sleep `Frozen`, the assignment phase stops running, and the event
+/// engine elides the quiet stretch outright — while staying
+/// byte-identical to the reference sweep, recorded trajectories and all.
+/// Runs on a small scaled-warehouse scenario (the sorting-center variant
+/// above can wedge missions permanently under the auction's direction
+/// field, which keeps blocked agents awake retrying forever).
+#[test]
+fn auction_quiet_tail_is_elided_but_unobservable() {
+    use std::collections::BTreeSet;
+    let map = wsp_maps::scaled_warehouse(5, 40, 3, 5).expect("small scaled map builds");
+    let instance = WspInstance::new(map.warehouse, map.traffic, Workload::zeros(0), 0);
+    let cycles = wsp_sim::direct_cycle_set(&instance.warehouse, &instance.traffic, 24);
+    let mut mix = Workload::zeros(instance.warehouse.catalog().len());
+    let delivered: BTreeSet<wsp_model::ProductId> = cycles
+        .cycles()
+        .iter()
+        .flat_map(|c| c.delivered_products())
+        .collect();
+    for &p in &delivered {
+        mix.set(p, 60 / delivered.len() as u64 + 1);
+    }
+    let run = |engine| {
+        let mut cfg = config(engine, 1_200, 5, 11, 300, 1, 48, 16, 2);
+        cfg.stream.mix = mix.clone();
+        cfg.stream.mean_gap = 2;
+        cfg.assign.policy = AssignPolicy::Auction;
+        cfg.record = true;
+        let mut sim = Simulation::from_cycles(&instance, cycles.clone(), cfg).unwrap();
+        let report = sim.run().unwrap();
+        (report, sim.executed_plan().cloned().unwrap())
+    };
+    let (event, event_plan) = run(SimEngine::Event);
+    let (reference, reference_plan) = run(SimEngine::Reference);
+    assert_eq!(event.to_json(), reference.to_json());
+    assert_eq!(event_plan, reference_plan, "recorded trajectories diverged");
+    assert!(
+        event.counters.completed > 0,
+        "auction run delivered nothing: {}",
+        event
+    );
+    assert!(
+        event.counters.ticks_elided > 0,
+        "auction quiet tail produced no elision: {}",
         event
     );
     assert!(
