@@ -47,19 +47,65 @@ pub use pipeline::{CycleArtifact, FlowArtifact, Pipeline, RealizedArtifact, Veri
 pub use wsp_flow::{synthesize_flow_relaxed, FlowEngine, RelaxedFlowSummary};
 pub use wsp_realize::{AgentSnapshot, WindowOutcome};
 
+/// Parses a thread-count override (the `WSP_THREADS` format): a bare
+/// base-10 integer, surrounding whitespace tolerated. `0` is accepted and
+/// means "minimum", which [`resolve_threads`] clamps to 1.
+///
+/// Everything that routes an external thread budget into the workspace —
+/// [`resolve_threads`]' environment path and `wsp-server`'s per-job
+/// `threads` knob — validates through this one function, so garbage is
+/// rejected with the same message everywhere instead of being silently
+/// swallowed.
+///
+/// # Errors
+///
+/// A human-readable description of why `raw` is not a thread count
+/// (empty, non-numeric, or out of range for `usize`).
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Err("empty thread count".to_string());
+    }
+    t.parse::<usize>()
+        .map_err(|e| format!("invalid thread count {t:?}: {e}"))
+}
+
+/// Set once `resolve_threads` has warned about an unparsable
+/// `WSP_THREADS`; the warning is emitted one time per process.
+static WSP_THREADS_WARNED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
 /// Resolves a worker-thread count: explicit override, then the
 /// `WSP_THREADS` environment variable, then
-/// [`std::thread::available_parallelism`]; always at least 1.
+/// [`std::thread::available_parallelism`]; always at least 1 (an explicit
+/// or environment `0` is clamped to 1).
+///
+/// An unparsable `WSP_THREADS` (e.g. `WSP_THREADS=two`) is **not**
+/// silently swallowed: the first time one is seen, a warning naming the
+/// bad value is printed to stderr, and the variable is ignored in favor
+/// of [`std::thread::available_parallelism`]. Callers that need a hard
+/// error instead (e.g. a server validating a per-job thread budget)
+/// should validate with [`parse_threads`] first.
 ///
 /// Shared by every parallel driver in the workspace (`wsp-explore`'s
-/// batch evaluator, `wsp-sim`'s repair fan-out) so one knob steers them
-/// all.
+/// batch evaluator, `wsp-sim`'s repair fan-out, `wsp-server`'s job
+/// engine) so one knob steers them all.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
     explicit
         .or_else(|| {
-            std::env::var("WSP_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
+            let raw = std::env::var("WSP_THREADS").ok()?;
+            match parse_threads(&raw) {
+                Ok(n) => Some(n),
+                Err(e) => {
+                    if !WSP_THREADS_WARNED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                        eprintln!(
+                            "warning: ignoring WSP_THREADS={raw:?} ({e}); \
+                             falling back to available parallelism"
+                        );
+                    }
+                    None
+                }
+            }
         })
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -67,6 +113,54 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
                 .unwrap_or(1)
         })
         .max(1)
+}
+
+/// Shared cancellation + progress channel between a long-running
+/// evaluation and whoever supervises it (a server job registry, a signal
+/// handler, a test).
+///
+/// The two sides communicate only through atomics, so one `RunControl`
+/// can be shared (`Arc` or plain reference) between the worker driving
+/// `wsp_explore::evaluate_batch_with` / `wsp_sim::Simulation::run_controlled`
+/// and any number of observers. Cancellation is a level, not an edge:
+/// once [`cancel`](RunControl::cancel) is called the flag stays set, and
+/// runners stop at their next check point (per candidate for the
+/// explorer, per chunk for the simulator). Progress is a monotone
+/// counter whose unit the runner defines (candidates evaluated,
+/// simulated ticks); observers treat it as "work done so far".
+#[derive(Debug, Default)]
+pub struct RunControl {
+    cancelled: std::sync::atomic::AtomicBool,
+    progress: std::sync::atomic::AtomicU64,
+}
+
+impl RunControl {
+    /// A fresh control: not cancelled, zero progress.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// Requests cancellation (sticky; idempotent).
+    pub fn cancel(&self) {
+        self.cancelled
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Work units completed so far (runner-defined units).
+    pub fn progress(&self) -> u64 {
+        self.progress.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Adds `n` completed work units (called by the runner).
+    pub fn add_progress(&self, n: u64) {
+        self.progress
+            .fetch_add(n, std::sync::atomic::Ordering::AcqRel);
+    }
 }
 
 /// A warehouse servicing problem instance (Problem 3.1) together with its
@@ -309,5 +403,77 @@ mod tests {
         let instance = tiny_instance(4);
         let report = solve(&instance, &PipelineOptions::default()).unwrap();
         assert!(report.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn parse_threads_accepts_integers_and_rejects_garbage() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2));
+        assert_eq!(parse_threads("0"), Ok(0));
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("  ").is_err());
+        assert!(parse_threads("two").is_err());
+        assert!(parse_threads("-1").is_err());
+        assert!(parse_threads("3.5").is_err());
+        assert!(parse_threads("4x").is_err());
+        // Out of range for usize.
+        assert!(parse_threads("99999999999999999999999999").is_err());
+    }
+
+    /// The `0` / garbage / unset / explicit-override resolution matrix.
+    /// One test drives every environment case so the env mutation is
+    /// serialized (tests in one binary run concurrently).
+    #[test]
+    fn resolve_threads_matrix() {
+        // Explicit override wins regardless of the environment, and 0 is
+        // clamped to 1.
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(1)), 1);
+        assert_eq!(resolve_threads(Some(0)), 1);
+
+        let saved = std::env::var("WSP_THREADS").ok();
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+
+        // Unset: available parallelism.
+        std::env::remove_var("WSP_THREADS");
+        assert_eq!(resolve_threads(None), auto.max(1));
+
+        // Parsable env values are honored; 0 clamps to 1.
+        std::env::set_var("WSP_THREADS", "2");
+        assert_eq!(resolve_threads(None), 2);
+        std::env::set_var("WSP_THREADS", "0");
+        assert_eq!(resolve_threads(None), 1);
+
+        // Garbage is rejected loudly (a one-time stderr warning), never
+        // silently parsed, and falls back to available parallelism.
+        std::env::set_var("WSP_THREADS", "two");
+        assert_eq!(resolve_threads(None), auto.max(1));
+        assert!(
+            WSP_THREADS_WARNED.load(std::sync::atomic::Ordering::Relaxed),
+            "garbage WSP_THREADS must trip the one-time warning"
+        );
+        // Explicit override still bypasses the garbage env entirely.
+        assert_eq!(resolve_threads(Some(5)), 5);
+
+        match saved {
+            Some(v) => std::env::set_var("WSP_THREADS", v),
+            None => std::env::remove_var("WSP_THREADS"),
+        }
+    }
+
+    #[test]
+    fn run_control_is_sticky_and_monotone() {
+        let c = RunControl::new();
+        assert!(!c.is_cancelled());
+        assert_eq!(c.progress(), 0);
+        c.add_progress(3);
+        c.add_progress(4);
+        assert_eq!(c.progress(), 7);
+        c.cancel();
+        assert!(c.is_cancelled());
+        c.cancel(); // idempotent
+        assert!(c.is_cancelled());
     }
 }

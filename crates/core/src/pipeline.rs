@@ -325,6 +325,10 @@ const _: () = {
     // the thread boundary with it.
     assert_send_sync::<IlpScratch>();
     assert_send_sync::<wsp_flow::LpScratch>();
+    // `wsp-server` shares one `RunControl` per job between its HTTP
+    // handler threads (cancel/poll) and the job worker driving the
+    // evaluation — it must stay lock-free thread-safe.
+    assert_send_sync::<crate::RunControl>();
     assert_send::<Pipeline>();
     assert_send::<PipelineError>();
 };

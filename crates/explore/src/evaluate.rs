@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use wsp_core::{PhaseTimings, Pipeline, PipelineError, PipelineOptions, WspInstance};
+use wsp_core::{PhaseTimings, Pipeline, PipelineError, PipelineOptions, RunControl, WspInstance};
 use wsp_flow::FlowError;
 
 use crate::pareto::{pareto_front, Objective};
@@ -211,6 +211,93 @@ impl ExploreOutcome {
                 (o.agents, o.makespan, o.synthesis_cost)
             })
     }
+
+    /// The canonical JSON rendering of the deterministic results: the
+    /// Pareto front plus one object per candidate (label, outcome, and —
+    /// for solved candidates — the full [`CandidateEval`]), keys in fixed
+    /// order. Wall-clock state (`threads`, `wall`, per-phase timings) is
+    /// deliberately excluded, so the rendering is **byte-identical** for
+    /// the same candidate list at every thread count — `wsp-server`
+    /// returns exactly this string for explore jobs, which makes a server
+    /// round-trip byte-comparable to a direct [`evaluate_batch`] call.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 160 * self.reports.len());
+        out.push_str("{\n  \"front\": [");
+        for (k, i) in self.front.iter().enumerate() {
+            let _ = write!(out, "{}{}", if k > 0 { ", " } else { "" }, i);
+        }
+        out.push_str("],\n  \"candidates\": [\n");
+        for (k, r) in self.reports.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"label\": \"{}\", ",
+                json_escape(&r.candidate.label())
+            );
+            match &r.outcome {
+                CandidateOutcome::Solved(e) => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\": \"solved\", \"agents\": {}, \"makespan\": {}, \
+                         \"delivered\": {}, \"cycles\": {}, \"synthesis_cost\": {}",
+                        e.agents, e.makespan, e.delivered, e.cycles, e.synthesis_cost
+                    );
+                    if let Some(s) = &e.sim {
+                        let _ = write!(
+                            out,
+                            ", \"sim\": {{\"mean_latency_milliticks\": {}, \
+                             \"throughput_per_kilotick\": {}, \"completed\": {}}}",
+                            s.mean_latency_milliticks, s.throughput_per_kilotick, s.completed
+                        );
+                    }
+                }
+                CandidateOutcome::Infeasible(detail) => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\": \"infeasible\", \"detail\": \"{}\"",
+                        json_escape(detail)
+                    );
+                }
+                CandidateOutcome::Failed(detail) => {
+                    let _ = write!(
+                        out,
+                        "\"outcome\": \"failed\", \"detail\": \"{}\"",
+                        json_escape(detail)
+                    );
+                }
+            }
+            out.push('}');
+            if k + 1 < self.reports.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the canonical rendering (labels and
+/// solver error details are ASCII in practice, but control characters and
+/// quotes must never corrupt the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Resolves the worker-thread count: explicit override, then the
@@ -346,6 +433,27 @@ fn simulate_candidate(
 /// gated to identical problems, so scratch reuse never changes a
 /// candidate's result.
 pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) -> ExploreOutcome {
+    evaluate_batch_with(candidates, options, &RunControl::new())
+}
+
+/// [`evaluate_batch`] with a supervision channel: `control` is checked
+/// before each candidate claim (a cancelled batch stops promptly — no new
+/// evaluations start, in-flight ones finish their candidate) and its
+/// progress counter advances by one per evaluated candidate, so an
+/// external observer (e.g. a `wsp-server` job poll) sees monotone
+/// progress toward `candidates.len()`.
+///
+/// Without cancellation the result is identical to [`evaluate_batch`] —
+/// byte-identical at every thread count. When cancelled, candidates whose
+/// evaluation never started report
+/// [`CandidateOutcome::Failed`]`("cancelled before evaluation")` and the
+/// front is scored over whatever did complete (the caller typically
+/// discards the partial outcome).
+pub fn evaluate_batch_with(
+    candidates: &[DesignCandidate],
+    options: &ExploreOptions,
+    control: &RunControl,
+) -> ExploreOutcome {
     let t0 = Instant::now();
     let n = candidates.len();
     let threads = resolve_threads(options.threads).min(n.max(1));
@@ -362,6 +470,9 @@ pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) 
                 let mut pipeline = Pipeline::new();
                 let mut produced: Vec<(usize, CandidateReport)> = Vec::new();
                 loop {
+                    if control.is_cancelled() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -370,6 +481,7 @@ pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) 
                         i,
                         evaluate_candidate(&mut pipeline, &candidates[i], options),
                     ));
+                    control.add_progress(1);
                 }
                 produced
             }));
@@ -383,7 +495,14 @@ pub fn evaluate_batch(candidates: &[DesignCandidate], options: &ExploreOptions) 
 
     let reports: Vec<CandidateReport> = slots
         .into_iter()
-        .map(|s| s.expect("every candidate evaluated"))
+        .zip(candidates)
+        .map(|(s, c)| {
+            s.unwrap_or_else(|| CandidateReport {
+                candidate: c.clone(),
+                outcome: CandidateOutcome::Failed("cancelled before evaluation".to_string()),
+                timings: None,
+            })
+        })
         .collect();
 
     // Pareto front over the solved candidates, mapped back to report
@@ -558,6 +677,55 @@ mod tests {
     fn thread_resolution_prefers_explicit_then_env() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn canonical_json_is_thread_count_independent() {
+        let mut candidates = tiny_candidates();
+        // Include a failed candidate so every outcome arm renders.
+        candidates.push(DesignCandidate::new(SortingCenterParams {
+            chute_rows: 2, // even: rejected by validate()
+            ..SortingCenterParams::paper()
+        }));
+        let one = evaluate_batch(&candidates, &tiny_options(1));
+        let two = evaluate_batch(&candidates, &tiny_options(2));
+        assert_eq!(one.to_json(), two.to_json());
+        let json = one.to_json();
+        assert!(json.starts_with("{\n  \"front\": ["));
+        assert!(json.contains("\"outcome\": \"solved\""));
+        assert!(json.contains("\"outcome\": \"failed\""));
+        assert!(json.contains("\"synthesis_cost\": "));
+        // Wall-clock state must never leak into the canonical rendering.
+        assert!(!json.contains("wall"));
+        assert!(!json.contains("threads"));
+    }
+
+    #[test]
+    fn cancelled_batches_stop_promptly_and_mark_unevaluated_slots() {
+        let candidates = tiny_candidates();
+        // Cancel before the batch starts: no candidate may be evaluated.
+        let control = RunControl::new();
+        control.cancel();
+        let outcome = evaluate_batch_with(&candidates, &tiny_options(2), &control);
+        assert_eq!(outcome.reports.len(), candidates.len());
+        for r in &outcome.reports {
+            assert!(
+                matches!(&r.outcome, CandidateOutcome::Failed(e) if e.contains("cancelled")),
+                "expected a cancelled marker, got {:?}",
+                r.outcome
+            );
+        }
+        assert_eq!(control.progress(), 0);
+        assert!(outcome.front.is_empty());
+
+        // An uncancelled control reproduces evaluate_batch exactly and
+        // reports full progress.
+        let control = RunControl::new();
+        let with = evaluate_batch_with(&candidates, &tiny_options(2), &control);
+        let without = evaluate_batch(&candidates, &tiny_options(1));
+        assert_eq!(with.fingerprint(), without.fingerprint());
+        assert_eq!(with.to_json(), without.to_json());
+        assert_eq!(control.progress(), candidates.len() as u64);
     }
 
     #[test]

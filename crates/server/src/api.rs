@@ -1,0 +1,155 @@
+//! HTTP routing: pure functions from (method, path, body) to a status +
+//! body, so the whole API surface is testable without a socket.
+
+use crate::jobs::{JobEngine, JobResult, JobSnapshot, JobSpec, SubmitError};
+use crate::json::{escape, Json};
+use crate::spec::{ExploreSpec, SimSpec};
+
+/// A routed response, ready for the HTTP layer to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: String,
+}
+
+impl ApiResponse {
+    fn json(status: u16, body: String) -> ApiResponse {
+        ApiResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> ApiResponse {
+        ApiResponse::json(status, format!("{{\"error\":\"{}\"}}\n", escape(message)))
+    }
+}
+
+fn snapshot_json(s: &JobSnapshot) -> String {
+    format!(
+        "{{\"id\":{},\"kind\":\"{}\",\"status\":\"{}\",\"progress\":{},\"total\":{}}}",
+        s.id, s.kind, s.status, s.progress, s.total
+    )
+}
+
+/// Routes one request. Increments the request counter; every path returns
+/// a well-formed response (unknown routes get `404`, wrong methods
+/// `405`).
+pub fn route(engine: &JobEngine, method: &str, path: &str, body: &[u8]) -> ApiResponse {
+    engine
+        .metrics()
+        .http_requests
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = path.split('?').next().unwrap_or(path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => match method {
+            "GET" => ApiResponse::json(200, "{\"status\":\"ok\"}\n".to_string()),
+            _ => ApiResponse::error(405, "use GET"),
+        },
+        ["metrics"] => match method {
+            "GET" => ApiResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: engine.metrics().render(),
+            },
+            _ => ApiResponse::error(405, "use GET"),
+        },
+        ["api", "v1", "jobs"] => match method {
+            "GET" => {
+                let items: Vec<String> = engine
+                    .list()
+                    .iter()
+                    .map(|job| snapshot_json(&job.snapshot()))
+                    .collect();
+                ApiResponse::json(200, format!("{{\"jobs\":[{}]}}\n", items.join(",")))
+            }
+            _ => ApiResponse::error(405, "use GET; submit to /api/v1/jobs/explore or /sim"),
+        },
+        ["api", "v1", "jobs", kind @ ("explore" | "sim")] => match method {
+            "POST" => submit(engine, kind, body),
+            _ => ApiResponse::error(405, "use POST"),
+        },
+        ["api", "v1", "jobs", id] => match (method, id.parse::<u64>()) {
+            (_, Err(_)) => ApiResponse::error(404, "no such job"),
+            ("GET", Ok(id)) => match engine.job(id) {
+                Some(job) => {
+                    ApiResponse::json(200, format!("{}\n", snapshot_json(&job.snapshot())))
+                }
+                None => ApiResponse::error(404, "no such job"),
+            },
+            ("DELETE", Ok(id)) => {
+                if engine.delete(id) {
+                    ApiResponse::json(200, format!("{{\"id\":{id},\"deleted\":true}}\n"))
+                } else {
+                    ApiResponse::error(404, "no such job")
+                }
+            }
+            _ => ApiResponse::error(405, "use GET or DELETE"),
+        },
+        ["api", "v1", "jobs", id, "result"] => match (method, id.parse::<u64>()) {
+            ("GET", Ok(id)) => match engine.job(id) {
+                None => ApiResponse::error(404, "no such job"),
+                Some(job) => match job.result() {
+                    JobResult::NotFinished => {
+                        ApiResponse::error(409, "job not finished; poll its status")
+                    }
+                    JobResult::Cancelled => ApiResponse::error(409, "job was cancelled"),
+                    JobResult::Failed(e) => ApiResponse::error(500, &e),
+                    JobResult::Done(json) => ApiResponse::json(200, json),
+                },
+            },
+            (_, Ok(_)) => ApiResponse::error(405, "use GET"),
+            (_, Err(_)) => ApiResponse::error(404, "no such job"),
+        },
+        ["api", "v1", "jobs", id, "cancel"] => match (method, id.parse::<u64>()) {
+            ("POST", Ok(id)) => {
+                if engine.cancel(id) {
+                    let status = engine
+                        .job(id)
+                        .map(|job| job.snapshot().status)
+                        .unwrap_or("cancelled");
+                    ApiResponse::json(200, format!("{{\"id\":{id},\"status\":\"{status}\"}}\n"))
+                } else {
+                    ApiResponse::error(404, "no such job")
+                }
+            }
+            (_, Ok(_)) => ApiResponse::error(405, "use POST"),
+            (_, Err(_)) => ApiResponse::error(404, "no such job"),
+        },
+        _ => ApiResponse::error(404, "no such route"),
+    }
+}
+
+fn submit(engine: &JobEngine, kind: &str, body: &[u8]) -> ApiResponse {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return ApiResponse::error(400, "body must be UTF-8 JSON"),
+    };
+    let value = if text.trim().is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        match Json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return ApiResponse::error(400, &format!("bad JSON: {e}")),
+        }
+    };
+    let spec = match kind {
+        "explore" => ExploreSpec::from_json(&value).map(JobSpec::Explore),
+        _ => SimSpec::from_json(&value).map(JobSpec::Sim),
+    };
+    let spec = match spec {
+        Ok(s) => s,
+        Err(e) => return ApiResponse::error(400, &e),
+    };
+    match engine.submit(spec) {
+        Ok(id) => ApiResponse::json(202, format!("{{\"id\":{id},\"status\":\"queued\"}}\n")),
+        Err(e @ SubmitError::QueueFull { .. }) => ApiResponse::error(503, &e.to_string()),
+        Err(e @ SubmitError::ShuttingDown) => ApiResponse::error(503, &e.to_string()),
+    }
+}

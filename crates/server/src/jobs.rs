@@ -1,0 +1,478 @@
+//! The async job engine: an id-keyed registry of cancellable background
+//! jobs drained by a worker pool off a bounded queue.
+//!
+//! The registry pattern: one `Arc<Job>` per submission, keyed by a
+//! monotonically increasing id in a `BTreeMap`, with the job's live
+//! signals (a shared [`RunControl`] for cancel + progress, a small state
+//! mutex for the queued → running → finished lifecycle). HTTP handlers
+//! poll and cancel through the registry while a worker owns the actual
+//! evaluation; neither side ever blocks the other beyond the short
+//! registry lock.
+//!
+//! Lock ordering: the registry mutex may be held while taking a job's
+//! state mutex, never the reverse. Workers take them strictly in
+//! sequence (registry to pick a job, then state to transition it), so
+//! the ordering holds everywhere.
+//!
+//! Determinism: a job's result is the same canonical JSON the direct
+//! library call renders ([`wsp_explore::ExploreOutcome::to_json`],
+//! `wsp_sim::SimReport::to_json`), and the evaluation honors the spec's
+//! thread budget through the same [`wsp_core::resolve_threads`] channel —
+//! so a server round-trip is byte-comparable to a local run.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use wsp_core::{PipelineOptions, RunControl, WspInstance};
+use wsp_explore::evaluate_batch_with;
+use wsp_maps::sorting_center_variant;
+use wsp_sim::Simulation;
+
+use crate::metrics::Metrics;
+use crate::spec::{ExploreSpec, SimSpec};
+
+/// Ticks a sim job advances between cancellation checks.
+const SIM_CHUNK: u64 = 256;
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A design-space sweep via [`wsp_explore::evaluate_batch_with`].
+    Explore(ExploreSpec),
+    /// A lifelong simulation via `wsp_sim::Simulation::run_controlled`.
+    Sim(SimSpec),
+}
+
+impl JobSpec {
+    /// Short kind tag for snapshots ("explore" / "sim").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Explore(_) => "explore",
+            JobSpec::Sim(_) => "sim",
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            JobSpec::Explore(spec) => spec.total(),
+            JobSpec::Sim(spec) => spec.total(),
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done(String),
+    Failed(String),
+    Cancelled,
+}
+
+/// One submitted job: spec, live signals, and final state.
+#[derive(Debug)]
+pub struct Job {
+    /// Registry id (monotone per engine).
+    pub id: u64,
+    /// What to compute.
+    pub spec: JobSpec,
+    /// Shared cancel + progress channel; handlers poll and cancel it,
+    /// the worker drives it.
+    pub control: RunControl,
+    /// Progress denominator (candidates for explore, ticks for sim).
+    pub total: u64,
+    state: Mutex<JobState>,
+}
+
+/// A point-in-time view of a job for list/poll responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// Registry id.
+    pub id: u64,
+    /// "explore" / "sim".
+    pub kind: &'static str,
+    /// "queued" / "running" / "done" / "failed" / "cancelled".
+    pub status: &'static str,
+    /// Units of work finished so far (monotone).
+    pub progress: u64,
+    /// Progress denominator.
+    pub total: u64,
+}
+
+/// A finished (or not) job's result, for the result endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobResult {
+    /// Still queued or running.
+    NotFinished,
+    /// The canonical JSON rendering.
+    Done(String),
+    /// The evaluation errored.
+    Failed(String),
+    /// The job was cancelled before finishing.
+    Cancelled,
+}
+
+impl Job {
+    fn status_name(&self) -> &'static str {
+        match *self.state.lock().expect("job state poisoned") {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Snapshots id, kind, status, and progress.
+    pub fn snapshot(&self) -> JobSnapshot {
+        // Status before progress: a job observed "running" may show a
+        // slightly stale (lower) progress, which keeps polls monotone.
+        let status = self.status_name();
+        JobSnapshot {
+            id: self.id,
+            kind: self.spec.kind(),
+            status,
+            progress: self.control.progress(),
+            total: self.total,
+        }
+    }
+
+    /// The job's result, cloning the rendering.
+    pub fn result(&self) -> JobResult {
+        match &*self.state.lock().expect("job state poisoned") {
+            JobState::Queued | JobState::Running => JobResult::NotFinished,
+            JobState::Done(json) => JobResult::Done(json.clone()),
+            JobState::Failed(e) => JobResult::Failed(e.clone()),
+            JobState::Cancelled => JobResult::Cancelled,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (`503`).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down (`503`).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue full ({capacity} queued); retry later")
+            }
+            SubmitError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Registry {
+    jobs: BTreeMap<u64, Arc<Job>>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// The job engine: registry + bounded queue + worker pool.
+#[derive(Debug)]
+pub struct JobEngine {
+    registry: Mutex<Registry>,
+    available: Condvar,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobEngine {
+    /// Builds an engine with `workers` background threads and a queue
+    /// bounded at `capacity` jobs.
+    ///
+    /// `workers == 0` runs no background threads: jobs stay queued until
+    /// [`run_one`](JobEngine::run_one) executes them on the caller's
+    /// thread — the deterministic mode the lifecycle tests drive.
+    pub fn new(workers: usize, capacity: usize, metrics: Arc<Metrics>) -> Arc<JobEngine> {
+        let engine = Arc::new(JobEngine {
+            registry: Mutex::new(Registry {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            metrics,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker = Arc::clone(&engine);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wsp-job-{i}"))
+                    .spawn(move || worker.worker_loop())
+                    .expect("spawn job worker"),
+            );
+        }
+        *engine.workers.lock().expect("workers poisoned") = handles;
+        engine
+    }
+
+    /// The engine's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when `capacity` jobs are already
+    /// waiting (backpressure — nothing is dropped), or
+    /// [`SubmitError::ShuttingDown`].
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        if reg.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if reg.queue.len() >= self.capacity {
+            self.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = reg.next_id;
+        reg.next_id += 1;
+        let total = spec.total();
+        let job = Arc::new(Job {
+            id,
+            spec,
+            control: RunControl::new(),
+            total,
+            state: Mutex::new(JobState::Queued),
+        });
+        reg.jobs.insert(id, job);
+        reg.queue.push_back(id);
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.jobs_queued.fetch_add(1, Ordering::Relaxed);
+        drop(reg);
+        self.available.notify_one();
+        Ok(id)
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// All registered jobs in id order.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Cancels a job: a queued job finishes as cancelled without running,
+    /// a running job is signalled and stops within one progress chunk.
+    /// Idempotent; cancelling a finished job is a no-op.
+    ///
+    /// Returns `false` when the id is unknown.
+    pub fn cancel(&self, id: u64) -> bool {
+        let reg = self.registry.lock().expect("registry poisoned");
+        let Some(job) = reg.jobs.get(&id).cloned() else {
+            return false;
+        };
+        let mut state = job.state.lock().expect("job state poisoned");
+        match *state {
+            JobState::Queued => {
+                *state = JobState::Cancelled;
+                job.control.cancel();
+                self.metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            JobState::Running => job.control.cancel(),
+            _ => {}
+        }
+        true
+    }
+
+    /// Cancels and removes a job from the registry. A worker mid-job
+    /// keeps its own `Arc` and finishes into it harmlessly.
+    ///
+    /// Returns `false` when the id is unknown.
+    pub fn delete(&self, id: u64) -> bool {
+        if !self.cancel(id) {
+            return false;
+        }
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.queue.retain(|&q| q != id);
+        reg.jobs.remove(&id).is_some()
+    }
+
+    /// Pops one queued job and runs it on the calling thread. Returns
+    /// `false` when the queue is empty. (The `workers == 0` test mode;
+    /// with background workers the pool races this, which is harmless.)
+    pub fn run_one(&self) -> bool {
+        match self.claim_next() {
+            Some(job) => {
+                self.execute(&job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops accepting submissions, cancels everything, and joins the
+    /// worker pool.
+    pub fn shutdown(&self) {
+        {
+            let mut reg = self.registry.lock().expect("registry poisoned");
+            reg.shutdown = true;
+            let jobs: Vec<Arc<Job>> = reg.jobs.values().cloned().collect();
+            for job in jobs {
+                let mut state = job.state.lock().expect("job state poisoned");
+                if matches!(*state, JobState::Queued) {
+                    *state = JobState::Cancelled;
+                    self.metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+                    self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                job.control.cancel();
+            }
+            reg.queue.clear();
+        }
+        self.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut reg = self.registry.lock().expect("registry poisoned");
+                loop {
+                    if reg.shutdown {
+                        return;
+                    }
+                    if let Some(id) = reg.queue.pop_front() {
+                        break reg.jobs.get(&id).cloned();
+                    }
+                    reg = self.available.wait(reg).expect("registry poisoned");
+                }
+            };
+            // The id may have been deleted between push and pop.
+            let Some(job) = job else { continue };
+            if !self.start(&job) {
+                continue;
+            }
+            self.finish(&job, self.run(&job));
+        }
+    }
+
+    fn claim_next(&self) -> Option<Arc<Job>> {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        while let Some(id) = reg.queue.pop_front() {
+            if let Some(job) = reg.jobs.get(&id).cloned() {
+                drop(reg);
+                if self.start(&job) {
+                    return Some(job);
+                }
+                reg = self.registry.lock().expect("registry poisoned");
+            }
+        }
+        None
+    }
+
+    /// Queued → Running; `false` when the job was cancelled first.
+    fn start(&self, job: &Job) -> bool {
+        let mut state = job.state.lock().expect("job state poisoned");
+        match *state {
+            JobState::Queued => {
+                *state = JobState::Running;
+                self.metrics.jobs_queued.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.jobs_running.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn execute(&self, job: &Job) {
+        self.finish(job, self.run(job));
+    }
+
+    fn run(&self, job: &Job) -> Result<String, String> {
+        match &job.spec {
+            JobSpec::Explore(spec) => {
+                let outcome = evaluate_batch_with(&spec.candidates, &spec.options(), &job.control);
+                Ok(outcome.to_json())
+            }
+            JobSpec::Sim(spec) => {
+                let map = sorting_center_variant(&spec.params).map_err(|e| e.to_string())?;
+                let mix = match spec.zipf_exponent {
+                    Some(exponent) => map.zipf_workload(spec.units, exponent, spec.workload_seed),
+                    None => map.uniform_workload(spec.units),
+                };
+                let workload = map.uniform_workload(spec.units);
+                let instance = WspInstance::new(map.warehouse, map.traffic, workload, spec.t_limit);
+                let mut sim =
+                    Simulation::new(&instance, &PipelineOptions::default(), spec.config(mix))
+                        .map_err(|e| e.to_string())?;
+                let report = sim
+                    .run_controlled(&job.control, SIM_CHUNK)
+                    .map_err(|e| e.to_string())?;
+                Ok(report.to_json())
+            }
+        }
+    }
+
+    /// Running → final state, with metric accounting.
+    fn finish(&self, job: &Job, result: Result<String, String>) {
+        let progress = job.control.progress();
+        match &job.spec {
+            JobSpec::Explore(_) => self
+                .metrics
+                .candidates_evaluated
+                .fetch_add(progress, Ordering::Relaxed),
+            JobSpec::Sim(_) => self
+                .metrics
+                .sim_ticks
+                .fetch_add(progress, Ordering::Relaxed),
+        };
+        let mut state = job.state.lock().expect("job state poisoned");
+        self.metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);
+        *state = if job.control.is_cancelled() {
+            self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            JobState::Cancelled
+        } else {
+            match result {
+                Ok(json) => {
+                    self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Done(json)
+                }
+                Err(e) => {
+                    self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    JobState::Failed(e)
+                }
+            }
+        };
+    }
+}

@@ -1,0 +1,176 @@
+//! Warehouse-as-a-service: a long-running HTTP job server over the
+//! workspace's explore and sim subsystems.
+//!
+//! The paper's workflows — design-space sweeps
+//! ([`wsp_explore::evaluate_batch`]) and lifelong simulations
+//! (`wsp_sim::Simulation`) — run for seconds to minutes; a synchronous
+//! HTTP handler would hold connections open that whole time. This crate
+//! instead runs them as **cancellable background jobs**:
+//!
+//! 1. `POST /api/v1/jobs/explore` or `POST /api/v1/jobs/sim` with a JSON
+//!    spec → `202` with a job id (or `400` on a bad spec, `503` when the
+//!    bounded queue is full — backpressure, nothing is dropped).
+//! 2. `GET /api/v1/jobs/{id}` → status + monotone progress counters.
+//! 3. `GET /api/v1/jobs/{id}/result` → the **canonical JSON rendering**
+//!    the direct library call produces (`ExploreOutcome::to_json`,
+//!    `SimReport::to_json`) — byte-identical, so a server round-trip is
+//!    directly comparable to a local run.
+//! 4. `POST /api/v1/jobs/{id}/cancel` stops a running job within one
+//!    progress chunk; `DELETE /api/v1/jobs/{id}` also forgets it.
+//!
+//! `GET /metrics` exposes Prometheus-style text counters and
+//! `GET /healthz` a liveness probe. Per-job thread budgets route through
+//! [`wsp_core::resolve_threads`] like every other parallel driver in the
+//! workspace. The HTTP layer is the vendored [`tiny_http`] shim — no
+//! external dependencies, same discipline as `vendor/rand` and friends.
+//!
+//! # Example
+//!
+//! ```
+//! use wsp_server::{serve, ServerConfig};
+//!
+//! let handle = serve("127.0.0.1:0", ServerConfig::default())?;
+//! let addr = handle.addr();
+//! // ... drive it over HTTP (see tests/smoke.rs), then:
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod jobs;
+pub mod json;
+pub mod metrics;
+pub mod spec;
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use jobs::JobEngine;
+use metrics::Metrics;
+
+/// Server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Acceptor threads answering HTTP requests.
+    pub http_threads: usize,
+    /// Background job workers. `0` is a test mode: jobs queue up and run
+    /// only through [`jobs::JobEngine::run_one`].
+    pub job_workers: usize,
+    /// Bounded job-queue capacity; submissions past it get `503`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            http_threads: 4,
+            job_workers: 1,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A running server: bound address plus the handles to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<JobEngine>,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The job engine, for in-process inspection (tests, embedding).
+    pub fn engine(&self) -> &Arc<JobEngine> {
+        &self.engine
+    }
+
+    /// Stops accepting, cancels all jobs, and joins every thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock each acceptor parked in accept() with a no-op
+        // connection; the shim reports it as "no request" and the loop
+        // re-checks the stop flag.
+        for _ in 0..self.acceptors.len().max(1) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.acceptors {
+            let _ = handle.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+/// Binds `addr` and starts the HTTP acceptors and job workers.
+///
+/// # Errors
+///
+/// Bind/listen failures.
+pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<ServerHandle> {
+    let server = Arc::new(tiny_http::Server::http(addr)?);
+    let bound = server.server_addr();
+    let engine = JobEngine::new(
+        config.job_workers,
+        config.queue_capacity,
+        Arc::new(Metrics::new()),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut acceptors = Vec::with_capacity(config.http_threads.max(1));
+    for i in 0..config.http_threads.max(1) {
+        let server = Arc::clone(&server);
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        acceptors.push(
+            std::thread::Builder::new()
+                .name(format!("wsp-http-{i}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match server.recv() {
+                            Ok(Some(request)) => {
+                                let routed = api::route(
+                                    &engine,
+                                    request.method().as_str(),
+                                    request.url(),
+                                    request.body(),
+                                );
+                                let response = tiny_http::Response::from_data(routed.body)
+                                    .with_status_code(routed.status)
+                                    .with_header("Content-Type", routed.content_type);
+                                let _ = request.respond(response);
+                            }
+                            Ok(None) => continue,
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn http acceptor"),
+        );
+    }
+    Ok(ServerHandle {
+        addr: bound,
+        engine,
+        stop,
+        acceptors,
+    })
+}
+
+// The server shares these across HTTP handler threads and job workers;
+// compile-time proof they stay thread-safe (the same audit style as
+// `wsp_core::pipeline` and `wsp_sim`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<JobEngine>();
+    assert_send_sync::<Metrics>();
+    assert_send_sync::<jobs::Job>();
+    assert_send_sync::<tiny_http::Server>();
+};

@@ -1,0 +1,76 @@
+//! The `wsp-server` binary: bind an address, serve jobs until killed.
+//!
+//! Flags (each with an environment fallback):
+//!
+//! - `--addr HOST:PORT` / `WSP_SERVER_ADDR` (default `127.0.0.1:7878`)
+//! - `--http-threads N` / `WSP_SERVER_HTTP_THREADS` (default 4)
+//! - `--job-workers N` / `WSP_SERVER_JOB_WORKERS` (default 1)
+//! - `--queue-cap N` / `WSP_SERVER_QUEUE_CAP` (default 64)
+
+use std::process::ExitCode;
+
+use wsp_server::{serve, ServerConfig};
+
+fn usage() -> String {
+    "usage: wsp-server [--addr HOST:PORT] [--http-threads N] \
+     [--job-workers N] [--queue-cap N]"
+        .to_string()
+}
+
+/// One knob: CLI flag first, then environment variable, then default.
+fn knob(
+    args: &mut std::collections::HashMap<String, String>,
+    flag: &str,
+    env: &str,
+    default: usize,
+) -> Result<usize, String> {
+    let raw = match args.remove(flag) {
+        Some(v) => v,
+        None => match std::env::var(env) {
+            Ok(v) => v,
+            Err(_) => return Ok(default),
+        },
+    };
+    wsp_core::parse_threads(&raw).map_err(|e| format!("{flag}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::collections::HashMap::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{}", usage());
+            return Ok(());
+        }
+        let value = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        if !["--addr", "--http-threads", "--job-workers", "--queue-cap"].contains(&flag.as_str()) {
+            return Err(format!("unknown flag {flag}\n{}", usage()));
+        }
+        args.insert(flag, value);
+    }
+    let addr = args
+        .remove("--addr")
+        .or_else(|| std::env::var("WSP_SERVER_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let config = ServerConfig {
+        http_threads: knob(&mut args, "--http-threads", "WSP_SERVER_HTTP_THREADS", 4)?,
+        job_workers: knob(&mut args, "--job-workers", "WSP_SERVER_JOB_WORKERS", 1)?,
+        queue_capacity: knob(&mut args, "--queue-cap", "WSP_SERVER_QUEUE_CAP", 64)?,
+    };
+    let handle = serve(&addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("wsp-server listening on http://{}", handle.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

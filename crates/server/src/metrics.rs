@@ -1,0 +1,141 @@
+//! Server counters rendered in the Prometheus text exposition format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters shared by the HTTP handlers and the job workers.
+///
+/// Counters are monotone totals; `jobs_queued` / `jobs_running` are
+/// gauges tracking the registry's live state.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests routed (any endpoint, any status).
+    pub http_requests: AtomicU64,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Submissions bounced for a full queue.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that finished with a result.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that finished with an error.
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled (queued or running).
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs currently waiting in the queue (gauge).
+    pub jobs_queued: AtomicU64,
+    /// Jobs currently executing (gauge).
+    pub jobs_running: AtomicU64,
+    /// Explore candidates fully evaluated across all jobs.
+    pub candidates_evaluated: AtomicU64,
+    /// Simulation ticks advanced across all jobs (elided ticks included).
+    pub sim_ticks: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed set.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Renders all series in the Prometheus text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut series = |name: &str, help: &str, kind: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        series(
+            "wsp_http_requests_total",
+            "HTTP requests routed.",
+            "counter",
+            get(&self.http_requests),
+        );
+        series(
+            "wsp_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            "counter",
+            get(&self.jobs_submitted),
+        );
+        series(
+            "wsp_jobs_rejected_total",
+            "Job submissions bounced for a full queue.",
+            "counter",
+            get(&self.jobs_rejected),
+        );
+        series(
+            "wsp_jobs_completed_total",
+            "Jobs finished with a result.",
+            "counter",
+            get(&self.jobs_completed),
+        );
+        series(
+            "wsp_jobs_failed_total",
+            "Jobs finished with an error.",
+            "counter",
+            get(&self.jobs_failed),
+        );
+        series(
+            "wsp_jobs_cancelled_total",
+            "Jobs cancelled while queued or running.",
+            "counter",
+            get(&self.jobs_cancelled),
+        );
+        series(
+            "wsp_jobs_queued",
+            "Jobs currently waiting in the queue.",
+            "gauge",
+            get(&self.jobs_queued),
+        );
+        series(
+            "wsp_jobs_running",
+            "Jobs currently executing.",
+            "gauge",
+            get(&self.jobs_running),
+        );
+        series(
+            "wsp_explore_candidates_evaluated_total",
+            "Design candidates fully evaluated by explore jobs.",
+            "counter",
+            get(&self.candidates_evaluated),
+        );
+        series(
+            "wsp_sim_ticks_total",
+            "Simulation ticks advanced by sim jobs (elided ticks included).",
+            "counter",
+            get(&self.sim_ticks),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_series_with_help_and_type() {
+        let m = Metrics::new();
+        m.http_requests.store(3, Ordering::Relaxed);
+        m.jobs_running.store(1, Ordering::Relaxed);
+        let text = m.render();
+        for name in [
+            "wsp_http_requests_total",
+            "wsp_jobs_submitted_total",
+            "wsp_jobs_rejected_total",
+            "wsp_jobs_completed_total",
+            "wsp_jobs_failed_total",
+            "wsp_jobs_cancelled_total",
+            "wsp_jobs_queued",
+            "wsp_jobs_running",
+            "wsp_explore_candidates_evaluated_total",
+            "wsp_sim_ticks_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name} help");
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name} type");
+            assert!(text.contains(&format!("\n{name} ")), "{name} sample");
+        }
+        assert!(text.contains("wsp_http_requests_total 3\n"));
+        assert!(text.contains("# TYPE wsp_jobs_running gauge\nwsp_jobs_running 1\n"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property/adversarial tests for the vendored HTTP request parser, run
+//! from the server crate (the consumer whose security posture depends on
+//! it): arbitrary bytes must never panic, and structurally valid
+//! requests — including pipelined sequences — must round-trip exactly.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use tiny_http::{parse_request, Limits, Method, ParseError};
+
+fn parse_all(bytes: &[u8], limits: &Limits) -> Result<Vec<tiny_http::ParsedRequest>, ParseError> {
+    let mut cursor = Cursor::new(bytes);
+    let mut out = Vec::new();
+    while let Some(request) = parse_request(&mut cursor, limits)? {
+        out.push(request);
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Raw fuzz: any byte soup either parses or errors; no panic, no
+    /// hang, and every error is one of the typed variants with a
+    /// plausible HTTP status.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..=300)) {
+        match parse_all(&bytes, &Limits::default()) {
+            Ok(_) => {}
+            Err(e) => {
+                let status = e.status();
+                prop_assert!(
+                    matches!(status, 400 | 413 | 431 | 501 | 505),
+                    "unexpected status {status} for {e}"
+                );
+            }
+        }
+    }
+
+    /// Truncating a valid request at any byte boundary is either a clean
+    /// EOF (nothing sent yet), a parse of a shorter valid prefix, or a
+    /// typed error — never a panic.
+    #[test]
+    fn truncation_is_always_handled(cut in 0usize..=64) {
+        let full = b"POST /api/v1/jobs/sim HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let cut = cut.min(full.len());
+        let _ = parse_all(&full[..cut], &Limits::default());
+        if cut == 0 {
+            prop_assert!(parse_all(&full[..0], &Limits::default()).unwrap().is_empty());
+        } else if cut < full.len() {
+            prop_assert!(matches!(
+                parse_all(&full[..cut], &Limits::default()),
+                Err(ParseError::Truncated)
+            ));
+        }
+    }
+
+    /// Structured round-trip: a generated valid request parses back to
+    /// exactly the method, target, headers, and body that were written.
+    #[test]
+    fn valid_requests_round_trip(
+        method_index in 0usize..4,
+        path_len in 1usize..20,
+        header_count in 0usize..5,
+        body in proptest::collection::vec(0u8..=255, 0..=64),
+    ) {
+        let methods = ["GET", "POST", "PUT", "DELETE"];
+        let method = methods[method_index];
+        let path: String = (0..path_len).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+        let mut text = format!("{method} /{path} HTTP/1.1\r\n");
+        for h in 0..header_count {
+            text.push_str(&format!("X-H{h}: v{h}\r\n"));
+        }
+        text.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut bytes = text.into_bytes();
+        bytes.extend_from_slice(&body);
+
+        let requests = parse_all(&bytes, &Limits::default()).unwrap();
+        prop_assert_eq!(requests.len(), 1);
+        let r = &requests[0];
+        prop_assert_eq!(r.method.as_str(), method);
+        let expected_url = format!("/{path}");
+        prop_assert_eq!(r.url.as_str(), expected_url.as_str());
+        prop_assert_eq!(r.body.as_slice(), body.as_slice());
+        for h in 0..header_count {
+            let expected = format!("v{h}");
+            prop_assert_eq!(r.header(&format!("x-h{h}")), Some(expected.as_str()));
+        }
+    }
+
+    /// Pipelining: N back-to-back requests on one stream parse as exactly
+    /// N requests, in order, each with its own body.
+    #[test]
+    fn pipelined_streams_parse_in_order(count in 1usize..6) {
+        let mut bytes = Vec::new();
+        for i in 0..count {
+            let body = format!("payload-{i}");
+            bytes.extend_from_slice(
+                format!(
+                    "POST /job/{i} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                )
+                .as_bytes(),
+            );
+        }
+        let requests = parse_all(&bytes, &Limits::default()).unwrap();
+        prop_assert_eq!(requests.len(), count);
+        for (i, r) in requests.iter().enumerate() {
+            prop_assert_eq!(r.method.clone(), Method::Post);
+            let expected_url = format!("/job/{i}");
+            let expected_body = format!("payload-{i}");
+            prop_assert_eq!(r.url.as_str(), expected_url.as_str());
+            prop_assert_eq!(r.body.as_slice(), expected_body.as_bytes());
+        }
+    }
+
+    /// Oversized inputs hit the matching limit error, not an allocation.
+    #[test]
+    fn oversized_inputs_hit_typed_limits(size in 100usize..400) {
+        let limits = Limits {
+            max_request_line: 64,
+            max_header_line: 48,
+            max_headers: 8,
+            max_body: 64,
+            ..Limits::default()
+        };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(size));
+        prop_assert!(matches!(
+            parse_all(long_line.as_bytes(), &limits),
+            Err(ParseError::LineTooLong)
+        ));
+        let many_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..size % 40 + 10).map(|i| format!("H{i}: v\r\n")).collect::<String>()
+        );
+        prop_assert!(matches!(
+            parse_all(many_headers.as_bytes(), &limits),
+            Err(ParseError::TooManyHeaders)
+        ));
+        let big_body = format!("POST / HTTP/1.1\r\nContent-Length: {size}\r\n\r\n");
+        prop_assert!(matches!(
+            parse_all(big_body.as_bytes(), &limits),
+            Err(ParseError::BodyTooLarge { .. })
+        ));
+    }
+}
+
+#[test]
+fn bad_content_lengths_are_typed_errors() {
+    for bad in [
+        "abc",
+        "-4",
+        "0x1f",
+        "9 9",
+        "+1",
+        "",
+        "184467440737095516160",
+    ] {
+        let req = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+        match parse_all(req.as_bytes(), &Limits::default()) {
+            Err(ParseError::BadContentLength(_)) => {}
+            other => panic!("content-length {bad:?}: expected typed error, got {other:?}"),
+        }
+    }
+}

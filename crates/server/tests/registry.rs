@@ -1,0 +1,289 @@
+//! Job-registry lifecycle tests, run deterministic-first: an engine with
+//! `workers == 0` never races the test thread (jobs execute only through
+//! `run_one`), so every queued-state transition is exact. A second group
+//! uses one background worker to exercise the running-state transitions.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wsp_server::api::{route, ApiResponse};
+use wsp_server::jobs::{JobEngine, JobResult, JobSpec, SubmitError};
+use wsp_server::json::Json;
+use wsp_server::metrics::Metrics;
+use wsp_server::spec::{ExploreSpec, SimSpec};
+
+fn tiny_explore(candidates: usize) -> JobSpec {
+    let body = format!(
+        r#"{{
+            "candidates": [{}],
+            "units": 24, "t_limit": 1200, "threads": 1
+        }}"#,
+        (0..candidates)
+            .map(|i| format!(
+                r#"{{"chute_rows": 3, "chute_cols": 4, "stations": {}}}"#,
+                if i % 2 == 0 { 2 } else { 4 }
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    JobSpec::Explore(ExploreSpec::from_json(&Json::parse(&body).unwrap()).unwrap())
+}
+
+fn tiny_sim() -> JobSpec {
+    let body = r#"{
+        "map": {"chute_rows": 3, "chute_cols": 4, "stations": 2},
+        "units": 24, "t_limit": 2000, "ticks": 120, "threads": 1
+    }"#;
+    JobSpec::Sim(SimSpec::from_json(&Json::parse(body).unwrap()).unwrap())
+}
+
+fn engine(workers: usize, capacity: usize) -> Arc<JobEngine> {
+    JobEngine::new(workers, capacity, Arc::new(Metrics::new()))
+}
+
+#[test]
+fn queue_full_backpressure_rejects_then_accepts_again() {
+    let engine = engine(0, 2);
+    let a = engine.submit(tiny_explore(1)).unwrap();
+    let b = engine.submit(tiny_explore(1)).unwrap();
+    assert_eq!((a, b), (1, 2));
+    match engine.submit(tiny_explore(1)) {
+        Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().jobs_rejected.load(Ordering::Relaxed), 1);
+    // Draining one queue slot makes room for one more submission.
+    assert!(engine.run_one());
+    let c = engine.submit(tiny_explore(1)).unwrap();
+    assert_eq!(c, 3);
+    assert_eq!(engine.metrics().jobs_queued.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn cancelling_a_queued_job_skips_execution() {
+    let engine = engine(0, 8);
+    let id = engine.submit(tiny_explore(2)).unwrap();
+    assert!(engine.cancel(id));
+    assert_eq!(engine.job(id).unwrap().snapshot().status, "cancelled");
+    // The queue entry is a tombstone: run_one refuses it and reports an
+    // empty queue.
+    assert!(!engine.run_one());
+    assert_eq!(engine.job(id).unwrap().result(), JobResult::Cancelled);
+    assert_eq!(engine.job(id).unwrap().control.progress(), 0);
+    assert_eq!(engine.metrics().jobs_cancelled.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn double_cancel_is_idempotent() {
+    let engine = engine(0, 8);
+    let id = engine.submit(tiny_explore(1)).unwrap();
+    assert!(engine.cancel(id));
+    assert!(engine.cancel(id));
+    assert!(engine.cancel(id));
+    assert_eq!(engine.metrics().jobs_cancelled.load(Ordering::Relaxed), 1);
+    assert!(!engine.cancel(999), "unknown id is reported, not invented");
+}
+
+#[test]
+fn completed_jobs_poll_done_and_serve_their_result() {
+    let engine = engine(0, 8);
+    let id = engine.submit(tiny_explore(2)).unwrap();
+    assert_eq!(engine.job(id).unwrap().snapshot().status, "queued");
+    assert!(engine.run_one());
+    let job = engine.job(id).unwrap();
+    let snapshot = job.snapshot();
+    assert_eq!(snapshot.status, "done");
+    assert_eq!(snapshot.progress, 2);
+    assert_eq!(snapshot.total, 2);
+    match job.result() {
+        JobResult::Done(json) => {
+            assert!(json.contains("\"front\""), "canonical explore JSON");
+            assert!(json.ends_with('\n'));
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    // Cancel after completion is a no-op: the result stays served.
+    assert!(engine.cancel(id));
+    assert_eq!(engine.job(id).unwrap().snapshot().status, "done");
+    assert!(matches!(
+        engine.job(id).unwrap().result(),
+        JobResult::Done(_)
+    ));
+    assert_eq!(engine.metrics().jobs_completed.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        engine
+            .metrics()
+            .candidates_evaluated
+            .load(Ordering::Relaxed),
+        2
+    );
+}
+
+#[test]
+fn sim_jobs_account_ticks_and_render_reports() {
+    let engine = engine(0, 8);
+    let id = engine.submit(tiny_sim()).unwrap();
+    assert!(engine.run_one());
+    let job = engine.job(id).unwrap();
+    assert_eq!(job.snapshot().status, "done");
+    assert_eq!(job.snapshot().progress, 120);
+    match job.result() {
+        JobResult::Done(json) => assert!(json.contains("\"ticks\""), "sim report JSON"),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().sim_ticks.load(Ordering::Relaxed), 120);
+}
+
+#[test]
+fn deleting_a_queued_job_forgets_it() {
+    let engine = engine(0, 8);
+    let id = engine.submit(tiny_explore(1)).unwrap();
+    assert!(engine.delete(id));
+    assert!(engine.job(id).is_none());
+    assert!(!engine.delete(id), "second delete reports unknown");
+    assert!(!engine.run_one(), "deleted job never runs");
+}
+
+#[test]
+fn routes_cover_the_lifecycle_without_sockets() {
+    let engine = engine(0, 1);
+    let submit = route(
+        &engine,
+        "POST",
+        "/api/v1/jobs/explore",
+        br#"{"candidates":[{"chute_rows":3,"chute_cols":4,"stations":2}],"units":24,"t_limit":1200,"threads":1}"#,
+    );
+    assert_eq!(submit.status, 202, "{}", submit.body);
+    let id = Json::parse(&submit.body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Backpressure surfaces as 503 through the API.
+    let full = route(&engine, "POST", "/api/v1/jobs/sim", b"{}");
+    assert_eq!(full.status, 503, "{}", full.body);
+
+    // Result before completion is a 409 conflict.
+    let early = route(&engine, "GET", &format!("/api/v1/jobs/{id}/result"), b"");
+    assert_eq!(early.status, 409);
+
+    assert!(engine.run_one());
+    let poll = route(&engine, "GET", &format!("/api/v1/jobs/{id}"), b"");
+    assert_eq!(poll.status, 200);
+    let snapshot = Json::parse(&poll.body).unwrap();
+    assert_eq!(snapshot.get("status").unwrap().as_str(), Some("done"));
+    assert_eq!(snapshot.get("progress").unwrap().as_u64(), Some(1));
+
+    let result = route(&engine, "GET", &format!("/api/v1/jobs/{id}/result"), b"");
+    assert_eq!(result.status, 200);
+    assert!(result.body.contains("\"front\""));
+
+    let listing = route(&engine, "GET", "/api/v1/jobs", b"");
+    assert_eq!(listing.status, 200);
+    assert_eq!(
+        Json::parse(&listing.body)
+            .unwrap()
+            .get("jobs")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
+        1
+    );
+
+    let deleted = route(&engine, "DELETE", &format!("/api/v1/jobs/{id}"), b"");
+    assert_eq!(deleted.status, 200);
+    let gone = route(&engine, "GET", &format!("/api/v1/jobs/{id}"), b"");
+    assert_eq!(gone.status, 404);
+
+    // Error surfaces: bad spec, bad route, bad method.
+    let bad = route(&engine, "POST", "/api/v1/jobs/explore", b"{\"unitz\":1}");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("unitz"));
+    assert_eq!(route(&engine, "GET", "/nope", b"").status, 404);
+    assert_eq!(route(&engine, "PUT", "/healthz", b"").status, 405);
+    let health: ApiResponse = route(&engine, "GET", "/healthz", b"");
+    assert_eq!(
+        (health.status, health.content_type),
+        (200, "application/json")
+    );
+    let metrics = route(&engine, "GET", "/metrics", b"");
+    assert!(metrics.body.contains("wsp_http_requests_total"));
+}
+
+/// Running-state transitions need a real worker. The job is a 20-candidate
+/// sweep with a deliberately heavy per-candidate load so cancellation
+/// lands mid-batch.
+#[test]
+fn cancel_mid_run_stops_promptly_with_partial_progress() {
+    let engine = engine(1, 8);
+    let body = r#"{"units": 400, "t_limit": 3600, "threads": 1}"#;
+    let spec = ExploreSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+    assert_eq!(spec.total(), 20, "defaults to the full sweep");
+    let id = engine.submit(JobSpec::Explore(spec)).unwrap();
+
+    // Wait for the worker to pick the job up and evaluate something.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let snapshot = engine.job(id).unwrap().snapshot();
+        if snapshot.status == "running" && snapshot.progress >= 1 {
+            break;
+        }
+        assert!(
+            snapshot.status == "queued" || snapshot.status == "running",
+            "unexpected status {}",
+            snapshot.status
+        );
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    assert!(engine.cancel(id));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let snapshot = engine.job(id).unwrap().snapshot();
+        if snapshot.status == "cancelled" {
+            assert!(
+                snapshot.progress < snapshot.total,
+                "cancellation should land before all {} candidates ran",
+                snapshot.total
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(engine.job(id).unwrap().result(), JobResult::Cancelled);
+    // Double cancel after the fact stays idempotent.
+    assert!(engine.cancel(id));
+    assert_eq!(engine.job(id).unwrap().snapshot().status, "cancelled");
+    engine.shutdown();
+}
+
+/// Deleting a running job forgets it immediately; the worker finishes
+/// into its private Arc without disturbing the registry.
+#[test]
+fn delete_while_running_forgets_the_job() {
+    let engine = engine(1, 8);
+    let body = r#"{"units": 400, "t_limit": 3600, "threads": 1}"#;
+    let spec = ExploreSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+    let id = engine.submit(JobSpec::Explore(spec)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.job(id).unwrap().snapshot().status != "running" {
+        assert!(Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(engine.delete(id));
+    assert!(engine.job(id).is_none());
+    // The engine stays serviceable afterwards.
+    let next = engine.submit(tiny_explore(1)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.job(next).unwrap().snapshot().status != "done" {
+        assert!(Instant::now() < deadline, "follow-up job never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    engine.shutdown();
+}

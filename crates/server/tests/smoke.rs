@@ -1,0 +1,210 @@
+//! End-to-end smoke tests over a real socket: submit → poll (monotone
+//! progress) → fetch result, and assert the served bytes are identical
+//! to the direct library call — the server's headline determinism
+//! guarantee. Also exercises cancellation over HTTP.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use wsp_server::json::Json;
+use wsp_server::{serve, ServerConfig};
+
+/// Minimal HTTP/1.1 client for one-request-per-connection servers.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: wsp\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, rest) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, rest.to_string())
+}
+
+fn poll_until_done(addr: SocketAddr, id: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut last_progress = 0u64;
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/api/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let snapshot = Json::parse(&body).expect("snapshot JSON");
+        let progress = snapshot.get("progress").unwrap().as_u64().unwrap();
+        assert!(
+            progress >= last_progress,
+            "progress went backwards: {last_progress} -> {progress}"
+        );
+        last_progress = progress;
+        match snapshot.get("status").unwrap().as_str().unwrap() {
+            "done" => {
+                let total = snapshot.get("total").unwrap().as_u64().unwrap();
+                assert_eq!(progress, total, "done implies full progress");
+                return progress;
+            }
+            "queued" | "running" => {}
+            other => panic!("job ended as {other}: {body}"),
+        }
+        assert!(Instant::now() < deadline, "job did not finish in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+const EXPLORE_SPEC: &str = r#"{
+    "candidates": [
+        {"chute_rows": 3, "chute_cols": 4, "stations": 2},
+        {"chute_rows": 3, "chute_cols": 4, "stations": 4}
+    ],
+    "units": 24, "t_limit": 1200, "threads": 1
+}"#;
+
+#[test]
+fn explore_round_trip_matches_the_direct_library_call() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}\n"));
+
+    let (status, body) = request(addr, "POST", "/api/v1/jobs/explore", EXPLORE_SPEC);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(poll_until_done(addr, id), 2);
+
+    let (status, served) = request(addr, "GET", &format!("/api/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200, "{served}");
+
+    // The exact computation, directly through the library.
+    let spec = wsp_server::spec::ExploreSpec::from_json(&Json::parse(EXPLORE_SPEC).unwrap())
+        .expect("spec parses");
+    let direct = wsp_explore::evaluate_batch(&spec.candidates, &spec.options()).to_json();
+    assert_eq!(served, direct, "server bytes must match the library bytes");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("wsp_jobs_completed_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("wsp_explore_candidates_evaluated_total 2"),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn sim_round_trip_matches_the_direct_library_call() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let spec_text = r#"{
+        "map": {"chute_rows": 3, "chute_cols": 4, "stations": 2},
+        "units": 24, "t_limit": 2000, "ticks": 260,
+        "deviations": {"mean_gap": 16, "min_ticks": 2, "max_ticks": 7, "seed": 9},
+        "repair": {"lag_threshold": 3},
+        "threads": 2
+    }"#;
+    let (status, body) = request(addr, "POST", "/api/v1/jobs/sim", spec_text);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(poll_until_done(addr, id), 260);
+
+    let (status, served) = request(addr, "GET", &format!("/api/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200, "{served}");
+
+    // The exact computation, directly through the library (and at a
+    // different repair thread count — thread budgets never change bytes).
+    let spec = wsp_server::spec::SimSpec::from_json(&Json::parse(spec_text).unwrap()).unwrap();
+    let map = wsp_maps::sorting_center_variant(&spec.params).unwrap();
+    let mix = map.uniform_workload(spec.units);
+    let workload = map.uniform_workload(spec.units);
+    let instance = wsp_core::WspInstance::new(map.warehouse, map.traffic, workload, spec.t_limit);
+    let mut config = spec.config(mix);
+    config.repair.threads = Some(1);
+    let mut sim =
+        wsp_sim::Simulation::new(&instance, &wsp_core::PipelineOptions::default(), config).unwrap();
+    let direct = sim.run().unwrap().to_json();
+    assert_eq!(served, direct, "server bytes must match the library bytes");
+
+    handle.shutdown();
+}
+
+#[test]
+fn cancellation_over_http_stops_a_running_sweep() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // The full 20-candidate sweep at a heavy unit count: plenty of time
+    // to cancel mid-run.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/api/v1/jobs/explore",
+        r#"{"units": 400, "t_limit": 3600, "threads": 1}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // Wait until it is genuinely running with some progress.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/api/v1/jobs/{id}"), "");
+        let snapshot = Json::parse(&body).unwrap();
+        if snapshot.get("status").unwrap().as_str() == Some("running")
+            && snapshot.get("progress").unwrap().as_u64().unwrap() >= 1
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, body) = request(addr, "POST", &format!("/api/v1/jobs/{id}/cancel"), "");
+    assert_eq!(status, 200, "{body}");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/api/v1/jobs/{id}"), "");
+        let snapshot = Json::parse(&body).unwrap();
+        if snapshot.get("status").unwrap().as_str() == Some("cancelled") {
+            let progress = snapshot.get("progress").unwrap().as_u64().unwrap();
+            let total = snapshot.get("total").unwrap().as_u64().unwrap();
+            assert!(progress < total, "cancel landed after the whole sweep ran");
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The result endpoint reports the cancellation as a conflict.
+    let (status, body) = request(addr, "GET", &format!("/api/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 409, "{body}");
+
+    handle.shutdown();
+}

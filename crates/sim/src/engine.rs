@@ -567,6 +567,39 @@ impl<'a> Simulation<'a> {
         self.advance_until(self.t.saturating_add(n))
     }
 
+    /// Runs to `config.ticks` like [`run`](Self::run), but supervised:
+    /// between chunks of at most `chunk` simulated ticks the `control`
+    /// progress counter advances by the ticks just covered (elided ticks
+    /// included — progress is simulated time, monotone toward
+    /// `config.ticks`) and cancellation is checked, so a cancel request is
+    /// observed within one chunk of simulated work.
+    ///
+    /// Chunking is unobservable in the result: the engine's stepping is
+    /// exactly resumable (this is the same entry point
+    /// [`run_ticks`](Self::run_ticks) uses), so an uncancelled supervised
+    /// run returns a report byte-identical to [`run`](Self::run). A
+    /// cancelled run returns the report at the point it stopped — still a
+    /// valid mid-run report, but callers (e.g. the `wsp-server` job
+    /// engine) typically discard it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_controlled(
+        &mut self,
+        control: &wsp_core::RunControl,
+        chunk: u64,
+    ) -> Result<SimReport, SimError> {
+        let chunk = chunk.max(1);
+        while self.t < self.config.ticks && !control.is_cancelled() {
+            let target = self.config.ticks.min(self.t.saturating_add(chunk));
+            let before = self.t;
+            self.advance_until(target)?;
+            control.add_progress(self.t - before);
+        }
+        Ok(self.report())
+    }
+
     /// Advances simulated time to `until`, executing forced ticks and
     /// (under the event engine) skipping provably quiescent stretches.
     fn advance_until(&mut self, until: u64) -> Result<(), SimError> {

@@ -57,13 +57,18 @@ impl BucketQueue {
     }
 
     /// Schedules `payload` at absolute `tick` (which must be at or after
-    /// the current drain front).
+    /// the current drain front; a behind-the-front tick is a scheduling
+    /// bug, debug-asserted, and is clamped to the front in release so the
+    /// event fires at the next drain instead of aliasing an
+    /// already-drained ring slot and silently firing one full ring lap
+    /// late).
     pub fn push(&mut self, tick: u64, payload: u64) {
         debug_assert!(
             tick >= self.base,
             "event scheduled at {tick}, behind the drain front {}",
             self.base
         );
+        let tick = tick.max(self.base);
         if tick < self.base + self.buckets.len() as u64 {
             self.buckets[(tick & self.mask) as usize].push(payload);
         } else {
@@ -179,6 +184,41 @@ mod tests {
         out.clear();
         q.drain_due(200, |p| out.push(p));
         assert_eq!(out, [7]);
+    }
+
+    /// Regression: in release builds a push behind the drain front used to
+    /// pass the `tick < base + slots` ring test and file the payload into
+    /// an already-drained slot, so the event only surfaced once the front
+    /// wrapped back around — one full ring lap (~a window) late. The clamp
+    /// must surface it at the very next drain instead. (In debug builds
+    /// the `debug_assert` catches the bad push instead; see the companion
+    /// test below.)
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn behind_front_push_fires_at_the_next_drain_not_a_lap_late() {
+        let mut q = BucketQueue::new(6); // 8 ring slots
+        q.drain_due(9, |_| {}); // front now at 10
+        q.push(5, 55); // behind the front: clamped to 10
+        let mut out = Vec::new();
+        // The unclamped bug filed this into ring slot 5, which next
+        // drains at tick 13 = 5 + 8 — this drain left it stranded.
+        q.drain_due(10, |p| out.push(p));
+        assert_eq!(out, [55], "behind-front event must fire at the next drain");
+        assert!(q.is_empty());
+        // next_event must agree with the clamped placement too.
+        q.push(3, 33);
+        assert_eq!(q.next_event(11, 100), Some(11));
+    }
+
+    /// The debug-build contract for the same scheduling bug: it is caught
+    /// loudly at push time rather than clamped.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "behind the drain front")]
+    fn behind_front_push_panics_in_debug() {
+        let mut q = BucketQueue::new(6);
+        q.drain_due(9, |_| {});
+        q.push(5, 55);
     }
 
     #[test]

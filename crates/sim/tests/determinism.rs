@@ -103,3 +103,48 @@ fn fixed_scenario_is_thread_count_independent_and_repeatable() {
         report
     );
 }
+
+/// The supervised runner (`run_controlled`) must be an unobservable
+/// wrapper: chunked execution with progress accounting renders the exact
+/// bytes `run()` renders, progress reaches `config.ticks`, and a
+/// pre-cancelled control stops the run before it simulates anything.
+#[test]
+fn controlled_run_is_byte_identical_and_cancellable() {
+    let instance = small_instance();
+    let options = PipelineOptions::default();
+
+    let mut plain = Simulation::new(&instance, &options, config(7, 13, 2, 48, 1)).unwrap();
+    let baseline = plain.run().unwrap().to_json();
+
+    // Chunk sizes straddling the window/elision structure: tiny, odd,
+    // and larger than the whole run.
+    for chunk in [1u64, 17, 100_000] {
+        let control = wsp_core::RunControl::new();
+        let mut sim = Simulation::new(&instance, &options, config(7, 13, 2, 48, 1)).unwrap();
+        let report = sim.run_controlled(&control, chunk).unwrap();
+        assert_eq!(report.to_json(), baseline, "chunk {chunk} diverged");
+        assert!(!control.is_cancelled());
+        assert_eq!(
+            control.progress(),
+            260,
+            "progress must equal simulated ticks"
+        );
+    }
+
+    // A cancel observed before the first chunk stops the run immediately.
+    let control = wsp_core::RunControl::new();
+    control.cancel();
+    let mut sim = Simulation::new(&instance, &options, config(7, 13, 2, 48, 1)).unwrap();
+    let report = sim.run_controlled(&control, 32).unwrap();
+    assert_eq!(report.counters.ticks, 0);
+    assert_eq!(control.progress(), 0);
+
+    // A cancel mid-run stops at the next chunk boundary: progress stays
+    // short of the configured horizon.
+    let control = wsp_core::RunControl::new();
+    let mut sim = Simulation::new(&instance, &options, config(7, 13, 2, 48, 1)).unwrap();
+    sim.run_ticks(10).unwrap();
+    control.cancel();
+    let report = sim.run_controlled(&control, 32).unwrap();
+    assert_eq!(report.counters.ticks, 10, "cancelled run must not advance");
+}

@@ -1,0 +1,95 @@
+//! Server quickstart: start `wsp-server` in-process, submit a small
+//! explore sweep over HTTP, poll it to completion, fetch the canonical
+//! result, and verify it matches the direct library call byte for byte.
+//!
+//! The same flow works from the shell against the standalone binary
+//! (`cargo run --bin wsp-server`) — see `docs/SERVER.md` for the curl
+//! version.
+//!
+//! Run with `cargo run --example server_quickstart`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use wsp_server::json::Json;
+use wsp_server::spec::ExploreSpec;
+use wsp_server::{serve, ServerConfig};
+
+/// One HTTP/1.1 request against a Connection: close server.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: wsp\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8(raw).expect("utf-8");
+    let (head, rest) = text.split_once("\r\n\r\n").expect("response head");
+    let status = head.split(' ').nth(1).unwrap().parse().unwrap();
+    (status, rest.to_string())
+}
+
+const SPEC: &str = r#"{
+    "candidates": [
+        {"chute_rows": 3, "chute_cols": 4, "stations": 2},
+        {"chute_rows": 3, "chute_cols": 4, "stations": 4}
+    ],
+    "units": 24, "t_limit": 1200, "threads": 1
+}"#;
+
+fn main() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    let (status, body) = http(addr, "POST", "/api/v1/jobs/explore", SPEC);
+    assert_eq!(status, 202, "{body}");
+    let id = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    println!("submitted explore job {id}");
+
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/api/v1/jobs/{id}"), "");
+        let snapshot = Json::parse(&body).unwrap();
+        let state = snapshot
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        println!(
+            "  {state}: {}/{} candidates",
+            snapshot.get("progress").unwrap().as_u64().unwrap(),
+            snapshot.get("total").unwrap().as_u64().unwrap()
+        );
+        if state == "done" {
+            break;
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "job ended as {state}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let (status, served) = http(addr, "GET", &format!("/api/v1/jobs/{id}/result"), "");
+    assert_eq!(status, 200);
+    print!("{served}");
+
+    // The determinism guarantee: the served bytes are exactly what the
+    // direct library call renders.
+    let spec = ExploreSpec::from_json(&Json::parse(SPEC).unwrap()).unwrap();
+    let direct = wsp_explore::evaluate_batch(&spec.candidates, &spec.options()).to_json();
+    assert_eq!(served, direct);
+    println!("server result is byte-identical to the direct evaluate_batch call");
+
+    handle.shutdown();
+}

@@ -6,4 +6,5 @@
 
 pub use wsp_core as core;
 pub use wsp_model as model;
+pub use wsp_server as server;
 pub use wsp_sim as sim;

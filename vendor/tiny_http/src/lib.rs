@@ -1,0 +1,972 @@
+//! Offline stand-in for the `tiny_http` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the minimal HTTP/1.1 **server** subset `wsp-server` uses: a
+//! blocking [`Server`] that accepts connections ([`Server::recv`] is
+//! callable concurrently from many threads — `TcpListener::accept` takes
+//! `&self`), a strict bounded [request parser](parse_request) exposed as
+//! a pure function over any [`BufRead`] (so adversarial and property
+//! tests run without sockets), and a [`Response`] writer.
+//!
+//! Differences from the real `tiny_http`: connections are **one request
+//! per connection** — every response carries `Connection: close` and the
+//! stream is shut down after responding. That keeps the server loop
+//! trivially thread-safe with zero connection bookkeeping; HTTP/1.1
+//! clients (curl, browsers, load balancers) handle it transparently. The
+//! parser itself reads sequential requests off one stream correctly
+//! (tested for pipelining), so keep-alive can be added without touching
+//! it. Request bodies are read eagerly under [`Limits`] rather than
+//! streamed, and `Transfer-Encoding: chunked` is rejected with `501`
+//! (every client this serves can send `Content-Length`).
+//!
+//! `Expect: 100-continue` is honored: the interim response is written
+//! after the head parses and before the body is read, so `curl -d` on a
+//! large JSON body does not stall.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Bounds enforced while parsing a request; every limit violated maps to
+/// a specific [`ParseError`] and HTTP status.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, bytes.
+    pub max_header_line: usize,
+    /// Most accepted header lines.
+    pub max_headers: usize,
+    /// Largest accepted declared body, bytes.
+    pub max_body: usize,
+    /// Per-connection socket read timeout (a stalled or slow-loris client
+    /// errors out instead of pinning an acceptor thread forever).
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 8 * 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why a byte stream failed to parse as an HTTP/1.1 request.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The stream ended mid-request (inside the head or before
+    /// `Content-Length` bytes of body arrived).
+    Truncated,
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine(String),
+    /// The version is not `HTTP/1.0` or `HTTP/1.1`.
+    UnsupportedVersion(String),
+    /// A header line has no `:` separator or an empty field name.
+    BadHeader(String),
+    /// More header lines than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// A request or header line longer than its limit.
+    LineTooLong,
+    /// `Content-Length` is not a plain non-negative integer, or the
+    /// request carries several conflicting values.
+    BadContentLength(String),
+    /// The declared body exceeds [`Limits::max_body`].
+    BodyTooLarge {
+        /// Bytes the client declared.
+        declared: u64,
+        /// The configured cap.
+        max: usize,
+    },
+    /// `Transfer-Encoding` present (chunked bodies are not supported).
+    UnsupportedTransferEncoding,
+    /// The underlying reader failed.
+    Io(io::Error),
+}
+
+impl ParseError {
+    /// The HTTP status an error response for this failure should carry.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Truncated | ParseError::Io(_) => 400,
+            ParseError::BadRequestLine(_) | ParseError::BadHeader(_) => 400,
+            ParseError::BadContentLength(_) => 400,
+            ParseError::UnsupportedVersion(_) => 505,
+            ParseError::TooManyHeaders | ParseError::LineTooLong => 431,
+            ParseError::BodyTooLarge { .. } => 413,
+            ParseError::UnsupportedTransferEncoding => 501,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => f.write_str("truncated request"),
+            ParseError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            ParseError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            ParseError::BadHeader(l) => write!(f, "malformed header line {l:?}"),
+            ParseError::TooManyHeaders => f.write_str("too many headers"),
+            ParseError::LineTooLong => f.write_str("request or header line too long"),
+            ParseError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            ParseError::BodyTooLarge { declared, max } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {max}-byte cap"
+                )
+            }
+            ParseError::UnsupportedTransferEncoding => {
+                f.write_str("transfer-encoding is not supported; send content-length")
+            }
+            ParseError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ParseError::Truncated
+        } else {
+            ParseError::Io(e)
+        }
+    }
+}
+
+/// An HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `HEAD`
+    Head,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `OPTIONS`
+    Options,
+    /// `PATCH`
+    Patch,
+    /// Anything else, verbatim.
+    NonStandard(String),
+}
+
+impl Method {
+    fn parse(raw: &str) -> Method {
+        match raw {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            "PATCH" => Method::Patch,
+            other => Method::NonStandard(other.to_string()),
+        }
+    }
+
+    /// The method token as sent on the wire.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Patch => "PATCH",
+            Method::NonStandard(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One request or response header (`field: value`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Field name as received (case preserved; compare case-insensitively).
+    pub field: String,
+    /// Trimmed value.
+    pub value: String,
+}
+
+/// A fully parsed request, independent of any socket — what
+/// [`parse_request`] yields and what [`Request`] wraps.
+#[derive(Debug, Clone)]
+pub struct ParsedRequest {
+    /// The request method.
+    pub method: Method,
+    /// The request target exactly as sent (path + optional query).
+    pub url: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http_11: bool,
+    /// Headers in received order.
+    pub headers: Vec<Header>,
+    /// The body (exactly `Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+}
+
+impl ParsedRequest {
+    /// First value of `name`, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|h| h.field.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+}
+
+/// The head of a request: everything before the body.
+struct Head {
+    method: Method,
+    url: String,
+    http_11: bool,
+    headers: Vec<Header>,
+    content_length: usize,
+    expect_continue: bool,
+}
+
+/// Reads one `\n`-terminated line, tolerating both CRLF and bare LF.
+/// `Ok(None)` on clean EOF before any byte; [`ParseError::Truncated`] on
+/// EOF mid-line; [`ParseError::LineTooLong`] past `max` bytes (detected
+/// without buffering the excess).
+fn read_line<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if available.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(ParseError::Truncated)
+            };
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (&available[..=i], true),
+            None => (available, false),
+        };
+        if line.len() + chunk.len() > max + 2 {
+            // +2: allow the terminator itself past the limit check.
+            return Err(ParseError::LineTooLong);
+        }
+        line.extend_from_slice(chunk);
+        let n = chunk.len();
+        r.consume(n);
+        if done {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > max {
+                return Err(ParseError::LineTooLong);
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|e| ParseError::BadHeader(format!("non-UTF-8 bytes: {e}")));
+        }
+    }
+}
+
+/// Parses the request line and headers. `Ok(None)` when the stream ends
+/// cleanly before a request starts.
+fn read_head<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Option<Head>, ParseError> {
+    // RFC 9112 §2.2: tolerate a reasonable number of blank lines before
+    // the request line.
+    let mut request_line = None;
+    for _ in 0..4 {
+        match read_line(r, limits.max_request_line)? {
+            None => return Ok(None),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => {
+                request_line = Some(l);
+                break;
+            }
+        }
+    }
+    let Some(request_line) = request_line else {
+        return Err(ParseError::BadRequestLine("(blank lines)".to_string()));
+    };
+
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (method, url, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(u), Some(v), None) => (m, u, v),
+        _ => return Err(ParseError::BadRequestLine(clip(&request_line))),
+    };
+    let http_11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(ParseError::UnsupportedVersion(clip(other))),
+    };
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<u64> = None;
+    let mut expect_continue = false;
+    loop {
+        let line = match read_line(r, limits.max_header_line)? {
+            None => return Err(ParseError::Truncated),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(ParseError::BadHeader(clip(&line)));
+        };
+        let field = line[..colon].trim();
+        let value = line[colon + 1..].trim();
+        if field.is_empty() || field.contains(' ') {
+            return Err(ParseError::BadHeader(clip(&line)));
+        }
+        if field.eq_ignore_ascii_case("content-length") {
+            let parsed = parse_content_length(value)?;
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(ParseError::BadContentLength(clip(value)));
+            }
+            content_length = Some(parsed);
+        } else if field.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        } else if field.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+        headers.push(Header {
+            field: field.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    let declared = content_length.unwrap_or(0);
+    if declared > limits.max_body as u64 {
+        return Err(ParseError::BodyTooLarge {
+            declared,
+            max: limits.max_body,
+        });
+    }
+    Ok(Some(Head {
+        method: Method::parse(method),
+        url: url.to_string(),
+        http_11,
+        headers,
+        content_length: declared as usize,
+        expect_continue,
+    }))
+}
+
+/// Strict `Content-Length` parse: plain ASCII digits only (no sign, no
+/// whitespace beyond the header-value trim, no hex).
+fn parse_content_length(value: &str) -> Result<u64, ParseError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseError::BadContentLength(clip(value)));
+    }
+    value
+        .parse::<u64>()
+        .map_err(|_| ParseError::BadContentLength(clip(value)))
+}
+
+/// Reads exactly the declared body.
+fn read_body<R: BufRead>(r: &mut R, len: usize) -> Result<Vec<u8>, ParseError> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Clips a string for inclusion in an error message.
+fn clip(s: &str) -> String {
+    const MAX: usize = 80;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// Parses one full request (head + body) off `reader`.
+///
+/// Returns `Ok(None)` on clean EOF before a request starts. Reads exactly
+/// one request's bytes, so calling it again on the same reader yields the
+/// next pipelined request — the pipelining tests drive exactly this.
+///
+/// # Errors
+///
+/// A [`ParseError`] naming what was malformed, truncated, or over limit.
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+) -> Result<Option<ParsedRequest>, ParseError> {
+    let Some(head) = read_head(reader, limits)? else {
+        return Ok(None);
+    };
+    let body = read_body(reader, head.content_length)?;
+    Ok(Some(ParsedRequest {
+        method: head.method,
+        url: head.url,
+        http_11: head.http_11,
+        headers: head.headers,
+        body,
+    }))
+}
+
+/// An HTTP response: status, extra headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<Header>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response with `status`.
+    pub fn empty(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `200` response with a `text/plain; charset=utf-8` string body.
+    pub fn from_string(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            headers: vec![Header {
+                field: "Content-Type".to_string(),
+                value: "text/plain; charset=utf-8".to_string(),
+            }],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A `200` response with a raw byte body (no content type).
+    pub fn from_data(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Replaces the status code.
+    pub fn with_status_code(mut self, status: u16) -> Response {
+        self.status = status;
+        self
+    }
+
+    /// Adds a header, replacing any existing value of the same field.
+    pub fn with_header(mut self, field: impl Into<String>, value: impl Into<String>) -> Response {
+        let field = field.into();
+        self.headers
+            .retain(|h| !h.field.eq_ignore_ascii_case(&field));
+        self.headers.push(Header {
+            field,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// The status code.
+    pub fn status_code(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Writes the response (status line, headers, `Content-Length`,
+    /// `Connection: close`, body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's errors.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )?;
+        for h in &self.headers {
+            write!(w, "{}: {}\r\n", h.field, h.value)?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this shim emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+/// One accepted, fully parsed request, holding the connection it arrived
+/// on; [`respond`](Request::respond) consumes it and closes the stream.
+#[derive(Debug)]
+pub struct Request {
+    parsed: ParsedRequest,
+    stream: TcpStream,
+}
+
+impl Request {
+    /// The request method.
+    pub fn method(&self) -> &Method {
+        &self.parsed.method
+    }
+
+    /// The request target exactly as sent (path + optional query).
+    pub fn url(&self) -> &str {
+        &self.parsed.url
+    }
+
+    /// Headers in received order.
+    pub fn headers(&self) -> &[Header] {
+        &self.parsed.headers
+    }
+
+    /// First value of `name`, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.parsed.header(name)
+    }
+
+    /// The request body.
+    pub fn body(&self) -> &[u8] {
+        &self.parsed.body
+    }
+
+    /// Writes `response` and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors (the connection is dropped either
+    /// way).
+    pub fn respond(mut self, response: Response) -> io::Result<()> {
+        let out = response.write_to(&mut self.stream);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        out
+    }
+}
+
+/// A blocking HTTP/1.1 server: a bound listener plus parse limits.
+///
+/// [`recv`](Server::recv) takes `&self`, so one `Server` can be shared
+/// across acceptor threads (`Arc<Server>`); each call accepts one
+/// connection and parses one request. Malformed requests are answered
+/// with the matching 4xx/5xx directly and reported as `Ok(None)`, so the
+/// accept loop never dies to a misbehaving client.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    limits: Limits,
+}
+
+impl Server {
+    /// Binds to `addr` with default [`Limits`].
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures.
+    pub fn http(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::with_limits(addr, Limits::default())
+    }
+
+    /// Binds to `addr` with explicit [`Limits`].
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures.
+    pub fn with_limits(addr: impl ToSocketAddrs, limits: Limits) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            limits,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts one connection and parses one request.
+    ///
+    /// `Ok(None)` when the connection produced no servable request: it
+    /// closed cleanly without sending one (how [`ServerHandle`-style
+    /// shutdowns] unblock acceptors), or it was malformed and the error
+    /// response was already written. The caller just loops.
+    ///
+    /// [`ServerHandle`-style shutdowns]: Server::recv
+    ///
+    /// # Errors
+    ///
+    /// Listener-level failures only (accept errors); per-connection I/O
+    /// problems are absorbed as `Ok(None)`.
+    pub fn recv(&self) -> io::Result<Option<Request>> {
+        let (stream, _peer) = self.listener.accept()?;
+        let _ = stream.set_read_timeout(Some(self.limits.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let read = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return Ok(None),
+        };
+        let mut reader = BufReader::new(read);
+        let head = match read_head(&mut reader, &self.limits) {
+            Ok(Some(head)) => head,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                respond_parse_error(stream, &e);
+                return Ok(None);
+            }
+        };
+        if head.expect_continue && head.content_length > 0 {
+            let mut w = &stream;
+            if w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                return Ok(None);
+            }
+        }
+        match read_body(&mut reader, head.content_length) {
+            Ok(body) => Ok(Some(Request {
+                parsed: ParsedRequest {
+                    method: head.method,
+                    url: head.url,
+                    http_11: head.http_11,
+                    headers: head.headers,
+                    body,
+                },
+                stream,
+            })),
+            Err(e) => {
+                respond_parse_error(stream, &e);
+                Ok(None)
+            }
+        }
+    }
+
+    /// An iterator of valid requests: loops [`recv`](Server::recv),
+    /// skipping request-less connections, and ends on a listener error.
+    pub fn incoming_requests(&self) -> IncomingRequests<'_> {
+        IncomingRequests { server: self }
+    }
+}
+
+/// Writes the 4xx/5xx for a parse failure, best effort.
+fn respond_parse_error(mut stream: TcpStream, e: &ParseError) {
+    let response = Response::from_string(format!("{e}\n")).with_status_code(e.status());
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// See [`Server::incoming_requests`].
+#[derive(Debug)]
+pub struct IncomingRequests<'a> {
+    server: &'a Server,
+}
+
+impl Iterator for IncomingRequests<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        loop {
+            match self.server.recv() {
+                Ok(Some(request)) => return Some(request),
+                Ok(None) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn parse(bytes: &[u8]) -> Result<Option<ParsedRequest>, ParseError> {
+        parse_request(&mut io::Cursor::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.url, "/healthz");
+        assert!(r.http_11);
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let r = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body, b"hello world");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_and_leading_blank_lines() {
+        let r = parse(b"\r\n\nGET / HTTP/1.0\nA: b\n\n").unwrap().unwrap();
+        assert!(!r.http_11);
+        assert_eq!(r.header("a"), Some("b"));
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_an_error() {
+        assert!(parse(b"").unwrap().is_none());
+        assert!(matches!(parse(b"GET / HT"), Err(ParseError::Truncated)));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(ParseError::Truncated)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let bytes: &[u8] = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+                             GET /b HTTP/1.1\r\n\r\n";
+        let mut cursor = io::Cursor::new(bytes);
+        let limits = Limits::default();
+        let a = parse_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(a.url, "/a");
+        assert_eq!(a.body, b"abc");
+        let b = parse_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(b.url, "/b");
+        assert_eq!(b.method, Method::Get);
+        assert!(parse_request(&mut cursor, &limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_request_lines_are_rejected() {
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(ParseError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(ParseError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(ParseError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"\r\n\r\n\r\n\r\n\r\n\r\n\r\n\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequestLine(_))
+        ));
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\n: empty-field\r\n\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbad field: x\r\n\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nA: \xff\xfe\r\n\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_content_lengths_are_rejected() {
+        for bad in ["abc", "-1", "1e3", "0x10", "10 20", "+5", ""] {
+            let req = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            assert!(
+                matches!(parse(req.as_bytes()), Err(ParseError::BadContentLength(_))),
+                "content-length {bad:?} must be rejected"
+            );
+        }
+        // Conflicting duplicates are rejected; agreeing duplicates pass.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd"),
+            Err(ParseError::BadContentLength(_))
+        ));
+        let ok = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc")
+            .unwrap()
+            .unwrap();
+        assert_eq!(ok.body, b"abc");
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = Limits {
+            max_request_line: 64,
+            max_header_line: 32,
+            max_headers: 4,
+            max_body: 16,
+            ..Limits::default()
+        };
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(
+            parse_request(&mut io::Cursor::new(long_target.as_bytes()), &limits),
+            Err(ParseError::LineTooLong)
+        ));
+        let long_header = format!("GET / HTTP/1.1\r\nA: {}\r\n\r\n", "v".repeat(100));
+        assert!(matches!(
+            parse_request(&mut io::Cursor::new(long_header.as_bytes()), &limits),
+            Err(ParseError::LineTooLong)
+        ));
+        let many = format!("GET / HTTP/1.1\r\n{}\r\n", "A: b\r\n".repeat(10));
+        assert!(matches!(
+            parse_request(&mut io::Cursor::new(many.as_bytes()), &limits),
+            Err(ParseError::TooManyHeaders)
+        ));
+        assert!(matches!(
+            parse_request(
+                &mut io::Cursor::new(&b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"[..]),
+                &limits
+            ),
+            Err(ParseError::BodyTooLarge { declared: 1000, .. })
+        ));
+        // The cap guards the *declared* length: a huge number that would
+        // overflow a naive allocation is rejected before any body read.
+        let huge = b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        assert!(matches!(
+            parse_request(&mut io::Cursor::new(&huge[..]), &limits),
+            Err(ParseError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn response_writes_canonical_http11() {
+        let mut out = Vec::new();
+        Response::from_string("hi")
+            .with_status_code(404)
+            .with_header("X-Test", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Type: text/plain; charset=utf-8\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n\r\nhi"));
+        // with_header replaces same-field values.
+        let r = Response::empty(204)
+            .with_header("A", "1")
+            .with_header("a", "2");
+        assert_eq!(r.headers.len(), 1);
+        assert_eq!(r.headers[0].value, "2");
+    }
+
+    #[test]
+    fn server_round_trips_over_a_real_socket() {
+        use std::net::TcpStream;
+        let server = Server::http("127.0.0.1:0").unwrap();
+        let addr = server.server_addr();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /echo HTTP/1.1\r\nContent-Length: 4\r\n\r\nping")
+                .unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let request = server.recv().unwrap().expect("a request");
+        assert_eq!(request.url(), "/echo");
+        assert_eq!(request.body(), b"ping");
+        let body = format!("pong:{}", String::from_utf8_lossy(request.body()));
+        request.respond(Response::from_string(body)).unwrap();
+        let raw = client.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(raw.ends_with("pong:ping"));
+    }
+
+    #[test]
+    fn malformed_connections_get_an_error_response_and_recv_continues() {
+        use std::net::TcpStream;
+        let server = Server::http("127.0.0.1:0").unwrap();
+        let addr = server.server_addr();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"NOT AN HTTP REQUEST AT ALL\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        assert!(server.recv().unwrap().is_none(), "bad request absorbed");
+        let raw = client.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{raw}");
+    }
+}
