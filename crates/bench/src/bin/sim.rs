@@ -23,6 +23,9 @@ struct Row {
     ns_per_tick: f64,
     completed: u64,
     completed_full: u64,
+    faults_injected_full: u64,
+    tasks_shed_full: u64,
+    agents_lost_full: u64,
     delivered: u64,
     mean_latency_milliticks: u64,
     throughput_per_kilotick: u64,
@@ -45,6 +48,7 @@ struct Case {
     ticks: u64,
     stall_gap: Option<u32>,
     policy: wsp_sim::AssignPolicy,
+    faults: Option<wsp_sim::FaultConfig>,
     label_suffix: &'static str,
 }
 
@@ -52,6 +56,9 @@ fn case_config(case: &Case, ticks: u64) -> wsp_sim::SimConfig {
     let mut config = case.scenario.config(ticks);
     if let Some(gap) = case.stall_gap {
         config.deviations = wsp_sim::DeviationConfig::stalls(gap, 2, 8, 9);
+    }
+    if let Some(faults) = case.faults {
+        config.faults = faults;
     }
     config.assign.policy = case.policy;
     config
@@ -64,6 +71,9 @@ fn measure(case: &Case) -> Row {
     // byte-identical reports.
     let mut renderings = Vec::new();
     let mut completed_full = 0;
+    let mut faults_injected_full = 0;
+    let mut tasks_shed_full = 0;
+    let mut agents_lost_full = 0;
     for threads in [1usize, 2, 4] {
         let mut config = case_config(case, ticks);
         config.repair.threads = Some(threads);
@@ -71,6 +81,9 @@ fn measure(case: &Case) -> Row {
             .expect("scenario simulates");
         let report = sim.run().expect("sim runs");
         completed_full = report.counters.completed;
+        faults_injected_full = report.counters.faults_injected;
+        tasks_shed_full = report.counters.tasks_shed;
+        agents_lost_full = report.counters.agents_lost;
         renderings.push(report.to_json());
     }
     let deterministic = renderings.windows(2).all(|w| w[0] == w[1]);
@@ -105,6 +118,9 @@ fn measure(case: &Case) -> Row {
         ns_per_tick,
         completed,
         completed_full,
+        faults_injected_full,
+        tasks_shed_full,
+        agents_lost_full,
         delivered: after.delivered - before.delivered,
         mean_latency_milliticks: (latency_sum * 1000).checked_div(completed).unwrap_or(0),
         throughput_per_kilotick: completed * 1000 / ticks,
@@ -125,6 +141,7 @@ fn main() {
             ticks: 4_000,
             stall_gap: None,
             policy: wsp_sim::AssignPolicy::Static,
+            faults: None,
             label_suffix: "",
         },
         Case {
@@ -132,6 +149,7 @@ fn main() {
             ticks: 4_000,
             stall_gap: None,
             policy: wsp_sim::AssignPolicy::Static,
+            faults: None,
             label_suffix: "",
         },
         Case {
@@ -139,6 +157,7 @@ fn main() {
             ticks: 2_000,
             stall_gap: None,
             policy: wsp_sim::AssignPolicy::Static,
+            faults: None,
             label_suffix: "",
         },
         // High-deviation stress: the 105k-vertex floor with stalls firing
@@ -149,6 +168,7 @@ fn main() {
             ticks: 2_000,
             stall_gap: Some(6),
             policy: wsp_sim::AssignPolicy::Static,
+            faults: None,
             label_suffix: "-stalls10x",
         },
         // Lifelong auction assignment on the 105k-vertex floor: queued
@@ -160,6 +180,7 @@ fn main() {
             ticks: 2_000,
             stall_gap: None,
             policy: wsp_sim::AssignPolicy::Auction,
+            faults: None,
             label_suffix: "-auction",
         },
         // The auction under adversarial deviations: stalls ~x10 as often
@@ -172,7 +193,35 @@ fn main() {
             ticks: 2_000,
             stall_gap: Some(6),
             policy: wsp_sim::AssignPolicy::Auction,
+            faults: None,
             label_suffix: "-auction-stalls10x",
+        },
+        // Graceful degradation under structural faults: the 105k-vertex
+        // auction floor loses ~10% of its fleet to permanent breakdowns
+        // spread over the run (mean gap 12 over 2000 ticks ≈ 165 of 1615
+        // agents), one station goes dark for 500 ticks, and a corridor
+        // closes for 400. Shed tasks re-queue, the auction routes around
+        // the wreckage, and whole-run completions must stay >= 80% of the
+        // fault-free -auction row (asserted below).
+        Case {
+            scenario: sim_scenario_scaled(101, 1000, 2000, 3),
+            ticks: 2_000,
+            stall_gap: None,
+            policy: wsp_sim::AssignPolicy::Auction,
+            faults: Some(wsp_sim::FaultConfig {
+                breakdown_gap: 12,
+                permanent_permille: 1000,
+                outage_gap: 1000,
+                outage_min_ticks: 500,
+                outage_max_ticks: 500,
+                closure_gap: 1000,
+                closure_min_ticks: 400,
+                closure_max_ticks: 400,
+                closure_len: 4,
+                seed: 0xfa17,
+                ..wsp_sim::FaultConfig::none()
+            }),
+            label_suffix: "-faults",
         },
     ];
 
@@ -200,7 +249,13 @@ fn main() {
          sleeps and ticks elide (asserted in-binary: the -auction row must report \
          ticks_elided > 0). The -auction-stalls10x row combines both regimes — lifelong \
          matching with x10 stalls — the upper bound when quiet stretches never \
-         materialize. The paper row synthesizes its design with \
+         materialize. The -faults row is the graceful-degradation guard: the -auction floor \
+         with deterministic fault injection on — ~10% of the fleet permanently broken down \
+         over the run (agents_lost_full), one station dark for 500 ticks, one corridor \
+         closed for 400 — where shed tasks re-queue (tasks_shed_full) and completed_full \
+         must stay >= 80% of the fault-free -auction row (asserted in-binary), still \
+         byte-deterministic across thread counts. The *_full fault counters are whole-run \
+         totals (0 on fault-free rows). The paper row synthesizes its design with \
          the full pipeline; the scaled rows execute direct cycle sets (the ILP does not reach \
          10k+ vertices). Regenerate with: cargo run --release -p wsp-bench --bin sim > \
          BENCH_sim.json. Schema: docs/BENCHMARKS.md.\","
@@ -213,6 +268,7 @@ fn main() {
         println!(
             "    {{ \"bench\": \"sim/{}\", \"vertices\": {}, \"agents\": {}, \"ticks\": {}, \
              \"ns_per_tick\": {:.0}, \"completed\": {}, \"completed_full\": {}, \
+             \"faults_injected_full\": {}, \"tasks_shed_full\": {}, \"agents_lost_full\": {}, \
              \"delivered\": {}, \
              \"mean_latency_milliticks\": {}, \
              \"throughput_per_kilotick\": {}, \"replans\": {}, \"repairs_applied\": {}, \
@@ -225,6 +281,9 @@ fn main() {
             r.ns_per_tick,
             r.completed,
             r.completed_full,
+            r.faults_injected_full,
+            r.tasks_shed_full,
+            r.agents_lost_full,
             r.delivered,
             r.mean_latency_milliticks,
             r.throughput_per_kilotick,
@@ -277,5 +336,26 @@ fn main() {
     assert!(
         auction_elided > 0,
         "the 105k -auction row elided no ticks — quiet stretches are being executed"
+    );
+
+    // Graceful degradation: losing ~10% of the fleet, a station for 500
+    // ticks, and a corridor for 400 must not collapse throughput — the
+    // faulted floor keeps >= 80% of the fault-free auction completions.
+    let faulted = rows
+        .iter()
+        .find(|r| r.vertices > 100_000 && r.label.ends_with("-faults"))
+        .expect("105k -faults row present");
+    assert!(
+        faulted.agents_lost_full > 0 && faulted.tasks_shed_full > 0,
+        "the -faults row injected no breakdowns ({} lost, {} shed)",
+        faulted.agents_lost_full,
+        faulted.tasks_shed_full
+    );
+    assert!(
+        faulted.completed_full * 5 >= auction_completed * 4,
+        "fault-injection throughput collapse: {} completed under faults vs {} fault-free \
+         (need >= 80%)",
+        faulted.completed_full,
+        auction_completed
     );
 }

@@ -43,6 +43,11 @@ pub enum JobSpec {
     Explore(ExploreSpec),
     /// A lifelong simulation via `wsp_sim::Simulation::run_controlled`.
     Sim(SimSpec),
+    /// Panics mid-run with the given message. Not reachable from the HTTP
+    /// surface; exists so the supervision tests can prove a panicking job
+    /// lands in `failed` instead of stranding a worker.
+    #[doc(hidden)]
+    Panic(String),
 }
 
 impl JobSpec {
@@ -51,6 +56,7 @@ impl JobSpec {
         match self {
             JobSpec::Explore(_) => "explore",
             JobSpec::Sim(_) => "sim",
+            JobSpec::Panic(_) => "panic",
         }
     }
 
@@ -58,6 +64,7 @@ impl JobSpec {
         match self {
             JobSpec::Explore(spec) => spec.total(),
             JobSpec::Sim(spec) => spec.total(),
+            JobSpec::Panic(_) => 1,
         }
     }
 }
@@ -383,7 +390,7 @@ impl JobEngine {
             if !self.start(&job) {
                 continue;
             }
-            self.finish(&job, self.run(&job));
+            self.finish(&job, self.run_supervised(&job));
         }
     }
 
@@ -416,7 +423,27 @@ impl JobEngine {
     }
 
     fn execute(&self, job: &Job) {
-        self.finish(job, self.run(job));
+        self.finish(job, self.run_supervised(job));
+    }
+
+    /// Runs the job with a panic barrier. Before this barrier existed, a
+    /// panic inside the evaluation unwound straight through `worker_loop`
+    /// — the thread died silently and the job stranded in `Running`
+    /// forever. Now the panic converts to an `Err` (→ `Failed`, counted
+    /// by `jobs_panicked`) and the worker keeps draining the queue.
+    fn run_supervised(&self, job: &Job) -> Result<String, String> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(job))) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(format!("job panicked: {msg}"))
+            }
+        }
     }
 
     fn run(&self, job: &Job) -> Result<String, String> {
@@ -441,6 +468,7 @@ impl JobEngine {
                     .map_err(|e| e.to_string())?;
                 Ok(report.to_json())
             }
+            JobSpec::Panic(msg) => panic!("{msg}"),
         }
     }
 
@@ -456,6 +484,7 @@ impl JobEngine {
                 .metrics
                 .sim_ticks
                 .fetch_add(progress, Ordering::Relaxed),
+            JobSpec::Panic(_) => 0,
         };
         let mut state = job.state.lock().expect("job state poisoned");
         self.metrics.jobs_running.fetch_sub(1, Ordering::Relaxed);

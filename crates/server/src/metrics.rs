@@ -18,6 +18,9 @@ pub struct Metrics {
     pub jobs_completed: AtomicU64,
     /// Jobs that finished with an error.
     pub jobs_failed: AtomicU64,
+    /// Jobs whose evaluation panicked (a subset of `jobs_failed`; the
+    /// worker survives and keeps draining).
+    pub jobs_panicked: AtomicU64,
     /// Jobs cancelled (queued or running).
     pub jobs_cancelled: AtomicU64,
     /// Jobs currently waiting in the queue (gauge).
@@ -76,6 +79,12 @@ impl Metrics {
             get(&self.jobs_failed),
         );
         series(
+            "wsp_jobs_panicked_total",
+            "Jobs whose evaluation panicked (also counted failed).",
+            "counter",
+            get(&self.jobs_panicked),
+        );
+        series(
             "wsp_jobs_cancelled_total",
             "Jobs cancelled while queued or running.",
             "counter",
@@ -125,6 +134,7 @@ mod tests {
             "wsp_jobs_rejected_total",
             "wsp_jobs_completed_total",
             "wsp_jobs_failed_total",
+            "wsp_jobs_panicked_total",
             "wsp_jobs_cancelled_total",
             "wsp_jobs_queued",
             "wsp_jobs_running",

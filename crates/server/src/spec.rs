@@ -11,7 +11,8 @@ use crate::json::Json;
 use wsp_explore::{sorting_center_sweep, DesignCandidate, ExploreOptions, SimScoring};
 use wsp_maps::SortingCenterParams;
 use wsp_sim::{
-    AssignConfig, AssignPolicy, DeviationConfig, RepairConfig, SimConfig, SimEngine, StreamConfig,
+    AssignConfig, AssignPolicy, DeviationConfig, FaultConfig, RepairConfig, SimConfig, SimEngine,
+    StreamConfig,
 };
 use wsp_traffic::RingOrientation;
 
@@ -258,6 +259,10 @@ pub struct SimSpec {
     pub engine: SimEngine,
     /// The stall-deviation process (`DeviationConfig::none()` default).
     pub deviations: DeviationConfig,
+    /// The fault-injection layer — agent breakdowns, station outages,
+    /// corridor closures (`FaultConfig::none()` default; a stream fires
+    /// only when its `*_gap` is non-zero).
+    pub faults: FaultConfig,
     /// The catch-up repair stage; the job's thread budget lives in
     /// `repair.threads`.
     pub repair: RepairConfig,
@@ -286,6 +291,7 @@ impl SimSpec {
                 "policy",
                 "engine",
                 "deviations",
+                "faults",
                 "repair",
                 "threads",
             ],
@@ -320,6 +326,56 @@ impl SimSpec {
                     get_u32(v, "max_ticks", 1)?,
                     get_u64(v, "seed", 0)?,
                 )
+            }
+        };
+        let faults = match value.get("faults") {
+            None => FaultConfig::none(),
+            Some(v) => {
+                check_keys(
+                    v,
+                    "faults",
+                    &[
+                        "breakdown_gap",
+                        "breakdown_min_ticks",
+                        "breakdown_max_ticks",
+                        "permanent_permille",
+                        "outage_gap",
+                        "outage_min_ticks",
+                        "outage_max_ticks",
+                        "closure_gap",
+                        "closure_min_ticks",
+                        "closure_max_ticks",
+                        "closure_len",
+                        "seed",
+                    ],
+                )?;
+                let defaults = FaultConfig::default();
+                FaultConfig {
+                    breakdown_gap: get_u32(v, "breakdown_gap", defaults.breakdown_gap)?,
+                    breakdown_min_ticks: get_u32(
+                        v,
+                        "breakdown_min_ticks",
+                        defaults.breakdown_min_ticks,
+                    )?,
+                    breakdown_max_ticks: get_u32(
+                        v,
+                        "breakdown_max_ticks",
+                        defaults.breakdown_max_ticks,
+                    )?,
+                    permanent_permille: get_u32(
+                        v,
+                        "permanent_permille",
+                        defaults.permanent_permille,
+                    )?,
+                    outage_gap: get_u32(v, "outage_gap", defaults.outage_gap)?,
+                    outage_min_ticks: get_u32(v, "outage_min_ticks", defaults.outage_min_ticks)?,
+                    outage_max_ticks: get_u32(v, "outage_max_ticks", defaults.outage_max_ticks)?,
+                    closure_gap: get_u32(v, "closure_gap", defaults.closure_gap)?,
+                    closure_min_ticks: get_u32(v, "closure_min_ticks", defaults.closure_min_ticks)?,
+                    closure_max_ticks: get_u32(v, "closure_max_ticks", defaults.closure_max_ticks)?,
+                    closure_len: get_u32(v, "closure_len", defaults.closure_len)?,
+                    seed: get_u64(v, "seed", defaults.seed)?,
+                }
             }
         };
         let mut repair = match value.get("repair") {
@@ -380,6 +436,7 @@ impl SimSpec {
             policy: parse_policy(value, AssignPolicy::Static)?,
             engine,
             deviations,
+            faults,
             repair,
         })
     }
@@ -400,6 +457,7 @@ impl SimSpec {
                 ..AssignConfig::default()
             },
             deviations: self.deviations.clone(),
+            faults: self.faults,
             repair: self.repair.clone(),
             engine: self.engine,
             ..SimConfig::default()
@@ -479,6 +537,40 @@ mod tests {
         assert!(SimSpec::from_json(&parse(r#"{"policy": "greedy"}"#))
             .unwrap_err()
             .contains("policy"));
+    }
+
+    #[test]
+    fn sim_spec_parses_faults_and_rejects_unknown_fault_fields() {
+        let spec = SimSpec::from_json(&parse(
+            r#"{
+                "ticks": 200,
+                "faults": {"breakdown_gap": 40, "permanent_permille": 250,
+                           "outage_gap": 90, "closure_gap": 70, "seed": 3}
+            }"#,
+        ))
+        .unwrap();
+        assert!(spec.faults.enabled());
+        assert_eq!(spec.faults.breakdown_gap, 40);
+        assert_eq!(spec.faults.permanent_permille, 250);
+        assert_eq!(spec.faults.outage_gap, 90);
+        assert_eq!(spec.faults.closure_gap, 70);
+        assert_eq!(spec.faults.seed, 3);
+        // Unset spans keep the library defaults.
+        assert_eq!(spec.faults.breakdown_min_ticks, 50);
+        let config = spec.config(wsp_model::Workload::from_demands(vec![1; 3]));
+        assert!(config.faults.enabled());
+
+        let absent = SimSpec::from_json(&parse(r#"{"ticks": 200}"#)).unwrap();
+        assert!(!absent.faults.enabled(), "no faults block, no faults");
+
+        assert!(
+            SimSpec::from_json(&parse(r#"{"faults": {"breakdown_gapp": 4}}"#))
+                .unwrap_err()
+                .contains("breakdown_gapp")
+        );
+        assert!(SimSpec::from_json(&parse(r#"{"faults": {"seed": "x"}}"#))
+            .unwrap_err()
+            .contains("seed"));
     }
 
     #[test]

@@ -135,6 +135,60 @@ fn sim_jobs_account_ticks_and_render_reports() {
     assert_eq!(engine.metrics().sim_ticks.load(Ordering::Relaxed), 120);
 }
 
+/// Regression: a panic inside the evaluation used to unwind through the
+/// worker, killing the thread silently and stranding the job in
+/// `running` forever. The panic barrier must convert it into the
+/// `failed` terminal state while the engine keeps serving.
+#[test]
+fn panicking_job_fails_cleanly_and_the_engine_keeps_serving() {
+    let engine = engine(0, 8);
+    let id = engine
+        .submit(JobSpec::Panic("deliberate test panic".into()))
+        .unwrap();
+    assert!(engine.run_one(), "the panicking job is still a queue entry");
+    let job = engine.job(id).unwrap();
+    assert_eq!(job.snapshot().status, "failed");
+    match job.result() {
+        JobResult::Failed(msg) => {
+            assert!(msg.contains("panicked"), "{msg}");
+            assert!(msg.contains("deliberate test panic"), "{msg}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().jobs_failed.load(Ordering::Relaxed), 1);
+    assert_eq!(engine.metrics().jobs_panicked.load(Ordering::Relaxed), 1);
+    assert_eq!(engine.metrics().jobs_running.load(Ordering::Relaxed), 0);
+
+    // The engine (and, below, a real worker thread) keeps executing.
+    let next = engine.submit(tiny_explore(1)).unwrap();
+    assert!(engine.run_one());
+    assert_eq!(engine.job(next).unwrap().snapshot().status, "done");
+}
+
+/// The same supervision on a background worker: the thread that absorbed
+/// the panic must pick up and finish the next job.
+#[test]
+fn worker_thread_survives_a_panicking_job() {
+    let engine = engine(1, 8);
+    let bad = engine.submit(JobSpec::Panic("boom".into())).unwrap();
+    let good = engine.submit(tiny_explore(1)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let bad_status = engine.job(bad).unwrap().snapshot().status;
+        let good_status = engine.job(good).unwrap().snapshot().status;
+        if bad_status == "failed" && good_status == "done" {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker died: panic job {bad_status}, follow-up {good_status}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(engine.metrics().jobs_panicked.load(Ordering::Relaxed), 1);
+    engine.shutdown();
+}
+
 #[test]
 fn deleting_a_queued_job_forgets_it() {
     let engine = engine(0, 8);

@@ -209,6 +209,26 @@ impl Mission {
     }
 }
 
+/// A read-only view of the engine's corridor closures for route
+/// searches: per-vertex first-open tick plus the current tick. A
+/// default (empty) view closes nothing, so fault-free callers and tests
+/// pay only a bounds-checked load per expansion.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClosedSet<'c> {
+    /// `until[v]` is the first tick vertex `v` is open again.
+    pub until: &'c [u64],
+    /// The current tick.
+    pub t: u64,
+}
+
+impl ClosedSet<'_> {
+    /// Whether `v` is closed right now (never true for the empty view).
+    #[inline]
+    pub(crate) fn blocks(&self, v: VertexId) -> bool {
+        self.until.get(v.index()).is_some_and(|&u| self.t < u)
+    }
+}
+
 /// Whether the parity direction field permits traversing the edge
 /// `a -> b` (adjacent grid cells): horizontal edges run east on even
 /// rows and west on odd rows; vertical edges run north on even columns
@@ -247,6 +267,11 @@ pub(crate) struct AuctionState {
     /// Per station: idle agents staged at (or repositioning toward) its
     /// anchor.
     pub staged: Vec<u32>,
+    /// Per station: dark under an injected outage. Dark stations take no
+    /// new assignments (the pickers skip them, so pressure redistributes
+    /// through the usual `station_bias` term); queued tasks wait for the
+    /// outage to expire rather than vanish.
+    pub dark: Vec<bool>,
     /// Which station each agent is staged under, if any.
     pub staged_of: Vec<Option<u16>>,
     /// Per-agent current mission.
@@ -375,6 +400,7 @@ impl AuctionState {
             reserved: warehouse.location_matrix().clone(),
             open: vec![0; stations.len()],
             staged: vec![0; stations.len()],
+            dark: vec![false; stations.len()],
             staged_of: vec![None; agents],
             missions: (0..agents).map(|_| None).collect(),
             // Dirty at construction: the first executed tick runs one
@@ -413,6 +439,8 @@ impl AuctionState {
     /// order-independent. Per station this reads the first stocked
     /// entry of the cached ascending site list (amortized O(1); the
     /// pre-cache full scan is the oracle it is property-tested against).
+    /// Dark stations are skipped outright: an outage removes them from
+    /// the slate until it expires.
     pub(crate) fn pick_station_site(
         &mut self,
         product: ProductId,
@@ -420,6 +448,9 @@ impl AuctionState {
     ) -> Option<(u16, VertexId)> {
         let mut best: Option<(u64, u16, VertexId)> = None;
         for q in 0..self.stations.len() {
+            if self.dark[q] {
+                continue;
+            }
             let Some((d, s)) = self.fields.first_stocked_in(q, product, &self.reserved) else {
                 continue;
             };
@@ -462,6 +493,9 @@ impl AuctionState {
                 continue;
             }
             for q in 0..stations {
+                if self.dark[q] {
+                    continue;
+                }
                 let d_in = self.to_station[q][e.site.index()];
                 if d_in == u32::MAX {
                     continue;
@@ -479,15 +513,19 @@ impl AuctionState {
     }
 
     /// Field-directed BFS route from `from` to `to`, optionally banning
-    /// one cell (reroutes ban the contested cell). Returns the vertex
-    /// path including both endpoints, or `None` when the field admits no
-    /// route. Deterministic: CSR neighbor order, dense parent table.
+    /// one cell (reroutes ban the contested cell) and never expanding
+    /// into a currently closed vertex (`from` itself may be closed — an
+    /// agent caught inside a closing corridor routes *out* of it).
+    /// Returns the vertex path including both endpoints, or `None` when
+    /// the field admits no route. Deterministic: CSR neighbor order,
+    /// dense parent table.
     pub(crate) fn route(
         &mut self,
         graph: &FloorplanGraph,
         from: VertexId,
         to: VertexId,
         ban: Option<VertexId>,
+        closed: ClosedSet<'_>,
     ) -> Option<Vec<VertexId>> {
         if from == to {
             return Some(vec![from]);
@@ -506,6 +544,7 @@ impl AuctionState {
             for &v in graph.neighbors(u) {
                 if self.seen[v.index()] == epoch
                     || Some(v) == ban
+                    || closed.blocks(v)
                     || !self.edge_allowed(graph, u, v)
                 {
                     continue;
@@ -540,11 +579,12 @@ impl AuctionState {
         graph: &FloorplanGraph,
         from: VertexId,
         occupant: &[u32],
+        closed: ClosedSet<'_>,
     ) -> Vec<VertexId> {
         let mut path = vec![from];
         let mut first: Option<(bool, u32)> = None;
         for &v in graph.neighbors(from) {
-            if !self.edge_allowed(graph, from, v) {
+            if closed.blocks(v) || !self.edge_allowed(graph, from, v) {
                 continue;
             }
             let occupied = occupant[v.index()] != NO_INDEX;
@@ -561,7 +601,7 @@ impl AuctionState {
                 .neighbors(cur)
                 .iter()
                 .copied()
-                .find(|&w| w != prev && self.edge_allowed(graph, cur, w));
+                .find(|&w| w != prev && !closed.blocks(w) && self.edge_allowed(graph, cur, w));
             let Some(w) = next else { break };
             if w == from {
                 break;

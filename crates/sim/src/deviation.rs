@@ -1,11 +1,31 @@
-//! Seeded execution deviations: agent stalls (a robot freezing in place
-//! for a few ticks — a dropped package, a localization hiccup, a manual
-//! stop). The schedule is a pure function of `(config, agent_count)`,
-//! independent of how the simulation unfolds, so deviation runs are as
-//! reproducible as clean ones.
+//! Seeded execution deviations and faults.
+//!
+//! Two escalating layers of scheduled adversity, both pure functions of
+//! their config (independent of how the simulation unfolds, so chaos
+//! runs are as reproducible as clean ones):
+//!
+//! * **Deviations** ([`DeviationSchedule`]): agent stalls — a robot
+//!   freezing in place for a few ticks (a dropped package, a
+//!   localization hiccup, a manual stop).
+//! * **Faults** ([`FaultSchedule`]): structural failures — agent
+//!   breakdowns (temporary or permanent), station outages, and corridor
+//!   closures, each an independent seeded stream merged into one
+//!   time-ordered feed of [`FaultEvent`]s.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Sentinel expiry for faults that never recover (permanent breakdowns).
+pub const NEVER: u64 = u64::MAX;
+
+/// Normalizes a `(min, max)` tick-span pair: reversed bounds are
+/// swapped, so `(8, 2)` means the same span as `(2, 8)`. This is
+/// documented behavior for every span-valued config pair in this module
+/// ([`DeviationConfig::stalls`] and the `*_min_ticks`/`*_max_ticks`
+/// fields of [`FaultConfig`]).
+pub(crate) fn normalize_span(min_ticks: u32, max_ticks: u32) -> (u32, u32) {
+    (min_ticks.min(max_ticks), max_ticks.max(min_ticks))
+}
 
 /// Configuration of the stall-deviation process.
 #[derive(Debug, Clone)]
@@ -40,11 +60,14 @@ impl DeviationConfig {
     }
 
     /// Stalls of `min ..= max` ticks roughly every `mean_gap` ticks.
+    /// Reversed bounds are normalized (`normalize_span`): passing
+    /// `(8, 2)` is the same as `(2, 8)`.
     pub fn stalls(mean_gap: u32, min_ticks: u32, max_ticks: u32, seed: u64) -> Self {
+        let (min_ticks, max_ticks) = normalize_span(min_ticks, max_ticks);
         DeviationConfig {
             mean_gap,
-            min_ticks: min_ticks.min(max_ticks),
-            max_ticks: max_ticks.max(min_ticks),
+            min_ticks,
+            max_ticks,
             seed,
         }
     }
@@ -122,6 +145,291 @@ impl DeviationSchedule {
     }
 }
 
+/// Configuration of the structural-fault process: three independent
+/// seeded streams (breakdowns, outages, closures), each shaped exactly
+/// like the stall process — a mean inter-event gap (`0` disables the
+/// stream) plus a uniform duration span. Span pairs are normalized
+/// (`normalize_span`): reversed bounds swap rather than panic.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Mean ticks between agent breakdowns (`0` disables breakdowns).
+    pub breakdown_gap: u32,
+    /// Minimum breakdown duration (ticks).
+    pub breakdown_min_ticks: u32,
+    /// Maximum breakdown duration (ticks).
+    pub breakdown_max_ticks: u32,
+    /// Out of each 1000 breakdowns, how many are permanent (the agent
+    /// never recovers; its cell stays a static obstacle forever).
+    pub permanent_permille: u32,
+    /// Mean ticks between station outages (`0` disables outages).
+    pub outage_gap: u32,
+    /// Minimum outage duration (ticks).
+    pub outage_min_ticks: u32,
+    /// Maximum outage duration (ticks).
+    pub outage_max_ticks: u32,
+    /// Mean ticks between corridor closures (`0` disables closures).
+    pub closure_gap: u32,
+    /// Minimum closure duration (ticks).
+    pub closure_min_ticks: u32,
+    /// Maximum closure duration (ticks).
+    pub closure_max_ticks: u32,
+    /// Corridor length: the closure anchors at a seeded vertex and
+    /// extends up to this many cells along a seeded axis.
+    pub closure_len: u32,
+    /// Seed for all three streams (each stream salts it differently, so
+    /// the streams are independent but jointly reproducible).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            breakdown_gap: 0,
+            breakdown_min_ticks: 50,
+            breakdown_max_ticks: 200,
+            permanent_permille: 0,
+            outage_gap: 0,
+            outage_min_ticks: 100,
+            outage_max_ticks: 500,
+            closure_gap: 0,
+            closure_min_ticks: 50,
+            closure_max_ticks: 200,
+            closure_len: 4,
+            seed: 0xfa17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A disabled schedule (the default): no faults ever fire.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// `true` when at least one fault stream is active.
+    pub fn enabled(&self) -> bool {
+        self.breakdown_gap > 0 || self.outage_gap > 0 || self.closure_gap > 0
+    }
+
+    /// The same config with every span pair normalized
+    /// (`normalize_span`). [`FaultSchedule::new`] applies this, so
+    /// reversed bounds behave identically everywhere.
+    pub fn normalized(&self) -> Self {
+        let mut c = *self;
+        let (a, b) = normalize_span(c.breakdown_min_ticks, c.breakdown_max_ticks);
+        c.breakdown_min_ticks = a;
+        c.breakdown_max_ticks = b;
+        let (a, b) = normalize_span(c.outage_min_ticks, c.outage_max_ticks);
+        c.outage_min_ticks = a;
+        c.outage_max_ticks = b;
+        let (a, b) = normalize_span(c.closure_min_ticks, c.closure_max_ticks);
+        c.closure_min_ticks = a;
+        c.closure_max_ticks = b;
+        c
+    }
+}
+
+/// One scheduled structural fault. `until` is the first tick the
+/// resource is available again ([`NEVER`] = no recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// `agent` goes offline at `at` until `until`; its queued/carried
+    /// work is shed back to the task queue and its cell becomes a
+    /// static obstacle.
+    Breakdown {
+        /// Tick the breakdown begins.
+        at: u64,
+        /// The broken agent.
+        agent: usize,
+        /// First tick the agent is back ([`NEVER`] = permanent loss).
+        until: u64,
+    },
+    /// `station` goes dark at `at` until `until`; the auction stops
+    /// bidding tasks to its sites, queued tasks wait.
+    Outage {
+        /// Tick the outage begins.
+        at: u64,
+        /// The dark station (index into the instance's station list).
+        station: usize,
+        /// First tick the station serves again.
+        until: u64,
+    },
+    /// A corridor closes at `at` until `until`. The event carries a
+    /// seeded anchor/axis; the engine expands it to the concrete vertex
+    /// set deterministically from the graph.
+    Closure {
+        /// Tick the closure begins.
+        at: u64,
+        /// Seeded anchor vertex index (the engine clamps to the graph).
+        anchor: usize,
+        /// Seeded axis selector: even = row-wards, odd = column-wards.
+        axis: u32,
+        /// First tick the corridor reopens.
+        until: u64,
+    },
+}
+
+impl FaultEvent {
+    /// Tick the fault fires.
+    pub fn at(&self) -> u64 {
+        match *self {
+            FaultEvent::Breakdown { at, .. }
+            | FaultEvent::Outage { at, .. }
+            | FaultEvent::Closure { at, .. } => at,
+        }
+    }
+}
+
+/// One lazy seeded event stream: the common shape behind all three
+/// fault kinds (mirrors `DeviationSchedule`'s draw discipline).
+#[derive(Debug, Clone)]
+struct FaultStream {
+    rng: StdRng,
+    gap: u32,
+    min_ticks: u32,
+    max_ticks: u32,
+    population: usize,
+    next: Option<(u64, usize, u64, u32)>, // (at, victim, until, extra)
+    permanent_permille: u32,
+}
+
+impl FaultStream {
+    fn new(
+        seed: u64,
+        gap: u32,
+        min_ticks: u32,
+        max_ticks: u32,
+        population: usize,
+        permanent_permille: u32,
+    ) -> Self {
+        let mut s = FaultStream {
+            rng: StdRng::seed_from_u64(seed),
+            gap,
+            min_ticks,
+            max_ticks,
+            population,
+            next: None,
+            permanent_permille,
+        };
+        s.next = s.draw(0);
+        s
+    }
+
+    fn draw(&mut self, after: u64) -> Option<(u64, usize, u64, u32)> {
+        if self.gap == 0 || self.population == 0 {
+            return None;
+        }
+        // Same shape as the stall process: gap ∈ [1, 2 × mean − 1],
+        // victim uniform, span uniform min..=max. Draw order is fixed —
+        // it is part of the determinism contract.
+        let gap = self.rng.gen_range(1..2 * u64::from(self.gap));
+        let victim = self.rng.gen_range(0..self.population as u64) as usize;
+        let span = self
+            .rng
+            .gen_range(u64::from(self.min_ticks)..u64::from(self.max_ticks) + 1);
+        let extra = self.rng.gen_range(0..1000u64) as u32;
+        let at = after + gap;
+        let until = if self.permanent_permille > 0 && extra < self.permanent_permille {
+            NEVER
+        } else {
+            at + span.max(1)
+        };
+        Some((at, victim, until, extra))
+    }
+
+    fn pop_at(&mut self, t: u64) -> Option<(u64, usize, u64, u32)> {
+        match self.next {
+            Some(ev) if ev.0 <= t => {
+                self.next = self.draw(ev.0);
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The lazy, seed-deterministic fault schedule: three independent
+/// streams (breakdowns over agents, outages over stations, closures
+/// over vertices) merged into one feed. A pure function of
+/// `(config, agents, stations, vertices)` — peeking never perturbs it.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    breakdowns: FaultStream,
+    outages: FaultStream,
+    closures: FaultStream,
+}
+
+impl FaultSchedule {
+    /// Builds the schedule for a team of `agents`, `stations` induct
+    /// stations, and a graph of `vertices` cells. The config's span
+    /// pairs are normalized first ([`FaultConfig::normalized`]).
+    pub fn new(config: &FaultConfig, agents: usize, stations: usize, vertices: usize) -> Self {
+        let c = config.normalized();
+        FaultSchedule {
+            breakdowns: FaultStream::new(
+                c.seed ^ BREAKDOWN_SALT,
+                c.breakdown_gap,
+                c.breakdown_min_ticks,
+                c.breakdown_max_ticks,
+                agents,
+                c.permanent_permille,
+            ),
+            outages: FaultStream::new(
+                c.seed ^ OUTAGE_SALT,
+                c.outage_gap,
+                c.outage_min_ticks,
+                c.outage_max_ticks,
+                stations,
+                0,
+            ),
+            closures: FaultStream::new(
+                c.seed ^ CLOSURE_SALT,
+                c.closure_gap,
+                c.closure_min_ticks,
+                c.closure_max_ticks,
+                vertices,
+                0,
+            ),
+        }
+    }
+
+    /// Tick of the next scheduled fault of any kind, if any — the
+    /// event-driven engine's forced-tick lookahead. Pure peek.
+    pub fn next_fire(&self) -> Option<u64> {
+        [&self.breakdowns, &self.outages, &self.closures]
+            .iter()
+            .filter_map(|s| s.next.map(|ev| ev.0))
+            .min()
+    }
+
+    /// Pops every fault firing at or before tick `t` (call with
+    /// monotonically increasing `t`). Events are delivered in a fixed
+    /// order — all due breakdowns, then outages, then closures, each
+    /// stream in time order — so both engines observe identical feeds.
+    pub fn fire_at(&mut self, t: u64, mut apply: impl FnMut(FaultEvent)) {
+        while let Some((at, agent, until, _)) = self.breakdowns.pop_at(t) {
+            apply(FaultEvent::Breakdown { at, agent, until });
+        }
+        while let Some((at, station, until, _)) = self.outages.pop_at(t) {
+            apply(FaultEvent::Outage { at, station, until });
+        }
+        while let Some((at, anchor, until, extra)) = self.closures.pop_at(t) {
+            apply(FaultEvent::Closure {
+                at,
+                anchor,
+                axis: extra,
+                until,
+            });
+        }
+    }
+}
+
+// Stream salts: fixed arbitrary constants keeping the three streams
+// decorrelated under a shared seed.
+const BREAKDOWN_SALT: u64 = 0x5eed_b7ea_cd04_4a11;
+const OUTAGE_SALT: u64 = 0x5eed_007a_6e55_7a71;
+const CLOSURE_SALT: u64 = 0x5eed_c105_ed00_c0a1;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +472,167 @@ mod tests {
         // bounds (the uniform-gap process is noisy).
         assert!(stalls.len() > 40, "{} stalls", stalls.len());
         assert!(stalls.len() < 250, "{} stalls", stalls.len());
+    }
+
+    #[test]
+    fn reversed_stall_bounds_normalize_to_the_same_config() {
+        // Documented behavior (not a silent quirk): (8, 2) == (2, 8).
+        let reversed = DeviationConfig::stalls(10, 8, 2, 42);
+        let ordered = DeviationConfig::stalls(10, 2, 8, 42);
+        assert_eq!(reversed.min_ticks, 2);
+        assert_eq!(reversed.max_ticks, 8);
+        assert_eq!(collect(&reversed, 8, 500), collect(&ordered, 8, 500));
+    }
+
+    fn collect_faults(
+        config: &FaultConfig,
+        agents: usize,
+        stations: usize,
+        vertices: usize,
+        horizon: u64,
+    ) -> Vec<FaultEvent> {
+        let mut schedule = FaultSchedule::new(config, agents, stations, vertices);
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            schedule.fire_at(t, |e| out.push(e));
+        }
+        out
+    }
+
+    #[test]
+    fn disabled_faults_never_fire() {
+        assert!(collect_faults(&FaultConfig::none(), 8, 2, 100, 1000).is_empty());
+        let all_on = FaultConfig {
+            breakdown_gap: 10,
+            outage_gap: 10,
+            closure_gap: 10,
+            ..FaultConfig::default()
+        };
+        // Empty populations silence each stream.
+        assert!(collect_faults(&all_on, 0, 0, 0, 1000).is_empty());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_seed_sensitive() {
+        let config = FaultConfig {
+            breakdown_gap: 20,
+            breakdown_min_ticks: 5,
+            breakdown_max_ticks: 15,
+            permanent_permille: 200,
+            outage_gap: 50,
+            closure_gap: 70,
+            seed: 99,
+            ..FaultConfig::default()
+        };
+        let a = collect_faults(&config, 8, 2, 120, 2000);
+        let b = collect_faults(&config, 8, 2, 120, 2000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let other = FaultConfig {
+            seed: 100,
+            ..config
+        };
+        assert_ne!(a, collect_faults(&other, 8, 2, 120, 2000));
+    }
+
+    #[test]
+    fn fault_streams_respect_bounds_and_kinds() {
+        let config = FaultConfig {
+            breakdown_gap: 25,
+            breakdown_min_ticks: 5,
+            breakdown_max_ticks: 10,
+            permanent_permille: 300,
+            outage_gap: 100,
+            outage_min_ticks: 50,
+            outage_max_ticks: 60,
+            closure_gap: 150,
+            closure_min_ticks: 20,
+            closure_max_ticks: 30,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let events = collect_faults(&config, 6, 3, 200, 5000);
+        let mut breakdowns = 0;
+        let mut permanent = 0;
+        let mut outages = 0;
+        let mut closures = 0;
+        for e in &events {
+            match *e {
+                FaultEvent::Breakdown { at, agent, until } => {
+                    breakdowns += 1;
+                    assert!(agent < 6);
+                    if until == NEVER {
+                        permanent += 1;
+                    } else {
+                        assert!((5..=10).contains(&(until - at)));
+                    }
+                }
+                FaultEvent::Outage { at, station, until } => {
+                    outages += 1;
+                    assert!(station < 3);
+                    assert!((50..=60).contains(&(until - at)));
+                }
+                FaultEvent::Closure {
+                    at, anchor, until, ..
+                } => {
+                    closures += 1;
+                    assert!(anchor < 200);
+                    assert!((20..=30).contains(&(until - at)));
+                }
+            }
+        }
+        assert!(breakdowns > 80, "{breakdowns} breakdowns");
+        assert!(permanent > 10, "{permanent} permanent");
+        assert!(permanent < breakdowns, "all breakdowns permanent");
+        assert!(outages > 15, "{outages} outages");
+        assert!(closures > 10, "{closures} closures");
+    }
+
+    #[test]
+    fn reversed_fault_spans_normalize_like_stalls() {
+        let reversed = FaultConfig {
+            breakdown_gap: 20,
+            breakdown_min_ticks: 15,
+            breakdown_max_ticks: 5,
+            outage_gap: 40,
+            outage_min_ticks: 60,
+            outage_max_ticks: 50,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let ordered = FaultConfig {
+            breakdown_min_ticks: 5,
+            breakdown_max_ticks: 15,
+            outage_min_ticks: 50,
+            outage_max_ticks: 60,
+            ..reversed
+        };
+        assert_eq!(
+            collect_faults(&reversed, 8, 2, 100, 2000),
+            collect_faults(&ordered, 8, 2, 100, 2000),
+        );
+    }
+
+    #[test]
+    fn next_fire_is_a_pure_peek_over_all_streams() {
+        let config = FaultConfig {
+            breakdown_gap: 30,
+            outage_gap: 30,
+            closure_gap: 30,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let mut schedule = FaultSchedule::new(&config, 4, 2, 50);
+        let first = schedule
+            .next_fire()
+            .expect("enabled schedule has a next event");
+        assert_eq!(schedule.next_fire(), Some(first));
+        // Nothing fires strictly before the peeked tick.
+        let mut fired = Vec::new();
+        schedule.fire_at(first - 1, |e| fired.push(e));
+        assert!(fired.is_empty());
+        schedule.fire_at(first, |e| fired.push(e));
+        assert!(!fired.is_empty());
+        assert!(fired.iter().all(|e| e.at() == first));
     }
 }

@@ -12,7 +12,14 @@
 //!    [`AssignPolicy::Auction`](crate::AssignPolicy), into the auction's
 //!    pending queue instead).
 //! 2. **Deviations** — the seeded [`DeviationSchedule`] freezes victims in
-//!    place for a few ticks.
+//!    place for a few ticks. Then **faults** — the seeded
+//!    [`FaultSchedule`] breaks agents (an unbounded stall whose assigned
+//!    tasks are shed back to the queue), darkens stations (no new
+//!    assignments until the outage expires), and closes corridor cells
+//!    (moves into them are vetoed; routes and repairs detour around).
+//!    Expired faults re-open symmetrically, and every fire/expiry is a
+//!    forced tick, so chaos runs elide and parallelize exactly like
+//!    clean ones.
 //! 3. **Assignment** (`Auction` only) — a deterministic auction matches
 //!    pending tasks to idle or soon-idle agents by minimum
 //!    `(BFS-distance, agent index)` bid, batches same-product tasks onto
@@ -74,14 +81,16 @@ use std::collections::VecDeque;
 use wsp_core::{Pipeline, PipelineError, PipelineOptions, WspInstance};
 use wsp_flow::AgentCycleSet;
 use wsp_mapf::ReservationTable;
-use wsp_model::{AgentState, Carry, LocationMatrix, Plan, ProductId, VertexId, NO_INDEX};
+use wsp_model::{AgentState, Carry, Coord, LocationMatrix, Plan, ProductId, VertexId, NO_INDEX};
 use wsp_realize::AgentSnapshot;
 
 use crate::assign::{
-    select_agent, AgentBid, AssignConfig, AssignPolicy, AuctionState, Leg, LegAction, Mission,
-    MissionKind, PendingTask,
+    select_agent, AgentBid, AssignConfig, AssignPolicy, AuctionState, ClosedSet, Leg, LegAction,
+    Mission, MissionKind, PendingTask,
 };
-use crate::deviation::{DeviationConfig, DeviationSchedule, Stall};
+use crate::deviation::{
+    DeviationConfig, DeviationSchedule, FaultConfig, FaultEvent, FaultSchedule, Stall, NEVER,
+};
 use crate::event::{self, SleepBook, SleepMode};
 use crate::queue::BucketQueue;
 use crate::repair::{accept_repairs, plan_repairs, RepairPath, RepairRequest};
@@ -166,6 +175,10 @@ pub struct SimConfig {
     pub assign: AssignConfig,
     /// The stall-deviation process.
     pub deviations: DeviationConfig,
+    /// The structural fault-injection process (agent breakdowns, station
+    /// outages, corridor closures; all streams off by default). Enabling
+    /// any stream also turns on the report's fault counters.
+    pub faults: FaultConfig,
     /// The MAPF catch-up repair stage.
     pub repair: RepairConfig,
     /// Replan early once any agent's lag reaches this (`0`: replan at
@@ -190,6 +203,7 @@ impl Default for SimConfig {
             stream: StreamConfig::default(),
             assign: AssignConfig::default(),
             deviations: DeviationConfig::default(),
+            faults: FaultConfig::default(),
             repair: RepairConfig::default(),
             replan_lag: 0,
             min_replan_gap: 8,
@@ -253,6 +267,20 @@ pub struct Simulation<'a> {
     stream: TaskStream,
     deviations: DeviationSchedule,
     stall_buf: Vec<Stall>,
+    faults: FaultSchedule,
+    fault_buf: Vec<FaultEvent>,
+
+    // Fault state. A station is dark while `t < dark_until[q]`
+    // (`dark_active` counts the currently dark ones); a vertex is closed
+    // while `t < closed_until[v]`, with `closed_cells` listing exactly
+    // the currently closed cells so expiry and repair scans stay
+    // O(closures), never O(vertices). Breakdowns need no state of their
+    // own: they ride the stall machinery (`stall_until`, with `NEVER`
+    // for permanent losses).
+    dark_until: Vec<u64>,
+    dark_active: usize,
+    closed_until: Vec<u64>,
+    closed_cells: Vec<VertexId>,
 
     // Authoritative stock ledger (debited by *executed* pickups) and the
     // clone handed to each window realization.
@@ -393,6 +421,7 @@ impl<'a> Simulation<'a> {
         };
         let n_vertices = instance.warehouse.graph().vertex_count();
         let n_products = instance.warehouse.catalog().len();
+        let n_stations = instance.warehouse.stations().len();
 
         let mut occupant = vec![NO_INDEX; n_vertices];
         for (i, s) in snapshots.iter().enumerate() {
@@ -426,6 +455,12 @@ impl<'a> Simulation<'a> {
             stream,
             deviations,
             stall_buf: Vec::with_capacity(8),
+            faults: FaultSchedule::new(&config.faults, agents, n_stations, n_vertices),
+            fault_buf: Vec::with_capacity(8),
+            dark_until: vec![0; n_stations],
+            dark_active: 0,
+            closed_until: vec![0; n_vertices],
+            closed_cells: Vec::new(),
             ledger: instance.warehouse.location_matrix().clone(),
             plan_ledger: LocationMatrix::new(),
             window_plan: Plan::new(),
@@ -526,6 +561,7 @@ impl<'a> Simulation<'a> {
             stream_seed: self.config.stream.seed,
             deviation_seed: self.config.deviations.seed,
             policy: self.config.assign.policy,
+            faults: self.config.faults.enabled(),
             trajectory_checksum: self.checksum.0,
             counters,
         }
@@ -624,11 +660,11 @@ impl<'a> Simulation<'a> {
     }
 
     /// The earliest tick at or after `self.t` that must be executed: the
-    /// window-boundary tick, the next task arrival, the next stall
-    /// firing, the next queued wake-up / crossing check, and — while a
-    /// replan is pending (requested by a stray rejoin or held open by a
-    /// frozen sleeper past its lag crossing) — the tick the minimum
-    /// replan gap expires.
+    /// window-boundary tick, the next task arrival, the next stall or
+    /// fault firing, the next outage/closure expiry, the next queued
+    /// wake-up / crossing check, and — while a replan is pending
+    /// (requested by a stray rejoin or held open by a frozen sleeper
+    /// past its lag crossing) — the tick the minimum replan gap expires.
     fn next_forced_tick(&self) -> u64 {
         let mut forced = self.window_start + self.window_len as u64 - 1;
         if let Some(t) = self.stream.next_arrival() {
@@ -636,6 +672,25 @@ impl<'a> Simulation<'a> {
         }
         if let Some(t) = self.deviations.next_fire() {
             forced = forced.min(t);
+        }
+        if let Some(t) = self.faults.next_fire() {
+            forced = forced.min(t);
+        }
+        // Fault expiries must execute: a re-opened station or corridor
+        // changes assignment and routing outcomes on that very tick.
+        // (Breakdown recoveries ride the stall wake-ups in the queue.)
+        if self.dark_active > 0 {
+            for &u in &self.dark_until {
+                if u > self.t {
+                    forced = forced.min(u);
+                }
+            }
+        }
+        for &v in &self.closed_cells {
+            let u = self.closed_until[v.index()];
+            if u > self.t {
+                forced = forced.min(u);
+            }
         }
         if self.replan_requested || self.sleep.frozen_over_replan > 0 {
             let gap = (self.last_replan + self.config.min_replan_gap).saturating_sub(1);
@@ -916,6 +971,23 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // 2f. Structural faults: expire elapsed outages and closures
+        // first (a resource with `until == t` is open *at* `t`, the
+        // stall convention), then fire this tick's seeded fault events.
+        // Fires and expiries land only on forced ticks and are applied
+        // identically by both engines, which is what keeps elision and
+        // the auction's dirty-set skip sound with chaos on.
+        if self.config.faults.enabled() {
+            self.expire_faults(t);
+            self.fault_buf.clear();
+            let buf = &mut self.fault_buf;
+            self.faults.fire_at(t, |e| buf.push(e));
+            for i in 0..self.fault_buf.len() {
+                let e = self.fault_buf[i];
+                self.apply_fault(e, t);
+            }
+        }
+
         // 2c. Auction task assignment (both engines, identically: its
         // decisions are a pure function of the queue and agent states).
         // Runs before the active set is built so fresh assignees are
@@ -979,6 +1051,17 @@ impl<'a> Simulation<'a> {
                     .at
             } else {
                 self.pos[a]
+            };
+            // A move into a closed corridor cell is vetoed into a wait:
+            // missions hit their blocked → reroute → wedge path, plan
+            // followers lag and catch up via repair or replan. The gate
+            // only ever turns moves into stays — stationary (and so
+            // sleeping) agents are untouched, which keeps every sleep
+            // contract intact.
+            let d = if d != self.pos[a] && self.closed_until[d.index()] > t {
+                self.pos[a]
+            } else {
+                d
             };
             self.desired[a] = d;
             if reference && !self.sleep.is_awake(a) {
@@ -1293,7 +1376,13 @@ impl<'a> Simulation<'a> {
                 self.bids.clear();
                 let mut any_eligible = false;
                 for a in 0..n {
+                    // The carry check bars a recovered agent still
+                    // hauling a shed task's stranded unit from taking a
+                    // new pickup; fault-free it is vacuous (an agent
+                    // only carries inside a task mission or with a drop
+                    // action pending, and neither is replaceable).
                     let eligible = t >= self.stall_until[a]
+                        && self.carry[a].is_none()
                         && auc.missions[a].as_ref().is_none_or(Mission::replaceable);
                     if !eligible {
                         continue;
@@ -1325,7 +1414,16 @@ impl<'a> Simulation<'a> {
                 self.bids.retain(|b| b.agent != bid.agent);
                 let from = self.pos[bid.agent as usize];
                 if let Some(path) = auc
-                    .route(graph, from, site, None)
+                    .route(
+                        graph,
+                        from,
+                        site,
+                        None,
+                        ClosedSet {
+                            until: &self.closed_until,
+                            t,
+                        },
+                    )
                     .filter(|p| p.len() <= cfg.route_cap as usize)
                 {
                     commit = Some((bid.agent as usize, path));
@@ -1427,6 +1525,7 @@ impl<'a> Simulation<'a> {
                     if auc.missions[a].is_none()
                         && auc.staged_of[a].is_none()
                         && t >= self.stall_until[a]
+                        && self.carry[a].is_none()
                     {
                         pool += 1;
                     }
@@ -1440,6 +1539,11 @@ impl<'a> Simulation<'a> {
                     )
                 });
                 'stations: for &q in &order {
+                    if auc.dark[q as usize] {
+                        // No point staging idle agents at a dark
+                        // station; its backlog redistributes instead.
+                        continue;
+                    }
                     while auc.staged[q as usize] < per {
                         if pool == 0 {
                             break 'stations;
@@ -1459,6 +1563,7 @@ impl<'a> Simulation<'a> {
                             if auc.missions[a].is_some()
                                 || auc.staged_of[a].is_some()
                                 || t < self.stall_until[a]
+                                || self.carry[a].is_some()
                             {
                                 continue;
                             }
@@ -1473,6 +1578,7 @@ impl<'a> Simulation<'a> {
                                 if auc.missions[a].is_some()
                                     || auc.staged_of[a].is_some()
                                     || t < self.stall_until[a]
+                                    || self.carry[a].is_some()
                                 {
                                     continue;
                                 }
@@ -1489,7 +1595,11 @@ impl<'a> Simulation<'a> {
                         while let Some(bid) = select_agent(&self.bids) {
                             self.bids.retain(|b| b.agent != bid.agent);
                             let from = self.pos[bid.agent as usize];
-                            if let Some(path) = auc.route(graph, from, anchor, None) {
+                            let closed = ClosedSet {
+                                until: &self.closed_until,
+                                t,
+                            };
+                            if let Some(path) = auc.route(graph, from, anchor, None, closed) {
                                 commit = Some((bid.agent as usize, path));
                                 break;
                             }
@@ -1618,7 +1728,11 @@ impl<'a> Simulation<'a> {
                     MissionKind::Task => {
                         if m.blocked % cfg.reroute_after == 0 {
                             let goal = *m.path.last().expect("non-empty route");
-                            match auc.route(graph, self.pos[a], goal, Some(want)) {
+                            let closed = ClosedSet {
+                                until: &self.closed_until,
+                                t,
+                            };
+                            match auc.route(graph, self.pos[a], goal, Some(want), closed) {
                                 Some(path) if path.len() <= cfg.route_cap as usize => {
                                     m.path = path;
                                     m.at = 0;
@@ -1656,7 +1770,16 @@ impl<'a> Simulation<'a> {
                     m.action = Some(leg.action);
                     if let Some(&Leg { goal, .. }) = m.legs.front() {
                         match auc
-                            .route(graph, self.pos[a], goal, None)
+                            .route(
+                                graph,
+                                self.pos[a],
+                                goal,
+                                None,
+                                ClosedSet {
+                                    until: &self.closed_until,
+                                    t,
+                                },
+                            )
                             .filter(|p| p.len() <= self.config.assign.route_cap as usize)
                         {
                             Some(path) => {
@@ -1696,7 +1819,15 @@ impl<'a> Simulation<'a> {
                             // it fires, so the station clears for the
                             // next delivery instead of being parked on.
                             m.kind = MissionKind::Drift;
-                            m.path = auc.drift_walk(graph, self.pos[a], &self.occupant);
+                            m.path = auc.drift_walk(
+                                graph,
+                                self.pos[a],
+                                &self.occupant,
+                                ClosedSet {
+                                    until: &self.closed_until,
+                                    t,
+                                },
+                            );
                             m.at = 0;
                             m.blocked = 0;
                         } else if m.action.is_none() {
@@ -1735,7 +1866,15 @@ impl<'a> Simulation<'a> {
                 self.auction = Some(auc);
                 continue;
             }
-            let path = auc.drift_walk(self.instance.warehouse.graph(), self.pos[b], &self.occupant);
+            let path = auc.drift_walk(
+                self.instance.warehouse.graph(),
+                self.pos[b],
+                &self.occupant,
+                ClosedSet {
+                    until: &self.closed_until,
+                    t,
+                },
+            );
             let nudged = path.len() > 1;
             if nudged {
                 auc.missions[b] = Some(Mission {
@@ -1796,11 +1935,15 @@ impl<'a> Simulation<'a> {
         let from = self.t;
         let carrying = self.carry[agent].is_some();
         if from < self.stall_until[agent] {
+            // Permanently broken agents (`NEVER`) file no wake-up: only
+            // the boundary replan's ledger reset re-examines them.
             let wake = self.stall_until[agent];
             let seq =
                 self.sleep
                     .sleep(agent, SleepMode::Frozen, from, self.cursor[agent], carrying);
-            self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            if wake != NEVER {
+                self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            }
             self.granted[agent] = false;
             return;
         }
@@ -1837,12 +1980,15 @@ impl<'a> Simulation<'a> {
         let carrying = self.carry[agent].is_some();
         if from < self.stall_until[agent] {
             // Stalled: frozen until the stall ends; if its growing lag
-            // would cross the replan threshold first, file the check.
+            // would cross the replan threshold first, file the check. A
+            // permanent breakdown (`NEVER`) files no wake-up at all.
             let wake = self.stall_until[agent];
             let seq = self
                 .sleep
                 .sleep(agent, SleepMode::Frozen, from, cursor, carrying);
-            self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            if wake != NEVER {
+                self.queue.push(wake, event::pack(event::WAKE, agent, seq));
+            }
             if replan_lag > 0 {
                 let crossing = self.window_start + (cursor + replan_lag) as u64 - 1;
                 if crossing < wake {
@@ -1977,6 +2123,250 @@ impl<'a> Simulation<'a> {
             }
             (Carry::Empty, Carry::Empty) => {}
         }
+    }
+
+    /// Applies one fired [`FaultEvent`] — both engines, identically.
+    fn apply_fault(&mut self, e: FaultEvent, t: u64) {
+        self.counters.faults_injected += 1;
+        self.counters.events_processed += 1;
+        match e {
+            FaultEvent::Breakdown { agent, until, .. } => {
+                // A breakdown is a (possibly unbounded) stall: all the
+                // stall machinery — parked desire, frozen sleep, repair
+                // projection, grant-pass obstacle, auction ineligibility
+                // — applies as-is. On top, the victim's assigned work is
+                // shed so the rest of the fleet absorbs it.
+                let was = self.stall_until[agent];
+                if until == NEVER && was != NEVER {
+                    self.counters.agents_lost += 1;
+                }
+                self.stall_until[agent] = was.max(until);
+                self.shed_agent_tasks(agent, until == NEVER);
+                if let Some(auc) = self.auction.as_deref_mut() {
+                    // Eligibility (`t >= stall_until`) just changed.
+                    auc.dirty = true;
+                }
+                if !self.sleep.is_awake(agent) {
+                    self.wake(agent, t);
+                }
+            }
+            FaultEvent::Outage { station, until, .. } => {
+                let was = self.dark_until[station];
+                if was <= t {
+                    self.dark_active += 1;
+                }
+                self.dark_until[station] = was.max(until);
+                if let Some(auc) = self.auction.as_deref_mut() {
+                    // Dark stations take no new assignments; their
+                    // queued tasks wait (rotating in the pending queue)
+                    // and the `station_bias` pressure pushes fresh work
+                    // toward the remaining stations. In-flight
+                    // deliveries already en route still complete.
+                    auc.dark[station] = true;
+                    auc.dirty = true;
+                }
+            }
+            FaultEvent::Closure {
+                anchor,
+                axis,
+                until,
+                ..
+            } => {
+                self.close_corridor(anchor, axis, until, t);
+                if let Some(auc) = self.auction.as_deref_mut() {
+                    // Route outcomes (commits, reroutes, drifts) changed.
+                    auc.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Re-opens every faulted resource whose span elapsed: a station or
+    /// corridor with `until <= t` serves again *at* `t` (symmetric with
+    /// stalls). Each re-opening dirties the auction — newly possible
+    /// assignments and routes must be re-examined on this very tick,
+    /// which is why expiries are forced ticks.
+    fn expire_faults(&mut self, t: u64) {
+        if self.dark_active > 0 {
+            let live = self.dark_until.iter().filter(|&&u| u > t).count();
+            if live < self.dark_active {
+                self.dark_active = live;
+                if let Some(auc) = self.auction.as_deref_mut() {
+                    for (q, &u) in self.dark_until.iter().enumerate() {
+                        auc.dark[q] = u > t;
+                    }
+                    auc.dirty = true;
+                }
+            }
+        }
+        if !self.closed_cells.is_empty() {
+            let mut cells = std::mem::take(&mut self.closed_cells);
+            let before = cells.len();
+            cells.retain(|v| self.closed_until[v.index()] > t);
+            if cells.len() < before {
+                if let Some(auc) = self.auction.as_deref_mut() {
+                    auc.dirty = true;
+                }
+            }
+            self.closed_cells = cells;
+        }
+    }
+
+    /// Expands a closure event to its concrete corridor: up to
+    /// `closure_len` cells walked from the anchor along the seeded axis
+    /// while grid edges continue, each marked closed until `until`.
+    /// Overlapping closures max-merge their expiries.
+    fn close_corridor(&mut self, anchor: usize, axis: u32, until: u64, t: u64) {
+        let graph = self.instance.warehouse.graph();
+        let (dx, dy): (i64, i64) = match axis % 4 {
+            0 => (1, 0),
+            1 => (0, 1),
+            2 => (-1, 0),
+            _ => (0, -1),
+        };
+        let len = self.config.faults.closure_len.max(1);
+        let mut v = VertexId(anchor as u32);
+        for step in 0u32.. {
+            if self.closed_until[v.index()] <= t {
+                // Not currently closed, so not in the list yet (expiry
+                // retains exactly the still-closed cells).
+                self.closed_cells.push(v);
+            }
+            self.closed_until[v.index()] = self.closed_until[v.index()].max(until);
+            if step + 1 >= len {
+                break;
+            }
+            let c = graph.coord(v);
+            let nx = i64::from(c.x) + dx;
+            let ny = i64::from(c.y) + dy;
+            if nx < 0 || ny < 0 {
+                break;
+            }
+            let Some(w) = graph.vertex_at(Coord::new(nx as u32, ny as u32)) else {
+                break;
+            };
+            if !graph.has_edge(v, w) {
+                break;
+            }
+            v = w;
+        }
+    }
+
+    /// Sheds a broken-down agent's assigned tasks back to the queue in
+    /// arrival order. Unexecuted pickups restore their stock reservation
+    /// and re-queue; their drop legs release the station's open slot.
+    /// The *carried* task (pickup executed, drop pending) is kept on a
+    /// temporary breakdown — the unit physically rides the robot and is
+    /// delivered after recovery — but re-queued on a permanent one: the
+    /// unit strands on the dead robot and another agent re-picks the
+    /// task from remaining stock (`in_flight → queued`, so the classic
+    /// conservation identity never bends; `tasks_shed` counts every
+    /// shed).
+    fn shed_agent_tasks(&mut self, a: usize, permanent: bool) {
+        let Some(mut auc) = self.auction.take() else {
+            // Static policy: detach the carried task and re-queue it by
+            // arrival. The agent's window plan still executes its drop
+            // after recovery, which then completes the queue's new
+            // front task instead (`apply_carry_event`'s unattached arm)
+            // — late delivery, exact conservation.
+            if let Some(arrival) = self.attached[a].take() {
+                let product = self.carry[a].expect("attached implies carrying");
+                let q = &mut self.queues[product.index()];
+                let i = q.partition_point(|&x| x <= arrival);
+                q.insert(i, arrival);
+                self.counters.in_flight -= 1;
+                self.counters.queued += 1;
+                self.counters.tasks_shed += 1;
+            }
+            return;
+        };
+        if let Some(qq) = auc.staged_of[a].take() {
+            auc.staged[qq as usize] -= 1;
+        }
+        if let Some(mut m) = auc.missions[a].take() {
+            // Carried iff the next drop precedes the next pickup: either
+            // the drop action is already pending, or the front leg is a
+            // drop (legs strictly alternate pickup/drop per task).
+            let carried = matches!(m.action, Some(LegAction::Drop { .. }))
+                || (m.action.is_none()
+                    && matches!(
+                        m.legs.front(),
+                        Some(Leg {
+                            action: LegAction::Drop { .. },
+                            ..
+                        })
+                    ));
+            if carried && !permanent {
+                // Keep exactly the pending delivery; shed the rest.
+                let kept = if m.action.is_some() {
+                    None
+                } else {
+                    m.legs.pop_front()
+                };
+                Self::shed_legs(&mut auc, &mut m, &mut self.counters);
+                match kept {
+                    Some(leg) => m.legs.push_back(leg),
+                    // Only the pending drop action remains; stop walking
+                    // the stale route toward the next (now shed) leg.
+                    None => m.path.truncate(m.at + 1),
+                }
+                auc.missions[a] = Some(m);
+            } else {
+                if let Some(action) = m.action.take() {
+                    m.legs.push_front(Leg {
+                        goal: self.pos[a],
+                        action,
+                    });
+                }
+                if carried {
+                    let leg = m.legs.pop_front().expect("carried mission fronts its drop");
+                    let LegAction::Drop { arrival, station } = leg.action else {
+                        unreachable!("carried mission fronts a drop leg");
+                    };
+                    let open = &mut auc.open[station as usize];
+                    *open = open.saturating_sub(1);
+                    let product = self.carry[a].expect("carried drop leg");
+                    self.attached[a] = None;
+                    self.counters.in_flight -= 1;
+                    self.counters.queued += 1;
+                    self.counters.tasks_shed += 1;
+                    Self::requeue_pending(&mut auc.pending, PendingTask { product, arrival });
+                }
+                Self::shed_legs(&mut auc, &mut m, &mut self.counters);
+                // Mission dissolved; a recovered (task-less) agent goes
+                // back to the idle pool.
+                auc.idle_dirty = true;
+            }
+            auc.dirty = true;
+        }
+        self.auction = Some(auc);
+    }
+
+    /// Drains `m.legs`, restoring each unexecuted pickup's reservation
+    /// (and re-queueing its task) and releasing each drop's open slot.
+    /// The carried task's drop, if any, must already be removed.
+    fn shed_legs(auc: &mut AuctionState, m: &mut Mission, counters: &mut SimCounters) {
+        while let Some(leg) = m.legs.pop_front() {
+            match leg.action {
+                LegAction::Pickup { product, arrival } => {
+                    auc.reserved.add_units(leg.goal, product, 1);
+                    counters.tasks_shed += 1;
+                    Self::requeue_pending(&mut auc.pending, PendingTask { product, arrival });
+                }
+                LegAction::Drop { station, .. } => {
+                    let open = &mut auc.open[station as usize];
+                    *open = open.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Re-queues a shed task by arrival tick: the insertion point is the
+    /// end of the run of arrivals ≤ the task's — deterministic under
+    /// both engines even when rotations have the queue mid-cycle.
+    fn requeue_pending(pending: &mut VecDeque<PendingTask>, task: PendingTask) {
+        let i = pending.partition_point(|p| p.arrival <= task.arrival);
+        pending.insert(i, task);
     }
 
     /// Collects catch-up candidates, plans them in parallel against the
@@ -2128,6 +2518,21 @@ impl<'a> Simulation<'a> {
             // arrival time onward, so truncated projections stay
             // conservatively blocked past the horizon.
             table.reserve_path(&self.projection);
+        }
+        // Closed corridor cells are blanket obstacles for catch-up
+        // searches: each one near a candidate is parked from time zero
+        // (a single-cell `reserve_path`; reservations are idempotent
+        // bitsets, so overlap with an occupant's projection is
+        // harmless).
+        for &v in &self.closed_cells {
+            let at = graph.coord(v);
+            let near = self.requests.iter().any(|r| {
+                let s = graph.coord(r.start);
+                u64::from(at.x.abs_diff(s.x)) + u64::from(at.y.abs_diff(s.y)) <= radius
+            });
+            if near {
+                table.reserve_path(std::slice::from_ref(&v));
+            }
         }
 
         let threads = wsp_core::resolve_threads(cfg.threads);

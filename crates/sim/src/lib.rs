@@ -67,7 +67,9 @@ mod stream;
 
 pub use assign::{select_agent, AgentBid, AssignConfig, AssignPolicy};
 pub use cycles::direct_cycle_set;
-pub use deviation::{DeviationConfig, DeviationSchedule, Stall};
+pub use deviation::{
+    DeviationConfig, DeviationSchedule, FaultConfig, FaultEvent, FaultSchedule, Stall, NEVER,
+};
 pub use engine::{RepairConfig, SimConfig, SimEngine, SimError, Simulation};
 pub use queue::BucketQueue;
 pub use report::{SimCounters, SimReport, LATENCY_BUCKETS};
@@ -83,6 +85,7 @@ const _: () = {
     assert_send_sync::<AssignConfig>();
     assert_send_sync::<AssignPolicy>();
     assert_send_sync::<SimConfig>();
+    assert_send_sync::<FaultConfig>();
     assert_send_sync::<SimEngine>();
     assert_send_sync::<SimReport>();
     assert_send_sync::<SimCounters>();

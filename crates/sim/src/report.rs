@@ -60,6 +60,16 @@ pub struct SimCounters {
     /// Idle agents dispatched toward a station anchor by the auction's
     /// rebalance pass (`AssignPolicy::Auction` only).
     pub rebalance_moves: u64,
+    /// Structural faults fired (breakdowns + outages + closures).
+    /// Rendered only when fault injection is configured, like the
+    /// assignment counters.
+    pub faults_injected: u64,
+    /// Tasks shed from a broken agent back to the queue (each shed task
+    /// re-enters `queued` in arrival order, so conservation holds
+    /// through the shed).
+    pub tasks_shed: u64,
+    /// Agents permanently lost to a no-recovery breakdown.
+    pub agents_lost: u64,
     /// Largest agent lag (ticks behind the window plan) ever observed.
     pub max_lag: u64,
     /// Discrete events processed: task injections, stall firings, valid
@@ -124,6 +134,12 @@ pub struct SimReport {
     /// were before the assignment layer existed, which is what keeps the
     /// pre-existing golden files binding.
     pub policy: AssignPolicy,
+    /// Whether fault injection was configured
+    /// ([`FaultConfig::enabled`](crate::FaultConfig::enabled)). Only
+    /// fault-injected reports render the fault counters — fault-free
+    /// renderings are bit-for-bit what they were before the fault layer
+    /// existed, which keeps the pre-existing golden files binding.
+    pub faults: bool,
     /// Word-wise FNV-1a checksum over the initial configuration plus
     /// every executed *state change* `(tick, agent) → (vertex, carry)` —
     /// two runs with equal checksums executed identical trajectories
@@ -213,6 +229,11 @@ impl SimReport {
             field(&mut out, "assignments_made", c.assignments_made, true);
             field(&mut out, "rebalance_moves", c.rebalance_moves, true);
         }
+        if self.faults {
+            field(&mut out, "faults_injected", c.faults_injected, true);
+            field(&mut out, "tasks_shed", c.tasks_shed, true);
+            field(&mut out, "agents_lost", c.agents_lost, true);
+        }
         field(&mut out, "max_lag", c.max_lag, true);
         field(&mut out, "events_processed", c.events_processed, true);
         field(&mut out, "ticks_elided", c.ticks_elided, true);
@@ -299,6 +320,7 @@ mod tests {
             stream_seed: 7,
             deviation_seed: 9,
             policy: AssignPolicy::Static,
+            faults: false,
             trajectory_checksum: 0xdead_beef,
             counters,
         }
@@ -362,5 +384,37 @@ mod tests {
             .expect("prefix")
             .to_string();
         assert!(auc.to_json().starts_with(&prefix));
+    }
+
+    #[test]
+    fn fault_counters_render_only_when_faults_enabled() {
+        let clean = sample();
+        assert!(!clean.to_json().contains("faults_injected"));
+        assert!(!clean.to_json().contains("tasks_shed"));
+        assert!(!clean.to_json().contains("agents_lost"));
+        let mut chaos = sample();
+        chaos.faults = true;
+        chaos.counters.faults_injected = 7;
+        chaos.counters.tasks_shed = 3;
+        chaos.counters.agents_lost = 1;
+        let json = chaos.to_json();
+        assert!(json.contains("\"faults_injected\": 7,"));
+        assert!(json.contains("\"tasks_shed\": 3,"));
+        assert!(json.contains("\"agents_lost\": 1,"));
+        // Fault counters sit between the (optional) assignment block and
+        // `max_lag`; the prefix before them is byte-unchanged.
+        let prefix = clean
+            .to_json()
+            .split("\"max_lag\"")
+            .next()
+            .expect("prefix")
+            .to_string();
+        assert!(json.starts_with(&prefix));
+        // And the suffix from `max_lag` on is byte-unchanged too.
+        let suffix = format!(
+            "\"max_lag\"{}",
+            clean.to_json().split("\"max_lag\"").nth(1).expect("suffix")
+        );
+        assert!(json.ends_with(&suffix));
     }
 }

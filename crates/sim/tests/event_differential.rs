@@ -18,7 +18,8 @@ use wsp_core::{PipelineOptions, WspInstance};
 use wsp_maps::{sorting_center_variant, SortingCenterParams};
 use wsp_model::Workload;
 use wsp_sim::{
-    AssignPolicy, DeviationConfig, RepairConfig, SimConfig, SimEngine, Simulation, StreamConfig,
+    AssignPolicy, DeviationConfig, FaultConfig, RepairConfig, SimConfig, SimEngine, Simulation,
+    StreamConfig,
 };
 
 fn small_instance() -> WspInstance {
@@ -133,6 +134,50 @@ fn fixed_scenario_matches_including_midrun_reports() {
             event.counters.events_processed,
             reference.counters.events_processed
         );
+    }
+}
+
+/// Same pinning with the fault layer on: breakdowns, a station outage,
+/// and corridor closures are forced ticks like stalls, so the event
+/// engine must reproduce the reference loop byte-for-byte — mid-run
+/// reports included — while faults demonstrably fire and shed work.
+#[test]
+fn fixed_fault_scenario_matches_including_midrun_reports() {
+    let instance = small_instance();
+    let options = PipelineOptions::default();
+    let faults = FaultConfig {
+        breakdown_gap: 50,
+        breakdown_min_ticks: 10,
+        breakdown_max_ticks: 40,
+        permanent_permille: 250,
+        outage_gap: 90,
+        outage_min_ticks: 40,
+        outage_max_ticks: 90,
+        closure_gap: 70,
+        closure_min_ticks: 15,
+        closure_max_ticks: 45,
+        closure_len: 3,
+        seed: 0xfa17,
+    };
+    for threads in [1usize, 2, 4] {
+        let run = |engine| {
+            let mut cfg = config(engine, 260, 7, 13, 16, 2, 48, 20, threads);
+            cfg.faults = faults;
+            let mut sim = Simulation::new(&instance, &options, cfg).unwrap();
+            let mut midrun = Vec::new();
+            for _ in 0..13 {
+                sim.run_ticks(20).unwrap();
+                midrun.push(sim.report().to_json());
+            }
+            (midrun, sim.report())
+        };
+        let (event_mid, event) = run(SimEngine::Event);
+        let (reference_mid, reference) = run(SimEngine::Reference);
+        assert_eq!(event_mid, reference_mid, "mid-run fault reports diverged");
+        assert_eq!(event.to_json(), reference.to_json());
+        assert!(event.counters.conserved());
+        assert!(event.counters.faults_injected > 0);
+        assert!(event.counters.completed > 0);
     }
 }
 
